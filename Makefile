@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test vet bench bench-paper examples cover
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Regenerate every paper table/figure at scaled-down budgets (~1 min).
+bench:
+	go test -run XXX -bench . -benchtime 5x .
+
+# Regenerate at the paper's exact budgets (10,000 MOO evaluations,
+# 200 MC samples per Pareto point, 500-sample filter MC).
+bench-paper:
+	ANALOGYIELD_PAPER=1 go test -run XXX -bench . -benchtime 2x -timeout 60m .
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/filterdesign
+	go run ./examples/slewbuffer
+
+cover:
+	go test -cover ./...

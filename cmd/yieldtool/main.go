@@ -1,0 +1,79 @@
+// Command yieldtool performs the paper's yield-targeted design query
+// (Table 3) against a saved model: given required gain and phase-margin
+// bounds, it interpolates the variation at each bound, guard-bands the
+// targets, and prints the interpolated designable parameters. With
+// -verify it also runs the transistor-level simulation at the selected
+// parameters and reports the Table 4 comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"analogyield/internal/core"
+	"analogyield/internal/ota"
+	"analogyield/internal/yield"
+)
+
+func main() {
+	var (
+		dir    = flag.String("model", "otaflow-out", "directory holding a saved model (front.tbl)")
+		gain   = flag.Float64("gain", 50, "required minimum open-loop gain, dB")
+		pm     = flag.Float64("pm", 80, "required minimum phase margin, deg")
+		verify = flag.Bool("verify", false, "simulate the transistor OTA at the interpolated parameters")
+	)
+	flag.Parse()
+
+	m, err := core.LoadModel(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yieldtool:", err)
+		os.Exit(1)
+	}
+	lo, hi := m.Domain()
+	fmt.Printf("Model: %d points, %s in [%.2f, %.2f]\n",
+		len(m.Points), m.ObjectiveNames[0], lo, hi)
+
+	spec0 := yield.Spec{Name: "gain", Sense: yield.AtLeast, Bound: *gain}
+	spec1 := yield.Spec{Name: "pm", Sense: yield.AtLeast, Bound: *pm}
+	d, err := m.DesignFor(spec0, spec1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yieldtool:", err)
+		os.Exit(1)
+	}
+
+	// Table 3-style report.
+	fmt.Printf("\nInterpolation example (paper Table 3):\n")
+	fmt.Printf("  %-14s %-22s %-12s %-16s\n", "Performance:", "Required:", "Variation:", "New target:")
+	fmt.Printf("  %-14s > %-20.4g %-11.2f%% %-16.4f\n", "Gain (dB)", spec0.Bound, d.DeltaPct[0], d.Target[0])
+	fmt.Printf("  %-14s > %-20.4g %-11.2f%% %-16.4f\n", "PM (deg)", spec1.Bound, d.DeltaPct[1], d.Target[1])
+	gl, gh := yield.Range(d.Target[0], d.DeltaPct[0])
+	fmt.Printf("  At the target, gain spans [%.3f, %.3f] dB over process extremes.\n", gl, gh)
+
+	fmt.Printf("\nInterpolated design parameters:\n")
+	for i, name := range m.ParamNames {
+		fmt.Printf("  %-4s = %8.3f %s\n", name, d.Params[i], m.ParamUnits[i])
+	}
+
+	if !*verify {
+		return
+	}
+	prob := core.NewOTAProblem()
+	params, err := prob.ParamsFromTableValues(d.Params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yieldtool:", err)
+		os.Exit(1)
+	}
+	perf, err := ota.DefaultConfig().Evaluate(params, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yieldtool: verification:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nPerformance comparison (paper Table 4):\n")
+	fmt.Printf("  %-14s %-16s %-16s %-8s\n", "Function", "Transistor", "Model", "%error")
+	fmt.Printf("  %-14s %-16.2f %-16.2f %-8.2f\n", "Gain (dB)", perf.GainDB, d.Target[0],
+		100*math.Abs(perf.GainDB-d.Target[0])/perf.GainDB)
+	fmt.Printf("  %-14s %-16.2f %-16.2f %-8.2f\n", "Phase margin", perf.PMDeg, d.Target[1],
+		100*math.Abs(perf.PMDeg-d.Target[1])/perf.PMDeg)
+}

@@ -1,0 +1,104 @@
+// otamodel: the paper's §4 design example in full — build the combined
+// model for the symmetrical OTA, save the $table_model data files, emit
+// the Verilog-A module, and verify a selected design against the
+// transistor-level simulation (Table 4 / Fig 8).
+//
+//	go run ./examples/otamodel [outdir]
+//
+// Budgets are paper-scale divided by ~4 to finish in tens of seconds;
+// use cmd/otaflow for the full 10,000-evaluation run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	"analogyield/internal/behave"
+	"analogyield/internal/core"
+	"analogyield/internal/measure"
+	"analogyield/internal/ota"
+	"analogyield/internal/process"
+	"analogyield/internal/yield"
+)
+
+func main() {
+	outDir := "otamodel-out"
+	if len(os.Args) > 1 {
+		outDir = os.Args[1]
+	}
+
+	res, err := core.RunFlow(core.FlowConfig{
+		Problem:     core.NewOTAProblem(),
+		Proc:        process.C35(),
+		PopSize:     50,
+		Generations: 50,
+		MCSamples:   100,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MOO: %d evaluations, Pareto front %d points, MC %d simulations\n",
+		res.Evaluations, len(res.FrontIdx), res.MCSimulations)
+
+	// Save the table model and the Verilog-A module.
+	if err := res.Model.Save(outDir); err != nil {
+		log.Fatal(err)
+	}
+	va := behave.GenerateVerilogA(res.Model, behave.VAOptions{})
+	if err := os.WriteFile(filepath.Join(outDir, "ota_behav.va"), []byte(va), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model artefacts written to %s\n", outDir)
+
+	// Yield-targeted design query in the knee of the front.
+	lo, hi := res.Model.Domain()
+	bound := lo + 0.7*(hi-lo)
+	pmFloor, err := res.Model.PerfFront.Eval(bound)
+	if err != nil {
+		log.Fatal(err)
+	}
+	design, err := res.Model.DesignFor(
+		yield.Spec{Name: "gain", Sense: yield.AtLeast, Bound: bound},
+		yield.Spec{Name: "pm", Sense: yield.AtLeast, Bound: pmFloor - 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spec gain >= %.2f dB -> target %.3f dB (variation %.2f%%)\n",
+		bound, design.Target[0], design.DeltaPct[0])
+
+	// Table 4: simulate the transistor OTA at the interpolated sizes.
+	prob := core.NewOTAProblem()
+	params, err := prob.ParamsFromTableValues(design.Params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perf, err := ota.DefaultConfig().Evaluate(params, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Table 4 comparison:\n")
+	fmt.Printf("  gain: transistor %.2f dB, model %.2f dB, error %.2f%%\n",
+		perf.GainDB, design.Target[0], 100*math.Abs(perf.GainDB-design.Target[0])/perf.GainDB)
+	fmt.Printf("  PM:   transistor %.2f deg, model %.2f deg, error %.2f%%\n",
+		perf.PMDeg, design.FrontPerf[1], 100*math.Abs(perf.PMDeg-design.FrontPerf[1])/perf.PMDeg)
+
+	// Fig 8: transistor vs behavioural open-loop response.
+	cfg := ota.DefaultConfig()
+	freqs, tf, err := cfg.Response(params, nil, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gm, ro := behave.FromPerf(perf, cfg.CLoad)
+	fmt.Printf("Fig 8 series (transistor vs behavioural single-pole model, gm=%.3g ro=%.3g):\n", gm, ro)
+	fmt.Println("  freq_hz   transistor_db   behavioural_db")
+	a0 := math.Pow(10, perf.GainDB/20)
+	fdom := perf.UnityHz / a0
+	for i := 0; i < len(freqs); i += 6 {
+		beh := 20*math.Log10(a0) - 10*math.Log10(1+(freqs[i]/fdom)*(freqs[i]/fdom))
+		fmt.Printf("  %9.3g  %9.2f       %9.2f\n", freqs[i], measure.GainDB(tf[i]), beh)
+	}
+}

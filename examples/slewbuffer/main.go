@@ -1,0 +1,74 @@
+// slewbuffer: large-signal transient of the symmetrical OTA in
+// unity-gain feedback — step response, slew rate and settling time,
+// computed with the adaptive-timestep transient engine. This is the
+// time-domain complement of the small-signal (gain/PM) view the paper's
+// flow optimises.
+//
+//	go run ./examples/slewbuffer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"analogyield/internal/analysis"
+	"analogyield/internal/circuit"
+	"analogyield/internal/measure"
+	"analogyield/internal/ota"
+)
+
+func main() {
+	c := ota.DefaultConfig()
+	p := ota.NominalParams()
+
+	n := circuit.New("ota unity-gain buffer")
+	vdd := n.Node("vdd")
+	in := n.Node("in")
+	out := n.Node("out")
+	bias := n.Node("bias")
+	gnd := circuit.Ground
+	step := 0.4 // volts
+	edge := 0.2e-6
+	n.MustAdd(&circuit.VSource{Inst: "VDD", Pos: vdd, Neg: gnd, DC: c.VDD})
+	n.MustAdd(&circuit.VSource{Inst: "VIN", Pos: in, Neg: gnd, DC: c.VCM,
+		Wave: circuit.PulseWave{V1: c.VCM - step/2, V2: c.VCM + step/2,
+			Delay: edge, Rise: 1e-9, Fall: 1e-9, Width: 1, Period: 2}})
+	n.MustAdd(&circuit.ISource{Inst: "IBIAS", Pos: vdd, Neg: bias, DC: c.IBias})
+	n.MustAdd(&circuit.Capacitor{Inst: "CL", A: out, B: gnd, C: c.CLoad})
+	// Unity-gain: output fed back to the inverting input.
+	c.AddInstance(n, "", vdd, in, out, out,
+		n.Node("n1"), n.Node("n2"), n.Node("outm"), n.Node("tail"), bias, p, nil)
+
+	res, err := analysis.TranAdaptive(n, analysis.AdaptiveOptions{
+		TranOptions: analysis.TranOptions{TStop: 2e-6},
+		RelTol:      1e-4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vout, err := res.V("out")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sr, err := measure.TransitionSlew(res.Times, vout, c.VCM-step/2, c.VCM+step/2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := measure.SettlingTime(res.Times, vout, edge, 0.01*step)
+	if err != nil {
+		log.Fatal(err)
+	}
+	expect := p.MirrorRatio() * c.IBias / c.CLoad
+	fmt.Printf("unity-gain buffer, %.1f V step, CL = %.3g F\n", step, c.CLoad)
+	fmt.Printf("adaptive transient: %d accepted steps\n", len(res.Times))
+	fmt.Printf("slew rate:     %.3g V/s (20-80%%, theory B*Ibias/CL = %.3g V/s)\n", sr, expect)
+	fmt.Printf("settling time: %.3g s (to 1%% of the step)\n", st)
+	fmt.Printf("final value:   %.4f V (target %.4f V)\n",
+		vout[len(vout)-1], c.VCM+step/2)
+
+	fmt.Println("\ntime_s v(out) (every ~20th accepted point)")
+	for i := 0; i < len(res.Times); i += 20 {
+		fmt.Printf("%.4g %.4f\n", res.Times[i], vout[i])
+	}
+}

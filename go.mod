@@ -1,0 +1,3 @@
+module analogyield
+
+go 1.22

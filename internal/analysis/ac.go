@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"analogyield/internal/circuit"
+	"analogyield/internal/num"
+)
+
+// ACResult holds a small-signal frequency sweep: the complex solution
+// vector at every frequency point.
+type ACResult struct {
+	Freqs []float64      // hertz
+	X     [][]complex128 // X[i] is the solution at Freqs[i]
+	net   *circuit.Netlist
+}
+
+// V returns the complex node voltage across the sweep for a named node.
+func (r *ACResult) V(node string) ([]complex128, error) {
+	idx, ok := r.net.NodeIndex(node)
+	if !ok {
+		return nil, fmt.Errorf("analysis: unknown node %q", node)
+	}
+	out := make([]complex128, len(r.Freqs))
+	if idx == circuit.Ground {
+		return out, nil
+	}
+	for i, x := range r.X {
+		out[i] = x[idx]
+	}
+	return out, nil
+}
+
+// AC performs a small-signal sweep over the given frequencies (hertz),
+// linearised about the DC operating point op. Sources contribute their
+// ACMag values as stimulus.
+func AC(n *circuit.Netlist, op *OPResult, freqs []float64) (*ACResult, error) {
+	if len(freqs) == 0 {
+		return nil, fmt.Errorf("analysis: empty frequency list")
+	}
+	nu := n.NumUnknowns()
+	res := &ACResult{Freqs: append([]float64(nil), freqs...), net: n}
+	A := num.NewCMatrix(nu)
+	B := make([]complex128, nu)
+	for _, f := range freqs {
+		if f <= 0 {
+			return nil, fmt.Errorf("analysis: non-positive AC frequency %g", f)
+		}
+		A.Zero()
+		for i := range B {
+			B[i] = 0
+		}
+		ctx := &circuit.ACCtx{A: A, B: B, Omega: 2 * math.Pi * f, DC: op.X}
+		for di, d := range n.Devices() {
+			d.StampAC(ctx, n.BranchBase(di))
+		}
+		// A tiny conductance to ground keeps floating small-signal nodes
+		// (e.g. isolated gates) solvable without affecting results.
+		for i := 0; i < n.NumNodes(); i++ {
+			A.Add(i, i, complex(1e-12, 0))
+		}
+		x, err := num.CSolveSystem(A, B)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: AC solve at %g Hz: %w", f, err)
+		}
+		res.X = append(res.X, x)
+	}
+	return res, nil
+}
+
+// ACDecade sweeps pointsPerDecade logarithmically spaced frequencies
+// from fStart to fStop (inclusive endpoints).
+func ACDecade(n *circuit.Netlist, op *OPResult, fStart, fStop float64, pointsPerDecade int) (*ACResult, error) {
+	if fStart <= 0 || fStop <= fStart {
+		return nil, fmt.Errorf("analysis: bad AC range [%g, %g]", fStart, fStop)
+	}
+	if pointsPerDecade < 1 {
+		pointsPerDecade = 10
+	}
+	decades := math.Log10(fStop / fStart)
+	npts := int(math.Ceil(decades*float64(pointsPerDecade))) + 1
+	if npts < 2 {
+		npts = 2
+	}
+	return AC(n, op, num.Logspace(fStart, fStop, npts))
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"testing"
+
+	"analogyield/internal/circuit"
+	"analogyield/internal/mos"
+	"analogyield/internal/num"
+)
+
+func benchAmp(b *testing.B) *circuit.Netlist {
+	b.Helper()
+	n := circuit.New("bench cs amp")
+	vdd := n.Node("vdd")
+	g := n.Node("g")
+	d := n.Node("d")
+	n.MustAdd(&circuit.VSource{Inst: "VDD", Pos: vdd, Neg: circuit.Ground, DC: 3.3})
+	n.MustAdd(&circuit.VSource{Inst: "VG", Pos: g, Neg: circuit.Ground, DC: 0.8, ACMag: 1})
+	n.MustAdd(&circuit.Resistor{Inst: "RD", A: vdd, B: d, R: 20e3})
+	n.MustAdd(&circuit.MOSFET{Inst: "M1", D: d, G: g, S: circuit.Ground, B: circuit.Ground,
+		W: 10e-6, L: 1e-6, Model: mos.NominalNMOS()})
+	n.MustAdd(&circuit.Capacitor{Inst: "CL", A: d, B: circuit.Ground, C: 1e-12})
+	return n
+}
+
+func BenchmarkOPCommonSource(b *testing.B) {
+	n := benchAmp(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := OP(n, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkACSweep(b *testing.B) {
+	n := benchAmp(b)
+	op, err := OP(n, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	freqs := num.Logspace(1e3, 1e9, 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AC(n, op, freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"analogyield/internal/circuit"
+)
+
+// DeviceOP is the operating-point summary of one MOSFET.
+type DeviceOP struct {
+	Name          string
+	ID            float64 // drain current, A
+	VGS, VDS, VBS float64
+	Vth, Vov      float64
+	Gm, Gds, Gmb  float64
+	Region        string // "off", "triode", "saturation"
+}
+
+// DeviceReport re-evaluates every MOSFET at the solved operating point
+// and returns a per-device bias table (the classic SPICE .op printout),
+// sorted by instance name.
+func DeviceReport(n *circuit.Netlist, op *OPResult) []DeviceOP {
+	var out []DeviceOP
+	for _, d := range n.Devices() {
+		m, ok := d.(*circuit.MOSFET)
+		if !ok {
+			continue
+		}
+		mop := m.Model.Eval(m.W, m.L,
+			op.VNode(m.G), op.VNode(m.D), op.VNode(m.S), op.VNode(m.B))
+		region := "saturation"
+		switch {
+		case mop.Vov < 0.01 && absf(mop.Id) < 1e-9:
+			region = "off"
+		case !mop.Saturated:
+			region = "triode"
+		}
+		out = append(out, DeviceOP{
+			Name: m.Inst,
+			ID:   mop.Id,
+			VGS:  mop.Vgs, VDS: mop.Vds, VBS: mop.Vbs,
+			Vth: mop.Vth, Vov: mop.Vov,
+			Gm: mop.Gm, Gds: mop.Gds, Gmb: mop.Gmb,
+			Region: region,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// FormatDeviceReport renders the report as an aligned text table.
+func FormatDeviceReport(rows []DeviceOP) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-12s %-8s %-8s %-8s %-10s %-10s %-10s\n",
+		"device", "id_a", "vgs", "vds", "vov", "gm_s", "gds_s", "region")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-12.4g %-8.4f %-8.4f %-8.4f %-10.4g %-10.4g %-10s\n",
+			r.Name, r.ID, r.VGS, r.VDS, r.Vov, r.Gm, r.Gds, r.Region)
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"analogyield/internal/circuit"
+	"analogyield/internal/mos"
+)
+
+func TestDeviceReport(t *testing.T) {
+	n := circuit.New("report")
+	vdd := n.Node("vdd")
+	g := n.Node("g")
+	d := n.Node("d")
+	n.MustAdd(&circuit.VSource{Inst: "VDD", Pos: vdd, Neg: circuit.Ground, DC: 3.3})
+	n.MustAdd(&circuit.VSource{Inst: "VG", Pos: g, Neg: circuit.Ground, DC: 0.78})
+	n.MustAdd(&circuit.Resistor{Inst: "RD", A: vdd, B: d, R: 20e3})
+	n.MustAdd(&circuit.MOSFET{Inst: "M1", D: d, G: g, S: circuit.Ground, B: circuit.Ground,
+		W: 10 * um, L: 1 * um, Model: mos.NominalNMOS()})
+	// Off device: gate at 0.
+	n.MustAdd(&circuit.MOSFET{Inst: "M2", D: d, G: circuit.Ground, S: circuit.Ground,
+		B: circuit.Ground, W: 10 * um, L: 1 * um, Model: mos.NominalNMOS()})
+	// Triode device: large vgs, tiny vds via a low-impedance pullup.
+	tr := n.Node("tr")
+	n.MustAdd(&circuit.Resistor{Inst: "RT", A: vdd, B: tr, R: 1e6})
+	n.MustAdd(&circuit.MOSFET{Inst: "M3", D: tr, G: vdd, S: circuit.Ground, B: circuit.Ground,
+		W: 10 * um, L: 1 * um, Model: mos.NominalNMOS()})
+
+	op, err := OP(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := DeviceReport(n, op)
+	if len(rows) != 3 {
+		t.Fatalf("report has %d rows, want 3 (MOSFETs only)", len(rows))
+	}
+	// Sorted by name.
+	if rows[0].Name != "M1" || rows[1].Name != "M2" || rows[2].Name != "M3" {
+		t.Errorf("rows not sorted: %v %v %v", rows[0].Name, rows[1].Name, rows[2].Name)
+	}
+	if rows[0].Region != "saturation" {
+		t.Errorf("M1 region = %s", rows[0].Region)
+	}
+	if rows[1].Region != "off" {
+		t.Errorf("M2 region = %s (id %g)", rows[1].Region, rows[1].ID)
+	}
+	if rows[2].Region != "triode" {
+		t.Errorf("M3 region = %s (vds %g vov %g)", rows[2].Region, rows[2].VDS, rows[2].Vov)
+	}
+	if rows[0].Gm <= 0 || rows[0].ID <= 0 {
+		t.Error("M1 report values implausible")
+	}
+
+	text := FormatDeviceReport(rows)
+	for _, want := range []string{"device", "M1", "M3", "triode", "saturation"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted report missing %q", want)
+		}
+	}
+}
+
+func TestDeviceReportEmpty(t *testing.T) {
+	n := circuit.New("rc")
+	a := n.Node("a")
+	n.MustAdd(&circuit.VSource{Inst: "V1", Pos: a, Neg: circuit.Ground, DC: 1})
+	n.MustAdd(&circuit.Resistor{Inst: "R1", A: a, B: circuit.Ground, R: 1e3})
+	op, err := OP(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := DeviceReport(n, op); len(rows) != 0 {
+		t.Errorf("non-MOS circuit produced %d rows", len(rows))
+	}
+}

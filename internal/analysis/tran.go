@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"analogyield/internal/circuit"
+	"analogyield/internal/num"
+)
+
+// TranOptions configures a transient run.
+type TranOptions struct {
+	TStop   float64 // end time, s (required)
+	TStep   float64 // fixed timestep, s (required for Tran; initial step for TranAdaptive)
+	MaxIter int     // Newton iterations per step (default 80)
+	VTol    float64 // voltage tolerance (default 1e-6)
+	ITol    float64 // current tolerance (default 1e-9)
+}
+
+func (o TranOptions) withDefaults() TranOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 80
+	}
+	if o.VTol <= 0 {
+		o.VTol = 1e-6
+	}
+	if o.ITol <= 0 {
+		o.ITol = 1e-9
+	}
+	return o
+}
+
+// TranResult holds the transient waveforms.
+type TranResult struct {
+	Times []float64
+	X     [][]float64 // X[i] is the solution at Times[i]
+	net   *circuit.Netlist
+}
+
+// V returns the waveform of a named node.
+func (r *TranResult) V(node string) ([]float64, error) {
+	idx, ok := r.net.NodeIndex(node)
+	if !ok {
+		return nil, fmt.Errorf("analysis: unknown node %q", node)
+	}
+	out := make([]float64, len(r.Times))
+	if idx == circuit.Ground {
+		return out, nil
+	}
+	for i, x := range r.X {
+		out[i] = x[idx]
+	}
+	return out, nil
+}
+
+// At returns the solution interpolated (linearly) at time t.
+func (r *TranResult) At(node string, t float64) (float64, error) {
+	v, err := r.V(node)
+	if err != nil {
+		return 0, err
+	}
+	if len(r.Times) == 0 {
+		return 0, fmt.Errorf("analysis: empty transient result")
+	}
+	if t <= r.Times[0] {
+		return v[0], nil
+	}
+	for i := 1; i < len(r.Times); i++ {
+		if t <= r.Times[i] {
+			t0, t1 := r.Times[i-1], r.Times[i]
+			f := (t - t0) / (t1 - t0)
+			return v[i-1] + f*(v[i]-v[i-1]), nil
+		}
+	}
+	return v[len(v)-1], nil
+}
+
+// cloneState deep-copies the companion-model state map.
+func cloneState(state map[string][]float64) map[string][]float64 {
+	out := make(map[string][]float64, len(state))
+	for k, v := range state {
+		out[k] = append([]float64(nil), v...)
+	}
+	return out
+}
+
+// tranStep advances the circuit one timestep from (xPrev, state) to time
+// t with step dt, returning the new solution and the updated companion
+// state. The inputs are not modified.
+func tranStep(n *circuit.Netlist, xPrev []float64, state map[string][]float64,
+	t, dt float64, opts TranOptions) ([]float64, map[string][]float64, error) {
+	nu := n.NumUnknowns()
+	nn := n.NumNodes()
+	J := num.NewMatrix(nu)
+	B := make([]float64, nu)
+	x := append([]float64(nil), xPrev...)
+	st := cloneState(state)
+	ctx := &circuit.TranCtx{J: J, B: B, X: x, XPrev: xPrev, Time: t, Dt: dt, State: st}
+	converged := false
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		J.Zero()
+		for i := range B {
+			B[i] = 0
+		}
+		for di, d := range n.Devices() {
+			d.StampTran(ctx, n.BranchBase(di))
+		}
+		for i := 0; i < nn; i++ {
+			J.Add(i, i, 1e-12)
+		}
+		lu, err := num.Factor(J)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: transient t=%g: %w", t, err)
+		}
+		xn := make([]float64, nu)
+		lu.Solve(B, xn)
+		worst := 0.0
+		for i := 0; i < nu; i++ {
+			dx := xn[i] - x[i]
+			tol := opts.ITol
+			if i < nn {
+				tol = opts.VTol
+				if math.Abs(dx) > 0.5 {
+					dx = math.Copysign(0.5, dx)
+				}
+			}
+			x[i] += dx
+			if m := math.Abs(dx) / tol; m > worst {
+				worst = m
+			}
+		}
+		if worst < 1 {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		return nil, nil, fmt.Errorf("analysis: transient step at t=%g did not converge", t)
+	}
+	// Commit companion state for trapezoidal capacitors.
+	for _, d := range n.Devices() {
+		if c, ok := d.(*circuit.Capacitor); ok {
+			c.UpdateTranState(ctx)
+		}
+	}
+	return x, st, nil
+}
+
+// Tran runs a fixed-step transient from the DC operating point.
+// Capacitors use trapezoidal companions; MOSFET charge uses backward
+// Euler at the bias-point capacitance.
+func Tran(n *circuit.Netlist, opts TranOptions) (*TranResult, error) {
+	if opts.TStop <= 0 || opts.TStep <= 0 {
+		return nil, fmt.Errorf("analysis: transient needs positive TStop and TStep")
+	}
+	o := opts.withDefaults()
+	op, err := OP(n, nil)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: transient initial condition: %w", err)
+	}
+	res := &TranResult{net: n}
+	res.Times = append(res.Times, 0)
+	res.X = append(res.X, append([]float64(nil), op.X...))
+
+	state := make(map[string][]float64)
+	xPrev := append([]float64(nil), op.X...)
+	steps := int(math.Ceil(o.TStop / o.TStep))
+	for s := 1; s <= steps; s++ {
+		t := float64(s) * o.TStep
+		x, st, err := tranStep(n, xPrev, state, t, o.TStep, o)
+		if err != nil {
+			return nil, err
+		}
+		state = st
+		res.Times = append(res.Times, t)
+		res.X = append(res.X, append([]float64(nil), x...))
+		xPrev = x
+	}
+	return res, nil
+}
+
+// AdaptiveOptions extends TranOptions with local-error control for
+// TranAdaptive.
+type AdaptiveOptions struct {
+	TranOptions
+	// RelTol/AbsTol bound the step-doubling error estimate per node
+	// voltage (defaults 1e-3 and 1e-6 V).
+	RelTol, AbsTol float64
+	// MinStep and MaxStep bound the step size (defaults TStop/1e7 and
+	// TStop/50).
+	MinStep, MaxStep float64
+}
+
+// TranAdaptive runs a variable-step transient with step-doubling error
+// control: each accepted step satisfies
+//
+//	|x_full − x_twoHalf| <= AbsTol + RelTol·|x|
+//
+// per node voltage, where x_full takes one step of h and x_twoHalf two
+// steps of h/2 (the Richardson pair). Steps that fail are halved; steps
+// with a large margin grow by 1.5×.
+func TranAdaptive(n *circuit.Netlist, opts AdaptiveOptions) (*TranResult, error) {
+	if opts.TStop <= 0 {
+		return nil, fmt.Errorf("analysis: transient needs positive TStop")
+	}
+	o := opts
+	o.TranOptions = opts.TranOptions.withDefaults()
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-3
+	}
+	if o.AbsTol <= 0 {
+		o.AbsTol = 1e-6
+	}
+	if o.MaxStep <= 0 {
+		o.MaxStep = o.TStop / 50
+	}
+	if o.MinStep <= 0 {
+		o.MinStep = o.TStop / 1e7
+	}
+	h := o.TStep
+	if h <= 0 || h > o.MaxStep {
+		h = o.MaxStep / 4
+	}
+
+	op, err := OP(n, nil)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: transient initial condition: %w", err)
+	}
+	res := &TranResult{net: n}
+	res.Times = append(res.Times, 0)
+	res.X = append(res.X, append([]float64(nil), op.X...))
+
+	state := make(map[string][]float64)
+	x := append([]float64(nil), op.X...)
+	t := 0.0
+	nn := n.NumNodes()
+	const maxSteps = 2_000_000
+	for steps := 0; t < o.TStop; steps++ {
+		if steps > maxSteps {
+			return nil, fmt.Errorf("analysis: adaptive transient exceeded %d steps", maxSteps)
+		}
+		if t+h > o.TStop {
+			h = o.TStop - t
+		}
+		// Full step.
+		xF, _, errF := tranStep(n, x, state, t+h, h, o.TranOptions)
+		// Two half steps.
+		var xH []float64
+		var stH map[string][]float64
+		var errH error
+		if errF == nil {
+			xH, stH, errH = tranStep(n, x, state, t+h/2, h/2, o.TranOptions)
+			if errH == nil {
+				xH, stH, errH = tranStep(n, xH, stH, t+h, h/2, o.TranOptions)
+			}
+		}
+		if errF != nil || errH != nil {
+			if h/2 < o.MinStep {
+				if errF != nil {
+					return nil, errF
+				}
+				return nil, errH
+			}
+			h /= 2
+			continue
+		}
+		// Error estimate over node voltages.
+		worst := 0.0
+		for i := 0; i < nn; i++ {
+			tol := o.AbsTol + o.RelTol*math.Abs(xH[i])
+			if e := math.Abs(xF[i]-xH[i]) / tol; e > worst {
+				worst = e
+			}
+		}
+		if worst > 1 && h/2 >= o.MinStep {
+			h /= 2
+			continue
+		}
+		// Accept the more accurate two-half-step solution.
+		t += h
+		x = xH
+		state = stH
+		res.Times = append(res.Times, t)
+		res.X = append(res.X, append([]float64(nil), x...))
+		if worst < 0.25 && h*1.5 <= o.MaxStep {
+			h *= 1.5
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"analogyield/internal/circuit"
+)
+
+func TestTranRCCharge(t *testing.T) {
+	// Series RC driven by a step (via PulseWave); the capacitor voltage
+	// must follow 1 - exp(-t/RC).
+	n := circuit.New("rcstep")
+	in := n.Node("in")
+	out := n.Node("out")
+	r, c := 1e3, 1e-9
+	tau := r * c
+	n.MustAdd(&circuit.VSource{Inst: "V1", Pos: in, Neg: circuit.Ground, DC: 0,
+		Wave: circuit.PulseWave{V1: 0, V2: 1, Delay: 0, Rise: 1e-12, Fall: 1e-12,
+			Width: 1, Period: 2}})
+	n.MustAdd(&circuit.Resistor{Inst: "R1", A: in, B: out, R: r})
+	n.MustAdd(&circuit.Capacitor{Inst: "C1", A: out, B: circuit.Ground, C: c})
+	res, err := Tran(n, TranOptions{TStop: 5 * tau, TStep: tau / 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vout, err := res.V("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare at t = tau and t = 3 tau.
+	at := func(tt float64) float64 {
+		best, bv := math.Inf(1), 0.0
+		for i, tm := range res.Times {
+			if d := math.Abs(tm - tt); d < best {
+				best, bv = d, vout[i]
+			}
+		}
+		return bv
+	}
+	if got, want := at(tau), 1-math.Exp(-1); math.Abs(got-want) > 0.02 {
+		t.Errorf("v(tau) = %g, want %g", got, want)
+	}
+	if got, want := at(3*tau), 1-math.Exp(-3); math.Abs(got-want) > 0.02 {
+		t.Errorf("v(3tau) = %g, want %g", got, want)
+	}
+	// Monotone rise.
+	for i := 1; i < len(vout); i++ {
+		if vout[i] < vout[i-1]-1e-9 {
+			t.Fatalf("capacitor voltage fell at step %d", i)
+		}
+	}
+}
+
+func TestTranSineSteadyState(t *testing.T) {
+	// RC lowpass driven at its corner: output amplitude → 1/√2.
+	n := circuit.New("rcsine")
+	in := n.Node("in")
+	out := n.Node("out")
+	r, c := 1e3, 1e-9
+	fc := 1 / (2 * math.Pi * r * c)
+	n.MustAdd(&circuit.VSource{Inst: "V1", Pos: in, Neg: circuit.Ground,
+		Wave: circuit.SineWave{Amp: 1, Freq: fc}})
+	n.MustAdd(&circuit.Resistor{Inst: "R1", A: in, B: out, R: r})
+	n.MustAdd(&circuit.Capacitor{Inst: "C1", A: out, B: circuit.Ground, C: c})
+	period := 1 / fc
+	res, err := Tran(n, TranOptions{TStop: 10 * period, TStep: period / 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vout, _ := res.V("out")
+	// Peak over the last two periods.
+	peak := 0.0
+	for i, tm := range res.Times {
+		if tm > 8*period {
+			if a := math.Abs(vout[i]); a > peak {
+				peak = a
+			}
+		}
+	}
+	want := 1 / math.Sqrt2
+	if math.Abs(peak-want) > 0.03 {
+		t.Errorf("steady-state peak = %g, want %g", peak, want)
+	}
+}
+
+func TestTranInductorCurrentRamp(t *testing.T) {
+	// Voltage step across L in series with small R: i ramps toward V/R
+	// with time constant L/R.
+	n := circuit.New("lramp")
+	in := n.Node("in")
+	mid := n.Node("mid")
+	lval, rval := 1e-3, 100.0
+	tau := lval / rval
+	n.MustAdd(&circuit.VSource{Inst: "V1", Pos: in, Neg: circuit.Ground, DC: 0,
+		Wave: circuit.PulseWave{V1: 0, V2: 1, Rise: 1e-12, Fall: 1e-12, Width: 1, Period: 2}})
+	n.MustAdd(&circuit.Inductor{Inst: "L1", A: in, B: mid, L: lval})
+	n.MustAdd(&circuit.Resistor{Inst: "R1", A: mid, B: circuit.Ground, R: rval})
+	res, err := Tran(n, TranOptions{TStop: 3 * tau, TStep: tau / 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmid, _ := res.V("mid")
+	// v(mid) = i*R → 1-exp(-t/tau); check at tau.
+	idx := 0
+	for i, tm := range res.Times {
+		if tm >= tau {
+			idx = i
+			break
+		}
+	}
+	want := 1 - math.Exp(-1)
+	if math.Abs(vmid[idx]-want) > 0.05 {
+		t.Errorf("v(mid) at tau = %g, want ~%g", vmid[idx], want)
+	}
+}
+
+func TestTranValidation(t *testing.T) {
+	n := circuit.New("bad")
+	a := n.Node("a")
+	n.MustAdd(&circuit.Resistor{Inst: "R1", A: a, B: circuit.Ground, R: 1})
+	if _, err := Tran(n, TranOptions{TStop: 0, TStep: 1}); err == nil {
+		t.Error("TStop=0 accepted")
+	}
+	if _, err := Tran(n, TranOptions{TStop: 1, TStep: 0}); err == nil {
+		t.Error("TStep=0 accepted")
+	}
+}
+
+func TestTranUnknownNode(t *testing.T) {
+	n := circuit.New("t")
+	a := n.Node("a")
+	n.MustAdd(&circuit.VSource{Inst: "V1", Pos: a, Neg: circuit.Ground, DC: 1})
+	n.MustAdd(&circuit.Resistor{Inst: "R1", A: a, B: circuit.Ground, R: 1e3})
+	res, err := Tran(n, TranOptions{TStop: 1e-6, TStep: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.V("missing"); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if v, err := res.V("0"); err != nil || v[0] != 0 {
+		t.Error("ground waveform should be 0")
+	}
+}
+
+func TestTranAdaptiveRCMatchesAnalytic(t *testing.T) {
+	n := circuit.New("rcstep-adaptive")
+	in := n.Node("in")
+	out := n.Node("out")
+	r, c := 1e3, 1e-9
+	tau := r * c
+	n.MustAdd(&circuit.VSource{Inst: "V1", Pos: in, Neg: circuit.Ground, DC: 0,
+		Wave: circuit.PulseWave{V1: 0, V2: 1, Rise: 1e-12, Fall: 1e-12, Width: 1, Period: 2}})
+	n.MustAdd(&circuit.Resistor{Inst: "R1", A: in, B: out, R: r})
+	n.MustAdd(&circuit.Capacitor{Inst: "C1", A: out, B: circuit.Ground, C: c})
+	res, err := TranAdaptive(n, AdaptiveOptions{
+		TranOptions: TranOptions{TStop: 5 * tau},
+		RelTol:      1e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.5 * tau, tau, 2 * tau, 4 * tau} {
+		got, err := res.At("out", tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-tt/tau)
+		if math.Abs(got-want) > 5e-3 {
+			t.Errorf("v(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestTranAdaptiveUsesFewerSteps(t *testing.T) {
+	// A stiff-ish waveform: fast edge then a long settle. The adaptive
+	// run must resolve the edge accurately while using far fewer total
+	// steps than a fixed run at the edge-resolving step size.
+	build := func() *circuit.Netlist {
+		n := circuit.New("edge")
+		in := n.Node("in")
+		out := n.Node("out")
+		n.MustAdd(&circuit.VSource{Inst: "V1", Pos: in, Neg: circuit.Ground,
+			Wave: circuit.PulseWave{V1: 0, V2: 1, Delay: 1e-7, Rise: 1e-9, Fall: 1e-9,
+				Width: 1, Period: 2}})
+		n.MustAdd(&circuit.Resistor{Inst: "R1", A: in, B: out, R: 1e3})
+		n.MustAdd(&circuit.Capacitor{Inst: "C1", A: out, B: circuit.Ground, C: 1e-11})
+		return n
+	}
+	tStop := 1e-5 // 1000 tau after the edge
+	ad, err := TranAdaptive(build(), AdaptiveOptions{
+		TranOptions: TranOptions{TStop: tStop},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedSteps := int(tStop / 1e-9)
+	if len(ad.Times) >= fixedSteps/5 {
+		t.Errorf("adaptive used %d steps, fixed equivalent would use %d", len(ad.Times), fixedSteps)
+	}
+	// Final value correct.
+	got, _ := ad.At("out", tStop)
+	if math.Abs(got-1) > 1e-2 {
+		t.Errorf("final value = %g, want 1", got)
+	}
+}
+
+func TestTranAdaptiveValidation(t *testing.T) {
+	n := circuit.New("bad")
+	a := n.Node("a")
+	n.MustAdd(&circuit.Resistor{Inst: "R1", A: a, B: circuit.Ground, R: 1})
+	if _, err := TranAdaptive(n, AdaptiveOptions{}); err == nil {
+		t.Error("TStop=0 accepted")
+	}
+}
+
+func TestTranResultAt(t *testing.T) {
+	r := &TranResult{
+		Times: []float64{0, 1, 2},
+		X:     [][]float64{{0}, {10}, {20}},
+		net:   netWithNodeA(t),
+	}
+	if v, _ := r.At("a", 0.5); math.Abs(v-5) > 1e-12 {
+		t.Errorf("At(0.5) = %g", v)
+	}
+	if v, _ := r.At("a", -1); v != 0 {
+		t.Errorf("At before start = %g", v)
+	}
+	if v, _ := r.At("a", 99); v != 20 {
+		t.Errorf("At past end = %g", v)
+	}
+	if _, err := r.At("zz", 1); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func netWithNodeA(t *testing.T) *circuit.Netlist {
+	t.Helper()
+	n := circuit.New("x")
+	n.Node("a")
+	return n
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"analogyield/internal/montecarlo"
+	"analogyield/internal/process"
+	"analogyield/internal/wbga"
+)
+
+// FlowConfig configures a full model-building run. The paper's budgets
+// are PopSize=100, Generations=100 (10,000 evaluations) and
+// MCSamples=200 per Pareto point.
+type FlowConfig struct {
+	Problem CircuitProblem   // required
+	Proc    *process.Process // required (variation model)
+
+	PopSize     int // default 100
+	Generations int // default 100
+	MCSamples   int // default 200
+	Seed        int64
+	Workers     int // parallelism for MOO and MC (default GOMAXPROCS)
+
+	Model ModelOptions
+
+	// OnProgress, when non-nil, reports stage progress: stage is "moo"
+	// (done = evaluations) or "mc" (done = Pareto points analysed).
+	OnProgress func(stage string, done, total int)
+}
+
+// Timing records per-stage wall-clock durations (the paper's Table 5
+// reports the optimisation CPU time).
+type Timing struct {
+	MOO    time.Duration
+	MC     time.Duration
+	Tables time.Duration
+}
+
+// FlowResult is the outcome of RunFlow.
+type FlowResult struct {
+	// Archive is every MOO evaluation (Fig 7's 10,000-point cloud).
+	Archive []wbga.Evaluation
+	// FrontIdx indexes the Pareto-optimal archive entries (Fig 7's
+	// front; the paper finds 1022 of 10,000).
+	FrontIdx []int
+	// Points are the MC-annotated Pareto points (Table 2 rows),
+	// sorted by performance 0.
+	Points []ParetoPoint
+	// Model is the combined performance + variation behavioural model.
+	Model *Model
+	// Evaluations is the MOO simulation count; MCSimulations counts the
+	// variation-model simulations.
+	Evaluations   int
+	MCSimulations int
+	Timing        Timing
+}
+
+// wbgaAdapter exposes a CircuitProblem (nominal evaluation) as a
+// wbga.Problem.
+type wbgaAdapter struct{ p CircuitProblem }
+
+func (a wbgaAdapter) NumParams() int     { return len(a.p.ParamNames()) }
+func (a wbgaAdapter) NumObjectives() int { return len(a.p.ObjectiveNames()) }
+func (a wbgaAdapter) Maximize() []bool   { return a.p.Maximize() }
+func (a wbgaAdapter) Evaluate(genes []float64) ([]float64, error) {
+	return a.p.Evaluate(genes, nil)
+}
+
+// RunFlow executes the complete paper flow: WBGA optimisation, Pareto
+// extraction, per-point Monte Carlo, and table-model construction.
+func RunFlow(cfg FlowConfig) (*FlowResult, error) {
+	if cfg.Problem == nil {
+		return nil, fmt.Errorf("core: nil problem")
+	}
+	if cfg.Proc == nil {
+		return nil, fmt.Errorf("core: nil process")
+	}
+	if len(cfg.Problem.ObjectiveNames()) != 2 {
+		return nil, fmt.Errorf("core: the table model requires exactly 2 objectives")
+	}
+	if cfg.PopSize <= 0 {
+		cfg.PopSize = 100
+	}
+	if cfg.Generations <= 0 {
+		cfg.Generations = 100
+	}
+	if cfg.MCSamples <= 0 {
+		cfg.MCSamples = 200
+	}
+
+	res := &FlowResult{}
+
+	// Stage 1-2: multi-objective optimisation.
+	t0 := time.Now()
+	var onGen func(gen, evals int)
+	if cfg.OnProgress != nil {
+		total := cfg.PopSize * cfg.Generations
+		onGen = func(gen, evals int) { cfg.OnProgress("moo", evals, total) }
+	}
+	mooRes, err := wbga.Run(wbgaAdapter{cfg.Problem}, wbga.Options{
+		PopSize:      cfg.PopSize,
+		Generations:  cfg.Generations,
+		Seed:         cfg.Seed,
+		Workers:      cfg.Workers,
+		OnGeneration: onGen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Archive = mooRes.Evals
+	res.FrontIdx = mooRes.FrontIdx
+	res.Evaluations = mooRes.Evaluations
+	res.Timing.MOO = time.Since(t0)
+	if len(res.FrontIdx) < 4 {
+		return nil, fmt.Errorf("core: Pareto front has only %d points", len(res.FrontIdx))
+	}
+
+	// Stage 3-4: Monte Carlo variation analysis per Pareto point.
+	t1 := time.Now()
+	objNames := cfg.Problem.ObjectiveNames()
+	for i, idx := range res.FrontIdx {
+		ev := res.Archive[idx]
+		genes := ev.ParamGenes
+		mcRes, err := montecarlo.Run(montecarlo.Options{
+			Proc:    cfg.Proc,
+			Samples: cfg.MCSamples,
+			Seed:    cfg.Seed + int64(i)*1000003,
+			Workers: cfg.Workers,
+			Metrics: objNames,
+		}, func(s *process.Sample) ([]float64, error) {
+			return cfg.Problem.Evaluate(genes, s)
+		})
+		if err != nil {
+			// A point whose MC fails entirely is dropped from the model
+			// rather than aborting the flow.
+			continue
+		}
+		phys, err := cfg.Problem.Denormalize(genes)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, ParetoPoint{
+			Params:   phys,
+			Perf:     [2]float64{ev.Objectives[0], ev.Objectives[1]},
+			DeltaPct: [2]float64{mcRes.Stats[0].DeltaPct, mcRes.Stats[1].DeltaPct},
+		})
+		res.MCSimulations += cfg.MCSamples
+		if cfg.OnProgress != nil {
+			cfg.OnProgress("mc", i+1, len(res.FrontIdx))
+		}
+	}
+	res.Timing.MC = time.Since(t1)
+
+	// Stage 5: table-model construction.
+	t2 := time.Now()
+	model, err := BuildModel(res.Points, objNames, cfg.Problem.ParamNames(),
+		cfg.Problem.ParamUnits(), cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	res.Model = model
+	res.Timing.Tables = time.Since(t2)
+	return res, nil
+}

@@ -1,0 +1,123 @@
+// Package core implements the paper's primary contribution: the
+// combined performance + statistical-variation behavioural-model flow.
+//
+// The flow (paper Fig 3) is:
+//
+//  1. Netlist & objective generation — a CircuitProblem supplies the
+//     parameter space and the simulation-backed objective functions.
+//  2. Multi-objective optimisation — the WBGA explores the space
+//     (internal/wbga), archiving every evaluation.
+//  3. Pareto front — non-dominated extraction over the archive.
+//  4. Variation model — Monte Carlo analysis at every Pareto point
+//     yields the per-performance Δ% (internal/montecarlo).
+//  5. Table model — performance and variation lookup tables with cubic
+//     spline interpolation and no extrapolation (internal/table).
+//  6. Yield-targeted design — a spec query guard-bands the required
+//     performance by the interpolated variation and inverse-interpolates
+//     the designable parameters (Model.DesignFor).
+package core
+
+import (
+	"fmt"
+
+	"analogyield/internal/ota"
+	"analogyield/internal/process"
+)
+
+// CircuitProblem is the circuit-side contract of the flow: a normalised
+// parameter space with simulation-backed objectives, evaluable both
+// nominally and under a statistical process sample.
+//
+// The flow's table model supports exactly two objectives (the paper's
+// structure: one table per performance function keyed on performance,
+// and parameter tables keyed on the two performances).
+type CircuitProblem interface {
+	// ParamNames labels the designable parameters (Table 1 order).
+	ParamNames() []string
+	// ObjectiveNames labels the performance functions.
+	ObjectiveNames() []string
+	// Maximize gives each objective's sense.
+	Maximize() []bool
+	// Evaluate simulates the circuit at normalised parameter genes,
+	// under an optional process sample (nil = nominal). Must be safe
+	// for concurrent use.
+	Evaluate(genes []float64, sample *process.Sample) ([]float64, error)
+	// Denormalize maps genes to physical parameter values (the values
+	// stored in the parameter tables, in the units of ParamUnits).
+	Denormalize(genes []float64) ([]float64, error)
+	// ParamUnits names the physical unit of each parameter as stored in
+	// tables (e.g. "um").
+	ParamUnits() []string
+}
+
+// OTAProblem adapts the symmetrical-OTA benchmark to the flow: eight
+// designable parameters (Table 1) and two maximised objectives,
+// open-loop gain (dB) and phase margin (degrees).
+type OTAProblem struct {
+	Config ota.Config
+	Space  ota.Space
+}
+
+// NewOTAProblem returns the paper's benchmark problem with default
+// testbench conditions and Table 1 ranges.
+func NewOTAProblem() *OTAProblem {
+	return &OTAProblem{Config: ota.DefaultConfig(), Space: ota.DefaultSpace()}
+}
+
+// ParamNames returns the Table 1 labels.
+func (p *OTAProblem) ParamNames() []string { return p.Space.Names() }
+
+// ObjectiveNames returns the paper's two performance functions.
+func (p *OTAProblem) ObjectiveNames() []string { return []string{"gain_db", "pm_deg"} }
+
+// Maximize reports both objectives as maximised.
+func (p *OTAProblem) Maximize() []bool { return []bool{true, true} }
+
+// ParamUnits reports micrometres for all eight W/L parameters.
+func (p *OTAProblem) ParamUnits() []string {
+	u := make([]string, 8)
+	for i := range u {
+		u[i] = "um"
+	}
+	return u
+}
+
+// Evaluate simulates the OTA testbench at the given genes.
+func (p *OTAProblem) Evaluate(genes []float64, sample *process.Sample) ([]float64, error) {
+	params, err := p.Space.Denormalize(genes)
+	if err != nil {
+		return nil, err
+	}
+	perf, err := p.Config.Evaluate(params, sample)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{perf.GainDB, perf.PMDeg}, nil
+}
+
+// Denormalize maps genes to physical widths/lengths in micrometres.
+func (p *OTAProblem) Denormalize(genes []float64) ([]float64, error) {
+	params, err := p.Space.Denormalize(genes)
+	if err != nil {
+		return nil, err
+	}
+	v := params.Vector()
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x * 1e6 // metres → µm for table storage
+	}
+	return out, nil
+}
+
+// ParamsFromTableValues converts table-stored µm values back to
+// ota.Params (metres).
+func (p *OTAProblem) ParamsFromTableValues(vals []float64) (ota.Params, error) {
+	if len(vals) != 8 {
+		return ota.Params{}, fmt.Errorf("core: %d parameter values, want 8", len(vals))
+	}
+	m := make([]float64, 8)
+	for i, v := range vals {
+		m[i] = v * 1e-6
+	}
+	return ota.FromVector(m)
+}

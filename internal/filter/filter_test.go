@@ -1,0 +1,238 @@
+package filter
+
+import (
+	"math"
+	"testing"
+
+	"analogyield/internal/behave"
+	"analogyield/internal/ota"
+	"analogyield/internal/process"
+)
+
+// benchGmRo returns behavioural OTA parameters derived from the nominal
+// transistor OTA, cached across tests.
+var gmCache, roCache float64
+
+func benchGmRo(t *testing.T) (gm, ro float64) {
+	t.Helper()
+	if gmCache == 0 {
+		cfg := ota.DefaultConfig()
+		perf, err := cfg.Evaluate(ota.NominalParams(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gmCache, roCache = behave.FromPerf(perf, cfg.CLoad)
+	}
+	return gmCache, roCache
+}
+
+func nominalCaps() Caps { return Caps{C1: 50e-12, C2: 25e-12} }
+
+func TestCapSpaceDenormalize(t *testing.T) {
+	s := DefaultCapSpace()
+	c, err := s.Denormalize([]float64{0, 1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.C1 != s.Lo[0] || c.C2 != s.Hi[1] {
+		t.Error("denormalize endpoints wrong")
+	}
+	if math.Abs(c.C3-10e-12) > 1e-15 {
+		t.Errorf("C3 = %g, want 10 pF", c.C3)
+	}
+	if _, err := s.Denormalize([]float64{0.5}); err == nil {
+		t.Error("short genome accepted")
+	}
+}
+
+func TestBehaviouralFilterSecondOrder(t *testing.T) {
+	gm, ro := benchGmRo(t)
+	n := BuildBehavioural(nominalCaps(), gm, ro)
+	r, err := Measure(n, DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unity DC gain.
+	if math.Abs(r.DCGainDB) > 0.5 {
+		t.Errorf("DC gain = %g dB, want ~0", r.DCGainDB)
+	}
+	// f0 ≈ gm/(2π·√(C1C2)) ≈ 1 MHz for the nominal values.
+	f0 := gm / (2 * math.Pi * math.Sqrt(50e-12*25e-12))
+	if r.F3dB < f0/2 || r.F3dB > 2*f0 {
+		t.Errorf("f3dB = %g, want near %g", r.F3dB, f0)
+	}
+	// 2nd-order rolloff: ~40 dB/decade past the corner.
+	if r.StopbandAttenDB < 30 || r.StopbandAttenDB > 50 {
+		t.Errorf("attenuation at 10 MHz = %g dB, want ~40 (2nd order)", r.StopbandAttenDB)
+	}
+}
+
+func TestQDependsOnCapRatio(t *testing.T) {
+	// Q = √(C1/C2): a large ratio should peak the response (passband
+	// deviation grows), a small ratio over-damps it.
+	gm, ro := benchGmRo(t)
+	spec := DefaultSpec()
+	peaky, err := Measure(BuildBehavioural(Caps{C1: 100e-12, C2: 5e-12}, gm, ro), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Measure(BuildBehavioural(Caps{C1: 50e-12, C2: 25e-12}, gm, ro), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peaky.PassbandDevDB <= flat.PassbandDevDB {
+		t.Errorf("high-Q dev %g should exceed flat dev %g",
+			peaky.PassbandDevDB, flat.PassbandDevDB)
+	}
+}
+
+func TestTransistorMatchesBehavioural(t *testing.T) {
+	// The headline claim: the behavioural filter predicts the transistor
+	// filter. Compare the spec figures.
+	gm, ro := benchGmRo(t)
+	cfg := ota.DefaultConfig()
+	spec := DefaultSpec()
+	rb, err := Measure(BuildBehavioural(nominalCaps(), gm, ro), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Measure(BuildTransistor(nominalCaps(), cfg, ota.NominalParams(), nil), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rb.DCGainDB-rt.DCGainDB) > 0.5 {
+		t.Errorf("DC gain: behavioural %g vs transistor %g", rb.DCGainDB, rt.DCGainDB)
+	}
+	if math.Abs(rb.StopbandAttenDB-rt.StopbandAttenDB) > 3 {
+		t.Errorf("attenuation: behavioural %g vs transistor %g",
+			rb.StopbandAttenDB, rt.StopbandAttenDB)
+	}
+	if rt.F3dB > 0 && math.Abs(rb.F3dB-rt.F3dB)/rt.F3dB > 0.2 {
+		t.Errorf("f3dB: behavioural %g vs transistor %g", rb.F3dB, rt.F3dB)
+	}
+}
+
+func TestSpecSatisfies(t *testing.T) {
+	spec := DefaultSpec()
+	good := Response{DCGainDB: -0.1, PassbandDevDB: 0.3, StopbandAttenDB: 40}
+	if !spec.Satisfies(good) {
+		t.Error("good response rejected")
+	}
+	for _, bad := range []Response{
+		{DCGainDB: -3, PassbandDevDB: 0.3, StopbandAttenDB: 40},
+		{DCGainDB: -0.1, PassbandDevDB: 2.5, StopbandAttenDB: 40},
+		{DCGainDB: -0.1, PassbandDevDB: 0.3, StopbandAttenDB: 10},
+	} {
+		if spec.Satisfies(bad) {
+			t.Errorf("bad response accepted: %+v", bad)
+		}
+	}
+}
+
+func TestC3AddsFeedthrough(t *testing.T) {
+	gm, ro := benchGmRo(t)
+	spec := DefaultSpec()
+	with, err := Measure(BuildBehavioural(Caps{C1: 50e-12, C2: 25e-12, C3: 10e-12}, gm, ro), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Measure(BuildBehavioural(nominalCaps(), gm, ro), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(with.StopbandAttenDB-without.StopbandAttenDB) < 0.1 &&
+		math.Abs(with.F3dB-without.F3dB)/without.F3dB < 0.01 {
+		t.Error("C3 has no effect on the response")
+	}
+}
+
+func TestOptimizeMeetsSpec(t *testing.T) {
+	gm, ro := benchGmRo(t)
+	prob := &Problem{Spec: DefaultSpec(), Space: DefaultCapSpace(), GM: gm, Ro: ro}
+	// Paper budgets: 30 individuals x 40 generations.
+	res, err := Optimize(prob, 30, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 1200 {
+		t.Errorf("evaluations = %d, want 1200", res.Evaluations)
+	}
+	if !prob.Spec.Satisfies(res.Response) {
+		t.Errorf("optimised design violates spec: %+v", res.Response)
+	}
+	if res.Caps.C1 <= 0 || res.Caps.C2 <= 0 {
+		t.Error("degenerate capacitors")
+	}
+}
+
+func TestOptimizeImpossibleSpec(t *testing.T) {
+	gm, ro := benchGmRo(t)
+	spec := DefaultSpec()
+	spec.StopbandAttenDB = 120 // unreachable for a 2nd-order filter
+	prob := &Problem{Spec: spec, Space: DefaultCapSpace(), GM: gm, Ro: ro}
+	if _, err := Optimize(prob, 10, 10, 1); err == nil {
+		t.Fatal("impossible spec accepted")
+	}
+}
+
+func TestVerifyYieldNominalDesign(t *testing.T) {
+	gm, ro := benchGmRo(t)
+	prob := &Problem{Spec: DefaultSpec(), Space: DefaultCapSpace(), GM: gm, Ro: ro}
+	opt, err := Optimize(prob, 20, 15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yr, err := VerifyYield(opt.Caps, ota.DefaultConfig(), ota.NominalParams(),
+		DefaultSpec(), process.C35(), 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yr.Yield < 0.9 {
+		t.Errorf("yield = %g, want ~1 for a margin-optimised design", yr.Yield)
+	}
+	if len(yr.Stats) != 3 {
+		t.Errorf("stats = %d metrics", len(yr.Stats))
+	}
+}
+
+func TestVerifyYieldDeterministic(t *testing.T) {
+	a, err := VerifyYield(nominalCaps(), ota.DefaultConfig(), ota.NominalParams(),
+		DefaultSpec(), process.C35(), 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := VerifyYield(nominalCaps(), ota.DefaultConfig(), ota.NominalParams(),
+		DefaultSpec(), process.C35(), 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Yield != b.Yield {
+		t.Error("yield not deterministic for the same seed")
+	}
+}
+
+func TestCapVariationApplied(t *testing.T) {
+	// With variation, the capacitors in the built netlist differ from
+	// nominal (check via the response rather than poking devices).
+	cfg := ota.DefaultConfig()
+	proc := process.C35()
+	spec := DefaultSpec()
+	nom, err := Measure(BuildTransistor(nominalCaps(), cfg, ota.NominalParams(), nil), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for i := 0; i < 3; i++ {
+		r, err := Measure(BuildTransistor(nominalCaps(), cfg, ota.NominalParams(),
+			proc.NewSample(11, i)), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.F3dB-nom.F3dB)/nom.F3dB > 1e-4 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("variation did not move the filter corner at all")
+	}
+}

@@ -1,0 +1,162 @@
+package filter
+
+import (
+	"fmt"
+	"math"
+
+	"analogyield/internal/montecarlo"
+	"analogyield/internal/ota"
+	"analogyield/internal/process"
+	"analogyield/internal/wbga"
+	"analogyield/internal/yield"
+)
+
+// Problem adapts the capacitor design task to the WBGA: two objectives,
+// minimise the passband deviation and maximise the stopband attenuation
+// (subject to the DC-gain floor via a penalty).
+type Problem struct {
+	Spec  Spec
+	Space CapSpace
+	// GM and Ro are the behavioural OTA parameters used during
+	// optimisation — the paper's point is that this inner loop runs on
+	// the behavioural model, not the transistors.
+	GM, Ro float64
+}
+
+// NumParams returns 3 (C1, C2, C3).
+func (p *Problem) NumParams() int { return 3 }
+
+// NumObjectives returns 2.
+func (p *Problem) NumObjectives() int { return 2 }
+
+// Maximize reports (false, true): deviation is minimised, attenuation
+// maximised.
+func (p *Problem) Maximize() []bool { return []bool{false, true} }
+
+// Evaluate builds the behavioural filter at the candidate capacitors and
+// measures it.
+func (p *Problem) Evaluate(genes []float64) ([]float64, error) {
+	caps, err := p.Space.Denormalize(genes)
+	if err != nil {
+		return nil, err
+	}
+	n := BuildBehavioural(caps, p.GM, p.Ro)
+	r, err := Measure(n, p.Spec)
+	if err != nil {
+		return nil, err
+	}
+	dev := r.PassbandDevDB
+	if r.DCGainDB < p.Spec.MinDCGainDB {
+		// Penalise designs that lose DC gain so they cannot dominate.
+		dev += 10 * (p.Spec.MinDCGainDB - r.DCGainDB)
+	}
+	return []float64{dev, r.StopbandAttenDB}, nil
+}
+
+// OptimizeResult is the outcome of the capacitor MOO.
+type OptimizeResult struct {
+	Caps     Caps
+	Response Response
+	// Evaluations is the number of behavioural filter simulations.
+	Evaluations int
+	// FrontSize is the Pareto-front size of the capacitor MOO.
+	FrontSize int
+}
+
+// Optimize runs the paper's §5 capacitor optimisation (default budgets:
+// 30 individuals × 40 generations) on the behavioural filter and returns
+// the spec-satisfying front design with the largest stopband margin.
+func Optimize(p *Problem, popSize, generations int, seed int64) (*OptimizeResult, error) {
+	if popSize <= 0 {
+		popSize = 30
+	}
+	if generations <= 0 {
+		generations = 40
+	}
+	res, err := wbga.Run(p, wbga.Options{
+		PopSize: popSize, Generations: generations, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := -math.MaxFloat64
+	var bestCaps Caps
+	found := false
+	for _, idx := range res.FrontIdx {
+		ev := res.Evals[idx]
+		caps, err := p.Space.Denormalize(ev.ParamGenes)
+		if err != nil {
+			continue
+		}
+		n := BuildBehavioural(caps, p.GM, p.Ro)
+		r, err := Measure(n, p.Spec)
+		if err != nil || !p.Spec.Satisfies(r) {
+			continue
+		}
+		// Rank by the worst spec margin so the chosen design has slack
+		// on every axis (needed to survive process variation).
+		margin := math.Min(r.StopbandAttenDB-p.Spec.StopbandAttenDB,
+			p.Spec.RippleDB-r.PassbandDevDB)
+		if margin > best {
+			best = margin
+			bestCaps = caps
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("filter: no Pareto design satisfies the spec %+v", p.Spec)
+	}
+	n := BuildBehavioural(bestCaps, p.GM, p.Ro)
+	r, err := Measure(n, p.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return &OptimizeResult{
+		Caps:        bestCaps,
+		Response:    r,
+		Evaluations: res.Evaluations,
+		FrontSize:   len(res.FrontIdx),
+	}, nil
+}
+
+// YieldResult summarises a transistor-level Monte Carlo verification of
+// the final filter (the paper's 500-sample run confirming 100%).
+type YieldResult struct {
+	Yield   float64
+	Samples int
+	Failed  int // samples that did not simulate
+	Stats   []montecarlo.Stats
+}
+
+// VerifyYield runs the transistor-level filter Monte Carlo: every OTA
+// transistor and every capacitor receives statistical variation, the
+// response is measured, and the spec pass-rate is the yield.
+func VerifyYield(caps Caps, cfg ota.Config, params ota.Params, spec Spec,
+	proc *process.Process, samples int, seed int64) (*YieldResult, error) {
+	mc, err := montecarlo.Run(montecarlo.Options{
+		Proc:    proc,
+		Samples: samples,
+		Seed:    seed,
+		Metrics: []string{"dcgain_db", "passdev_db", "stopatten_db"},
+	}, func(s *process.Sample) ([]float64, error) {
+		n := BuildTransistor(caps, cfg, params, s)
+		r, err := Measure(n, spec)
+		if err != nil {
+			return nil, err
+		}
+		return []float64{r.DCGainDB, r.PassbandDevDB, r.StopbandAttenDB}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	specs := []yield.Spec{
+		{Name: "dcgain", Sense: yield.AtLeast, Bound: spec.MinDCGainDB},
+		{Name: "passdev", Sense: yield.AtMost, Bound: spec.RippleDB},
+		{Name: "stopatten", Sense: yield.AtLeast, Bound: spec.StopbandAttenDB},
+	}
+	y, err := yield.FromSamples(mc.Samples, specs, []int{0, 1, 2})
+	if err != nil {
+		return nil, err
+	}
+	return &YieldResult{Yield: y, Samples: samples, Failed: mc.Failed, Stats: mc.Stats}, nil
+}

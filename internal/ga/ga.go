@@ -1,0 +1,341 @@
+// Package ga implements a real-coded genetic algorithm over genomes
+// normalised to [0,1]: tournament selection, single-point and blend
+// crossover, Gaussian mutation, elitism, and a full evaluation archive.
+//
+// The paper's WBGA (weight-based GA, internal/wbga) builds on this
+// engine; the archive is what the Pareto-front extraction step consumes
+// ("the previous optimisation step results in a number of optimal and
+// non-optimal solutions").
+package ga
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SelectionKind selects the parent-selection operator.
+type SelectionKind int
+
+const (
+	// Tournament picks the best of TournamentK random individuals
+	// (default; robust to fitness scaling).
+	Tournament SelectionKind = iota
+	// Roulette samples parents with probability proportional to their
+	// fitness offset above the population minimum (classic
+	// fitness-proportionate selection, as in Goldberg).
+	Roulette
+)
+
+// CrossoverKind selects the recombination operator.
+type CrossoverKind int
+
+const (
+	// SinglePoint swaps gene tails at a random cut, matching the classic
+	// GA string treatment of Goldberg that the paper cites.
+	SinglePoint CrossoverKind = iota
+	// Blend (BLX-0.5) samples children uniformly from an interval
+	// stretched around the parents — often better on continuous spaces.
+	Blend
+)
+
+// Config parameterises a run. Zero fields take the documented defaults.
+type Config struct {
+	GenomeLen   int // required
+	PopSize     int // default 100
+	Generations int // default 100
+	// CrossoverRate is the probability a selected pair recombines
+	// (default 0.9).
+	CrossoverRate float64
+	// MutationRate is the per-gene mutation probability
+	// (default 1/GenomeLen).
+	MutationRate float64
+	// MutationSigma is the Gaussian mutation standard deviation in
+	// normalised units (default 0.08).
+	MutationSigma float64
+	// Selection picks the parent-selection operator (default Tournament).
+	Selection SelectionKind
+	// TournamentK is the tournament size (default 2).
+	TournamentK int
+	// Elitism is the number of best individuals copied unchanged into
+	// the next generation (default 1).
+	Elitism int
+	// Crossover selects the operator (default SinglePoint).
+	Crossover CrossoverKind
+	// Seed makes runs reproducible. A zero seed is used as-is (runs are
+	// always deterministic).
+	Seed int64
+	// KeepArchive records every evaluated individual (default true via
+	// Run; set SkipArchive to disable).
+	SkipArchive bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.GenomeLen <= 0 {
+		return c, fmt.Errorf("ga: GenomeLen must be positive")
+	}
+	if c.PopSize <= 0 {
+		c.PopSize = 100
+	}
+	if c.PopSize < 2 {
+		return c, fmt.Errorf("ga: PopSize must be at least 2")
+	}
+	if c.Generations <= 0 {
+		c.Generations = 100
+	}
+	if c.CrossoverRate <= 0 {
+		c.CrossoverRate = 0.9
+	}
+	if c.MutationRate <= 0 {
+		c.MutationRate = 1 / float64(c.GenomeLen)
+	}
+	if c.MutationSigma <= 0 {
+		c.MutationSigma = 0.08
+	}
+	if c.TournamentK <= 0 {
+		c.TournamentK = 2
+	}
+	if c.Elitism < 0 || c.Elitism >= c.PopSize {
+		return c, fmt.Errorf("ga: Elitism %d out of range for population %d", c.Elitism, c.PopSize)
+	}
+	if c.Elitism == 0 {
+		c.Elitism = 1
+	}
+	return c, nil
+}
+
+// Individual couples a genome with its fitness (higher is better).
+type Individual struct {
+	Genome  []float64
+	Fitness float64
+}
+
+// PopulationEvaluator scores a whole generation at once. Evaluating by
+// population (rather than one individual at a time) lets implementations
+// parallelise the underlying circuit simulations and lets the WBGA
+// normalise fitness over the evaluation archive.
+type PopulationEvaluator interface {
+	EvaluatePopulation(genomes [][]float64) []float64
+}
+
+// EvaluatorFunc adapts a per-individual fitness function.
+type EvaluatorFunc func(genome []float64) float64
+
+// EvaluatePopulation scores each genome independently.
+func (f EvaluatorFunc) EvaluatePopulation(genomes [][]float64) []float64 {
+	out := make([]float64, len(genomes))
+	for i, g := range genomes {
+		out[i] = f(g)
+	}
+	return out
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Best        Individual
+	FinalPop    []Individual
+	Archive     []Individual // every evaluated individual, in order
+	Evaluations int
+}
+
+// OnGeneration, when non-nil in Run's hooks, observes each generation.
+type Hooks struct {
+	// OnGeneration is called after each generation is evaluated with the
+	// 1-based generation number and the evaluated population.
+	OnGeneration func(gen int, pop []Individual)
+}
+
+// Run executes the GA and returns the best individual found along with
+// the archive of all evaluations.
+func Run(cfg Config, eval PopulationEvaluator, hooks *Hooks) (*Result, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if eval == nil {
+		return nil, fmt.Errorf("ga: nil evaluator")
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	pop := make([]Individual, c.PopSize)
+	for i := range pop {
+		g := make([]float64, c.GenomeLen)
+		for j := range g {
+			g[j] = rng.Float64()
+		}
+		pop[i] = Individual{Genome: g}
+	}
+
+	res := &Result{Best: Individual{Fitness: negInf}}
+	evaluate := func(p []Individual) {
+		genomes := make([][]float64, len(p))
+		for i := range p {
+			genomes[i] = p[i].Genome
+		}
+		fits := eval.EvaluatePopulation(genomes)
+		for i := range p {
+			p[i].Fitness = fits[i]
+			if !c.SkipArchive {
+				res.Archive = append(res.Archive, Individual{
+					Genome:  append([]float64(nil), p[i].Genome...),
+					Fitness: fits[i],
+				})
+			}
+			if fits[i] > res.Best.Fitness {
+				res.Best = Individual{
+					Genome:  append([]float64(nil), p[i].Genome...),
+					Fitness: fits[i],
+				}
+			}
+		}
+		res.Evaluations += len(p)
+	}
+
+	evaluate(pop)
+	if hooks != nil && hooks.OnGeneration != nil {
+		hooks.OnGeneration(1, pop)
+	}
+	for gen := 2; gen <= c.Generations; gen++ {
+		next := make([]Individual, 0, c.PopSize)
+		// Elitism: carry over the best of the current population.
+		elite := bestK(pop, c.Elitism)
+		for _, e := range elite {
+			next = append(next, Individual{Genome: append([]float64(nil), e.Genome...)})
+		}
+		sel := makeSelector(c, pop, rng)
+		for len(next) < c.PopSize {
+			p1 := sel()
+			p2 := sel()
+			c1 := append([]float64(nil), p1.Genome...)
+			c2 := append([]float64(nil), p2.Genome...)
+			if rng.Float64() < c.CrossoverRate {
+				crossover(c.Crossover, c1, c2, rng)
+			}
+			mutate(c1, c.MutationRate, c.MutationSigma, rng)
+			mutate(c2, c.MutationRate, c.MutationSigma, rng)
+			next = append(next, Individual{Genome: c1})
+			if len(next) < c.PopSize {
+				next = append(next, Individual{Genome: c2})
+			}
+		}
+		pop = next
+		evaluate(pop)
+		if hooks != nil && hooks.OnGeneration != nil {
+			hooks.OnGeneration(gen, pop)
+		}
+	}
+	res.FinalPop = pop
+	return res, nil
+}
+
+const negInf = -1e308
+
+// bestK returns the k highest-fitness individuals (k small; linear scan).
+func bestK(pop []Individual, k int) []Individual {
+	out := make([]Individual, 0, k)
+	used := make([]bool, len(pop))
+	for n := 0; n < k; n++ {
+		bi, bf := -1, negInf
+		for i := range pop {
+			if !used[i] && pop[i].Fitness > bf {
+				bi, bf = i, pop[i].Fitness
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		used[bi] = true
+		out = append(out, pop[bi])
+	}
+	return out
+}
+
+// makeSelector builds the configured parent-selection closure over one
+// generation's population.
+func makeSelector(c Config, pop []Individual, rng *rand.Rand) func() *Individual {
+	if c.Selection == Roulette {
+		// Offset fitnesses so the worst individual has weight ~0; a
+		// degenerate flat population falls back to uniform sampling.
+		minF, maxF := pop[0].Fitness, pop[0].Fitness
+		for _, ind := range pop[1:] {
+			if ind.Fitness < minF {
+				minF = ind.Fitness
+			}
+			if ind.Fitness > maxF {
+				maxF = ind.Fitness
+			}
+		}
+		span := maxF - minF
+		if span <= 0 {
+			return func() *Individual { return &pop[rng.Intn(len(pop))] }
+		}
+		cum := make([]float64, len(pop))
+		total := 0.0
+		for i := range pop {
+			total += (pop[i].Fitness - minF) + 0.01*span
+			cum[i] = total
+		}
+		return func() *Individual {
+			r := rng.Float64() * total
+			for i := range cum {
+				if r <= cum[i] {
+					return &pop[i]
+				}
+			}
+			return &pop[len(pop)-1]
+		}
+	}
+	return func() *Individual { return tournament(pop, c.TournamentK, rng) }
+}
+
+func tournament(pop []Individual, k int, rng *rand.Rand) *Individual {
+	best := &pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := &pop[rng.Intn(len(pop))]
+		if c.Fitness > best.Fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+func crossover(kind CrossoverKind, a, b []float64, rng *rand.Rand) {
+	switch kind {
+	case Blend:
+		const alpha = 0.5
+		for i := range a {
+			lo, hi := a[i], b[i]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			span := hi - lo
+			l, h := lo-alpha*span, hi+alpha*span
+			a[i] = clamp01(l + rng.Float64()*(h-l))
+			b[i] = clamp01(l + rng.Float64()*(h-l))
+		}
+	default: // SinglePoint
+		if len(a) < 2 {
+			return
+		}
+		cut := 1 + rng.Intn(len(a)-1)
+		for i := cut; i < len(a); i++ {
+			a[i], b[i] = b[i], a[i]
+		}
+	}
+}
+
+func mutate(g []float64, rate, sigma float64, rng *rand.Rand) {
+	for i := range g {
+		if rng.Float64() < rate {
+			g[i] = clamp01(g[i] + rng.NormFloat64()*sigma)
+		}
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

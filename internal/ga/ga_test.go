@@ -1,0 +1,253 @@
+package ga
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sphere is a maximisation fitness peaking at the genome centre.
+func sphere(g []float64) float64 {
+	s := 0.0
+	for _, x := range g {
+		d := x - 0.5
+		s += d * d
+	}
+	return -s
+}
+
+func TestRunOptimisesSphere(t *testing.T) {
+	cfg := Config{GenomeLen: 6, PopSize: 40, Generations: 60, Seed: 1}
+	res, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Fitness < -0.01 {
+		t.Errorf("best fitness = %g, want > -0.01", res.Best.Fitness)
+	}
+	for _, x := range res.Best.Genome {
+		if math.Abs(x-0.5) > 0.15 {
+			t.Errorf("best gene %g far from optimum 0.5", x)
+		}
+	}
+}
+
+func TestRunDeterministicBySeed(t *testing.T) {
+	cfg := Config{GenomeLen: 4, PopSize: 20, Generations: 15, Seed: 7}
+	a, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Fitness != b.Best.Fitness {
+		t.Error("same seed gave different best fitness")
+	}
+	for i := range a.Best.Genome {
+		if a.Best.Genome[i] != b.Best.Genome[i] {
+			t.Fatal("same seed gave different best genome")
+		}
+	}
+	cfg.Seed = 8
+	c, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Best.Genome {
+		if a.Best.Genome[i] != c.Best.Genome[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical genomes (suspicious)")
+	}
+}
+
+func TestArchiveSize(t *testing.T) {
+	cfg := Config{GenomeLen: 3, PopSize: 10, Generations: 5, Seed: 1}
+	res, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Archive) != 50 {
+		t.Errorf("archive has %d entries, want 50 (pop x generations)", len(res.Archive))
+	}
+	if res.Evaluations != 50 {
+		t.Errorf("Evaluations = %d, want 50", res.Evaluations)
+	}
+}
+
+func TestSkipArchive(t *testing.T) {
+	cfg := Config{GenomeLen: 3, PopSize: 10, Generations: 5, Seed: 1, SkipArchive: true}
+	res, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Archive) != 0 {
+		t.Error("SkipArchive did not suppress the archive")
+	}
+}
+
+func TestElitismMonotoneBest(t *testing.T) {
+	// With elitism, the best fitness per generation never decreases.
+	cfg := Config{GenomeLen: 5, PopSize: 30, Generations: 25, Seed: 3, Elitism: 2}
+	prevBest := math.Inf(-1)
+	hooks := &Hooks{OnGeneration: func(gen int, pop []Individual) {
+		best := math.Inf(-1)
+		for _, ind := range pop {
+			if ind.Fitness > best {
+				best = ind.Fitness
+			}
+		}
+		if best < prevBest-1e-12 {
+			t.Errorf("generation %d best %g fell below previous %g", gen, best, prevBest)
+		}
+		prevBest = best
+	}}
+	if _, err := Run(cfg, EvaluatorFunc(sphere), hooks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHooksSeeEveryGeneration(t *testing.T) {
+	cfg := Config{GenomeLen: 2, PopSize: 8, Generations: 12, Seed: 1}
+	var gens []int
+	hooks := &Hooks{OnGeneration: func(gen int, pop []Individual) {
+		gens = append(gens, gen)
+		if len(pop) != 8 {
+			t.Errorf("generation %d has %d individuals", gen, len(pop))
+		}
+	}}
+	if _, err := Run(cfg, EvaluatorFunc(sphere), hooks); err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 12 || gens[0] != 1 || gens[11] != 12 {
+		t.Errorf("hook generations = %v", gens)
+	}
+}
+
+func TestBlendCrossoverOptimises(t *testing.T) {
+	cfg := Config{GenomeLen: 6, PopSize: 40, Generations: 60, Seed: 2, Crossover: Blend}
+	res, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Fitness < -0.01 {
+		t.Errorf("blend crossover best fitness = %g", res.Best.Fitness)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{GenomeLen: 0}, EvaluatorFunc(sphere), nil); err == nil {
+		t.Error("GenomeLen 0 accepted")
+	}
+	if _, err := Run(Config{GenomeLen: 3, PopSize: 10, Elitism: 10}, EvaluatorFunc(sphere), nil); err == nil {
+		t.Error("Elitism >= PopSize accepted")
+	}
+	if _, err := Run(Config{GenomeLen: 3}, nil, nil); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+}
+
+func TestGenomesStayInUnitBox(t *testing.T) {
+	cfg := Config{GenomeLen: 4, PopSize: 16, Generations: 30, Seed: 5,
+		MutationRate: 0.5, MutationSigma: 0.5}
+	hooks := &Hooks{OnGeneration: func(gen int, pop []Individual) {
+		for _, ind := range pop {
+			for _, g := range ind.Genome {
+				if g < 0 || g > 1 {
+					t.Fatalf("gene %g escaped [0,1]", g)
+				}
+			}
+		}
+	}}
+	if _, err := Run(cfg, EvaluatorFunc(sphere), hooks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutationOperatorsProperty(t *testing.T) {
+	// Property: mutate keeps genes in [0,1]; crossover preserves the
+	// multiset of genes for SinglePoint.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 8)
+		b := make([]float64, 8)
+		for i := range a {
+			a[i] = rng.Float64()
+			b[i] = rng.Float64()
+		}
+		sumBefore := 0.0
+		for i := range a {
+			sumBefore += a[i] + b[i]
+		}
+		crossover(SinglePoint, a, b, rng)
+		sumAfter := 0.0
+		for i := range a {
+			sumAfter += a[i] + b[i]
+		}
+		if math.Abs(sumBefore-sumAfter) > 1e-9 {
+			return false
+		}
+		mutate(a, 1.0, 0.5, rng)
+		for _, g := range a {
+			if g < 0 || g > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestK(t *testing.T) {
+	pop := []Individual{{Fitness: 1}, {Fitness: 5}, {Fitness: 3}}
+	top := bestK(pop, 2)
+	if len(top) != 2 || top[0].Fitness != 5 || top[1].Fitness != 3 {
+		t.Errorf("bestK = %+v", top)
+	}
+	if got := bestK(pop, 10); len(got) != 3 {
+		t.Errorf("bestK over-request returned %d", len(got))
+	}
+}
+
+func TestRouletteSelectionOptimises(t *testing.T) {
+	cfg := Config{GenomeLen: 6, PopSize: 40, Generations: 80, Seed: 9, Selection: Roulette}
+	res, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Fitness < -0.05 {
+		t.Errorf("roulette best fitness = %g, want > -0.05", res.Best.Fitness)
+	}
+}
+
+func TestRouletteFlatPopulation(t *testing.T) {
+	// A constant fitness landscape must not break roulette selection.
+	flat := EvaluatorFunc(func(g []float64) float64 { return 1 })
+	cfg := Config{GenomeLen: 3, PopSize: 10, Generations: 5, Seed: 2, Selection: Roulette}
+	if _, err := Run(cfg, flat, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectorPrefersFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pop := []Individual{{Fitness: 0}, {Fitness: 10}}
+	sel := makeSelector(Config{Selection: Roulette}, pop, rng)
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if sel().Fitness == 10 {
+			hits++
+		}
+	}
+	if hits < 800 {
+		t.Errorf("fit individual selected only %d/1000 times", hits)
+	}
+}

@@ -1,0 +1,178 @@
+// Package montecarlo runs statistical (process + mismatch) sampling of a
+// circuit evaluation and reduces the samples to the per-performance
+// variation statistics the paper's variation model stores: mean, sigma,
+// and the ±3σ half-range Δ% used by the guard-banding arithmetic.
+//
+// Sampling is deterministic: sample i always draws process sample
+// (seed, i), so results are identical regardless of worker count.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"analogyield/internal/process"
+)
+
+// Evaluator computes the performance metric vector of one process
+// sample. Implementations must be safe for concurrent use (each call
+// receives its own Sample).
+type Evaluator func(s *process.Sample) ([]float64, error)
+
+// Options configures a Monte Carlo run.
+type Options struct {
+	Proc    *process.Process // required
+	Samples int              // number of MC samples (required, > 0)
+	Seed    int64            // RNG stream identifier
+	Workers int              // parallel workers (default: GOMAXPROCS)
+	// Metrics optionally names the metric columns for reporting.
+	Metrics []string
+}
+
+// Stats summarises one metric across the samples that evaluated
+// successfully.
+type Stats struct {
+	Name     string
+	Mean     float64
+	Sigma    float64 // sample standard deviation
+	Min, Max float64
+	// DeltaPct is the paper's variation figure: 100·3σ/|mean|, the ±3σ
+	// half-range as a percentage of the mean. Table 2's ΔGain/ΔPM
+	// columns and Table 3's guard-band arithmetic use this quantity.
+	DeltaPct float64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Samples holds one metric vector per successful sample, indexed by
+	// sample number; failed samples are nil.
+	Samples [][]float64
+	Failed  int
+	Stats   []Stats
+}
+
+// Run executes the Monte Carlo analysis.
+func Run(opts Options, eval Evaluator) (*Result, error) {
+	if opts.Proc == nil {
+		return nil, fmt.Errorf("montecarlo: nil process")
+	}
+	if opts.Samples <= 0 {
+		return nil, fmt.Errorf("montecarlo: Samples must be positive, got %d", opts.Samples)
+	}
+	if eval == nil {
+		return nil, fmt.Errorf("montecarlo: nil evaluator")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Samples {
+		workers = opts.Samples
+	}
+
+	res := &Result{Samples: make([][]float64, opts.Samples)}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	var mu sync.Mutex
+	failed := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				s := opts.Proc.NewSample(opts.Seed, i)
+				m, err := eval(s)
+				if err != nil {
+					mu.Lock()
+					failed++
+					mu.Unlock()
+					continue
+				}
+				res.Samples[i] = m
+			}
+		}()
+	}
+	for i := 0; i < opts.Samples; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	res.Failed = failed
+
+	// Reduce to per-metric statistics.
+	var width int
+	for _, s := range res.Samples {
+		if s != nil {
+			width = len(s)
+			break
+		}
+	}
+	if width == 0 {
+		return nil, fmt.Errorf("montecarlo: every sample failed (%d of %d)", failed, opts.Samples)
+	}
+	res.Stats = make([]Stats, width)
+	for k := 0; k < width; k++ {
+		var xs []float64
+		for _, s := range res.Samples {
+			if s != nil {
+				xs = append(xs, s[k])
+			}
+		}
+		st := reduce(xs)
+		if k < len(opts.Metrics) {
+			st.Name = opts.Metrics[k]
+		} else {
+			st.Name = fmt.Sprintf("metric%d", k)
+		}
+		res.Stats[k] = st
+	}
+	return res, nil
+}
+
+func reduce(xs []float64) Stats {
+	n := float64(len(xs))
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	ss := 0.0
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	sigma := 0.0
+	if len(xs) > 1 {
+		sigma = math.Sqrt(ss / (n - 1))
+	}
+	delta := 0.0
+	if mean != 0 {
+		delta = 100 * 3 * sigma / math.Abs(mean)
+	}
+	return Stats{Mean: mean, Sigma: sigma, Min: mn, Max: mx, DeltaPct: delta}
+}
+
+// Yield returns the fraction of successful samples for which pass
+// returns true. Failed samples count as failures, matching the
+// pessimistic convention of production yield analysis.
+func (r *Result) Yield(pass func(metrics []float64) bool) float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, s := range r.Samples {
+		if s != nil && pass(s) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(r.Samples))
+}

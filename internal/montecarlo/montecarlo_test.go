@@ -1,0 +1,149 @@
+package montecarlo
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"analogyield/internal/process"
+)
+
+func proc() *process.Process { return process.C35() }
+
+// vthEval returns the threshold shift of one reference device as the
+// single metric — its statistics are known analytically.
+func vthEval(s *process.Sample) ([]float64, error) {
+	sh := s.DeviceShift(process.NMOS, 10e-6, 10e-6)
+	return []float64{1 + sh.DVth}, nil
+}
+
+func TestRunBasicStats(t *testing.T) {
+	res, err := Run(Options{Proc: proc(), Samples: 2000, Seed: 1, Metrics: []string{"v"}}, vthEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Errorf("Failed = %d", res.Failed)
+	}
+	st := res.Stats[0]
+	if st.Name != "v" {
+		t.Errorf("metric name = %q", st.Name)
+	}
+	if math.Abs(st.Mean-1) > 0.002 {
+		t.Errorf("mean = %g, want ~1", st.Mean)
+	}
+	// Sigma should be close to the global SigmaVth (mismatch is small at
+	// 100 µm² area): 0.015 V.
+	if st.Sigma < 0.012 || st.Sigma > 0.018 {
+		t.Errorf("sigma = %g, want ~0.015", st.Sigma)
+	}
+	wantDelta := 100 * 3 * st.Sigma / st.Mean
+	if math.Abs(st.DeltaPct-wantDelta) > 1e-9 {
+		t.Errorf("DeltaPct = %g, want %g", st.DeltaPct, wantDelta)
+	}
+	if st.Min >= st.Mean || st.Max <= st.Mean {
+		t.Error("min/max do not bracket the mean")
+	}
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	opts := func(w int) Options {
+		return Options{Proc: proc(), Samples: 400, Seed: 42, Workers: w}
+	}
+	a, err := Run(opts(1), vthEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts(8), vthEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i][0] != b.Samples[i][0] {
+			t.Fatalf("sample %d differs between 1 and 8 workers", i)
+		}
+	}
+}
+
+func TestRunSeedChangesSamples(t *testing.T) {
+	a, _ := Run(Options{Proc: proc(), Samples: 50, Seed: 1}, vthEval)
+	b, _ := Run(Options{Proc: proc(), Samples: 50, Seed: 2}, vthEval)
+	same := 0
+	for i := range a.Samples {
+		if a.Samples[i][0] == b.Samples[i][0] {
+			same++
+		}
+	}
+	if same == len(a.Samples) {
+		t.Error("different seeds gave identical sample sets")
+	}
+}
+
+func TestRunPartialFailures(t *testing.T) {
+	n := 0
+	eval := func(s *process.Sample) ([]float64, error) {
+		n++
+		sh := s.DeviceShift(process.NMOS, 1e-6, 1e-6)
+		if sh.DVth > 0.01 {
+			return nil, errors.New("synthetic convergence failure")
+		}
+		return []float64{sh.DVth}, nil
+	}
+	res, err := Run(Options{Proc: proc(), Samples: 300, Seed: 3, Workers: 1}, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed == 0 {
+		t.Skip("no synthetic failures at this seed (unexpected but harmless)")
+	}
+	// Stats computed only over successes.
+	if res.Stats[0].Max > 0.01 {
+		t.Errorf("failed samples leaked into stats: max = %g", res.Stats[0].Max)
+	}
+	// Yield counts failures as failing.
+	y := res.Yield(func(m []float64) bool { return true })
+	if y >= 1 {
+		t.Errorf("yield = %g, want < 1 with failures present", y)
+	}
+}
+
+func TestRunAllFail(t *testing.T) {
+	eval := func(*process.Sample) ([]float64, error) { return nil, errors.New("boom") }
+	if _, err := Run(Options{Proc: proc(), Samples: 10, Seed: 1}, eval); err == nil {
+		t.Fatal("all-fail run should error")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Options{Proc: nil, Samples: 10}, vthEval); err == nil {
+		t.Error("nil process accepted")
+	}
+	if _, err := Run(Options{Proc: proc(), Samples: 0}, vthEval); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := Run(Options{Proc: proc(), Samples: 5}, nil); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+}
+
+func TestYield(t *testing.T) {
+	res := &Result{Samples: [][]float64{{1}, {2}, {3}, nil}}
+	y := res.Yield(func(m []float64) bool { return m[0] >= 2 })
+	if y != 0.5 {
+		t.Errorf("yield = %g, want 0.5 (2 of 4)", y)
+	}
+	empty := &Result{}
+	if empty.Yield(func([]float64) bool { return true }) != 0 {
+		t.Error("empty result should yield 0")
+	}
+}
+
+func TestMetricNamesDefault(t *testing.T) {
+	res, err := Run(Options{Proc: proc(), Samples: 10, Seed: 1}, vthEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats[0].Name != "metric0" {
+		t.Errorf("default metric name = %q", res.Stats[0].Name)
+	}
+}

@@ -1,0 +1,11 @@
+package mos
+
+import "testing"
+
+func BenchmarkEvalSaturation(b *testing.B) {
+	p := NominalNMOS()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Eval(10e-6, 1e-6, 1.0, 2.0, 0, 0)
+	}
+}

@@ -1,0 +1,251 @@
+// Package mos implements a smooth compact MOSFET model for the circuit
+// simulator: strong-inversion square law with channel-length modulation
+// and body effect, a softplus subthreshold blend for Newton robustness,
+// a BSIM-style smooth triode/saturation transition, and Meyer gate
+// capacitances.
+//
+// This stands in for the BSim3v3 foundry models the paper uses: the
+// OTA's gain/phase-margin behaviour is first-order in gm, gds(λ(L)),
+// mirror ratios and node capacitances, all of which this model captures.
+package mos
+
+import (
+	"fmt"
+	"math"
+
+	"analogyield/internal/process"
+)
+
+// Thermal voltage kT/q at 300 K.
+const vTherm = 0.02585
+
+// Params holds the electrical parameters of one device type. Voltages
+// follow the usual SPICE sign convention: VTO is positive for NMOS and
+// negative for PMOS.
+type Params struct {
+	Class   process.DeviceClass
+	VTO     float64 // zero-bias threshold voltage, V (signed)
+	KP      float64 // transconductance factor µ0·Cox, A/V²
+	LambdaK float64 // channel-length modulation: λ = LambdaK / Leff, m/V
+	Gamma   float64 // body-effect coefficient, √V
+	Phi     float64 // surface potential 2φF, V
+	NSub    float64 // subthreshold slope factor (dimensionless, ~1.3)
+	Cox     float64 // gate capacitance per area, F/m²
+	CGSO    float64 // gate-source overlap capacitance per width, F/m
+	CGDO    float64 // gate-drain overlap capacitance per width, F/m
+	CJ      float64 // junction capacitance per area, F/m²
+	LD      float64 // lateral diffusion, m (Leff = L − 2·LD)
+	JuncExt float64 // source/drain junction extent, m (area = W·JuncExt)
+}
+
+// NominalNMOS returns 0.35 µm-class NMOS parameters.
+func NominalNMOS() Params {
+	return Params{
+		Class:   process.NMOS,
+		VTO:     0.50,
+		KP:      170e-6,
+		LambdaK: 0.08e-6,
+		Gamma:   0.58,
+		Phi:     0.84,
+		NSub:    1.3,
+		Cox:     4.54e-3,
+		CGSO:    1.2e-10,
+		CGDO:    1.2e-10,
+		CJ:      0.94e-3,
+		LD:      0.03e-6,
+		JuncExt: 0.85e-6,
+	}
+}
+
+// NominalPMOS returns 0.35 µm-class PMOS parameters.
+func NominalPMOS() Params {
+	return Params{
+		Class:   process.PMOS,
+		VTO:     -0.65,
+		KP:      58e-6,
+		LambdaK: 0.11e-6,
+		Gamma:   0.40,
+		Phi:     0.80,
+		NSub:    1.35,
+		Cox:     4.54e-3,
+		CGSO:    0.9e-10,
+		CGDO:    0.9e-10,
+		CJ:      1.36e-3,
+		LD:      0.03e-6,
+		JuncExt: 0.85e-6,
+	}
+}
+
+// Nominal returns the nominal parameters for the given class.
+func Nominal(c process.DeviceClass) Params {
+	if c == process.PMOS {
+		return NominalPMOS()
+	}
+	return NominalNMOS()
+}
+
+// Applied returns a copy of p with a statistical process shift applied.
+// Shift.DVth increases the threshold magnitude ("slower"), so it adds to
+// an NMOS VTO and subtracts from a (negative) PMOS VTO; DBeta scales KP.
+func (p Params) Applied(s process.Shift) Params {
+	out := p
+	if p.Class == process.PMOS {
+		out.VTO -= s.DVth
+	} else {
+		out.VTO += s.DVth
+	}
+	out.KP *= 1 + s.DBeta
+	if out.KP <= 0 {
+		out.KP = 1e-12 // degenerate sample; keep the model evaluable
+	}
+	return out
+}
+
+// OP is the operating-point of one device: drain current, small-signal
+// conductances and capacitances. The conductances are derivatives of the
+// drain-terminal current with respect to the *absolute terminal
+// voltages* (gate, drain, bulk; source held fixed), which is exactly the
+// form the MNA stamps consume:
+//
+//	dId/dVs = −(Gm + Gds + Gmb) by KCL.
+type OP struct {
+	Id            float64 // current into the drain terminal, A
+	Gm, Gds, Gmb  float64 // ∂Id/∂Vg, ∂Id/∂Vd, ∂Id/∂Vb (Vs fixed), S
+	Cgs, Cgd, Cgb float64 // gate capacitances, F (terminal-referenced)
+	Csb, Cdb      float64 // junction capacitances, F
+	Vgs, Vds, Vbs float64 // applied terminal differences (signed)
+	Vth           float64 // effective threshold incl. body effect (signed)
+	Vov           float64 // smooth overdrive used by the model, V (>0)
+	Saturated     bool    // vds beyond vdsat (in the conducting frame)
+	Swapped       bool    // drain/source roles exchanged internally
+}
+
+// geometry-checked effective length.
+func (p Params) leff(l float64) float64 {
+	le := l - 2*p.LD
+	if le <= 1e-9 {
+		le = 1e-9
+	}
+	return le
+}
+
+// idsPrimitive evaluates the NMOS-frame drain current for vds >= 0.
+func (p Params) idsPrimitive(w, l, vgs, vds, vbs float64) (id, vov, vdsat float64, sat bool) {
+	le := p.leff(l)
+	// Body effect with a smooth clamp keeping the sqrt argument positive.
+	vto := math.Abs(p.VTO)
+	arg := p.Phi - vbs
+	const argMin = 0.05
+	if arg < argMin {
+		arg = argMin
+	}
+	vth := vto + p.Gamma*(math.Sqrt(arg)-math.Sqrt(p.Phi))
+	// Smooth overdrive (softplus): strong inversion → vgs−vth,
+	// subthreshold → exponentially small but non-zero.
+	nvt := 2 * p.NSub * vTherm
+	x := (vgs - vth) / nvt
+	switch {
+	case x > 40:
+		vov = vgs - vth
+	case x < -40:
+		vov = nvt * math.Exp(x)
+	default:
+		vov = nvt * math.Log1p(math.Exp(x))
+	}
+	vdsat = vov
+	if vdsat < 1e-9 {
+		vdsat = 1e-9
+	}
+	// Smooth effective vds (order-4 blend between triode and saturation).
+	r := vds / vdsat
+	vdse := vds / math.Pow(1+math.Pow(r, 4), 0.25)
+	lambda := p.LambdaK / le
+	id = p.KP * (w / le) * (vov*vdse - 0.5*vdse*vdse) * (1 + lambda*vds)
+	return id, vov, vdsat, vds > vdsat
+}
+
+// drainCurrent returns the signed current into the drain terminal for
+// absolute terminal voltages, handling PMOS mirroring and source/drain
+// swap so the model is symmetric about vds = 0.
+func (p Params) drainCurrent(w, l, vg, vd, vs, vb float64) float64 {
+	if p.Class == process.PMOS {
+		// Mirror into the NMOS frame.
+		vg, vd, vs, vb = -vg, -vd, -vs, -vb
+	}
+	sign := 1.0
+	if vd < vs {
+		vd, vs = vs, vd
+		sign = -1
+	}
+	id, _, _, _ := p.idsPrimitive(w, l, vg-vs, vd-vs, vb-vs)
+	if p.Class == process.PMOS {
+		sign = -sign
+	}
+	return sign * id
+}
+
+// Eval computes the full operating point of a device with the given
+// geometry at absolute terminal voltages (gate, drain, source, bulk).
+func (p Params) Eval(w, l, vg, vd, vs, vb float64) OP {
+	if w <= 0 || l <= 0 {
+		panic(fmt.Sprintf("mos: non-positive geometry W=%g L=%g", w, l))
+	}
+	op := OP{
+		Vgs: vg - vs, Vds: vd - vs, Vbs: vb - vs,
+	}
+	op.Id = p.drainCurrent(w, l, vg, vd, vs, vb)
+
+	// Small-signal conductances by central finite differences on the
+	// smooth current function. The step is far above double-precision
+	// noise and far below any feature size of the model.
+	const h = 1e-6
+	op.Gm = (p.drainCurrent(w, l, vg+h, vd, vs, vb) - p.drainCurrent(w, l, vg-h, vd, vs, vb)) / (2 * h)
+	op.Gds = (p.drainCurrent(w, l, vg, vd+h, vs, vb) - p.drainCurrent(w, l, vg, vd-h, vs, vb)) / (2 * h)
+	op.Gmb = (p.drainCurrent(w, l, vg, vd, vs, vb+h) - p.drainCurrent(w, l, vg, vd, vs, vb-h)) / (2 * h)
+
+	// Region bookkeeping in the conducting frame.
+	fvg, fvd, fvs, fvb := vg, vd, vs, vb
+	if p.Class == process.PMOS {
+		fvg, fvd, fvs, fvb = -vg, -vd, -vs, -vb
+	}
+	swapped := fvd < fvs
+	if swapped {
+		fvd, fvs = fvs, fvd
+	}
+	_, vov, vdsat, sat := p.idsPrimitive(w, l, fvg-fvs, fvd-fvs, fvb-fvs)
+	op.Vov, op.Saturated, op.Swapped = vov, sat, swapped
+	arg := p.Phi - (fvb - fvs)
+	if arg < 0.05 {
+		arg = 0.05
+	}
+	vthMag := math.Abs(p.VTO) + p.Gamma*(math.Sqrt(arg)-math.Sqrt(p.Phi))
+	if p.Class == process.PMOS {
+		op.Vth = -vthMag
+	} else {
+		op.Vth = vthMag
+	}
+
+	// Meyer capacitances, blended between triode (½/½) and saturation
+	// (⅔/0) by the saturation ratio.
+	le := p.leff(l)
+	cch := w * le * p.Cox
+	ratio := (fvd - fvs) / vdsat
+	if ratio > 1 {
+		ratio = 1
+	}
+	if ratio < 0 {
+		ratio = 0
+	}
+	cgsInt := cch * (0.5 + ratio/6.0)
+	cgdInt := cch * 0.5 * (1 - ratio)
+	if swapped {
+		cgsInt, cgdInt = cgdInt, cgsInt
+	}
+	op.Cgs = cgsInt + p.CGSO*w
+	op.Cgd = cgdInt + p.CGDO*w
+	op.Cgb = 0.1 * cch
+	cj := p.CJ * w * p.JuncExt
+	op.Csb = cj
+	op.Cdb = cj
+	return op
+}

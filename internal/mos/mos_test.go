@@ -1,0 +1,254 @@
+package mos
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"analogyield/internal/process"
+)
+
+const (
+	um = 1e-6
+	w0 = 10 * um
+	l0 = 1 * um
+)
+
+func TestNMOSCutoff(t *testing.T) {
+	p := NominalNMOS()
+	op := p.Eval(w0, l0, 0.1, 1.5, 0, 0) // vgs far below vth
+	if op.Id > 1e-9 {
+		t.Errorf("cutoff Id = %g, want < 1 nA", op.Id)
+	}
+}
+
+func TestNMOSSaturationSquareLaw(t *testing.T) {
+	p := NominalNMOS()
+	p.LambdaK = 0 // disable CLM for the ideal comparison
+	vgs := 1.0
+	op := p.Eval(w0, l0, vgs, 2.5, 0, 0)
+	vov := vgs - p.VTO
+	le := l0 - 2*p.LD
+	want := 0.5 * p.KP * (w0 / le) * vov * vov
+	if math.Abs(op.Id-want)/want > 0.05 {
+		t.Errorf("saturation Id = %g, want ~%g (square law)", op.Id, want)
+	}
+	if !op.Saturated {
+		t.Error("device should report saturation")
+	}
+}
+
+func TestNMOSTriodeRegion(t *testing.T) {
+	p := NominalNMOS()
+	op := p.Eval(w0, l0, 2.0, 0.05, 0, 0)
+	if op.Saturated {
+		t.Error("vds=50mV at vov=1.5V should be triode")
+	}
+	// Triode at small vds: Id ≈ KP(W/L)·vov·vds.
+	le := l0 - 2*p.LD
+	want := p.KP * (w0 / le) * (2.0 - p.VTO) * 0.05
+	if math.Abs(op.Id-want)/want > 0.15 {
+		t.Errorf("triode Id = %g, want ~%g", op.Id, want)
+	}
+}
+
+func TestNMOSSymmetryAtVdsZero(t *testing.T) {
+	p := NominalNMOS()
+	op := p.Eval(w0, l0, 1.5, 0, 0, 0)
+	if math.Abs(op.Id) > 1e-12 {
+		t.Errorf("Id at vds=0 is %g, want 0", op.Id)
+	}
+	// Reverse operation: current flips sign.
+	fwd := p.Eval(w0, l0, 1.5, 0.5, 0, 0)
+	// Exchange the drain and source node labels at the same bias.
+	rev := p.Eval(w0, l0, 1.5, 0, 0.5, 0)
+	if math.Abs(fwd.Id+rev.Id)/math.Abs(fwd.Id) > 1e-9 {
+		t.Errorf("source/drain exchange not antisymmetric: %g vs %g", fwd.Id, rev.Id)
+	}
+	if !rev.Swapped {
+		t.Error("reverse operation should report Swapped")
+	}
+}
+
+func TestPMOSMirrorsNMOS(t *testing.T) {
+	n := NominalNMOS()
+	pp := NominalPMOS()
+	pp.VTO = -n.VTO
+	pp.KP = n.KP
+	pp.LambdaK = n.LambdaK
+	pp.Gamma = n.Gamma
+	pp.Phi = n.Phi
+	pp.NSub = n.NSub
+	nOP := n.Eval(w0, l0, 1.2, 2.0, 0, 0)
+	// PMOS with all voltages mirrored about 0.
+	pOP := pp.Eval(w0, l0, -1.2, -2.0, 0, 0)
+	if math.Abs(nOP.Id+pOP.Id)/nOP.Id > 1e-9 {
+		t.Errorf("PMOS mirror current = %g, want %g", pOP.Id, -nOP.Id)
+	}
+}
+
+func TestPMOSConducts(t *testing.T) {
+	p := NominalPMOS()
+	// Source at 3.3 V, gate 1.5 V below source, drain at 1 V.
+	op := p.Eval(w0, l0, 1.8, 1.0, 3.3, 3.3)
+	if op.Id >= 0 {
+		t.Errorf("PMOS drain current = %g, want negative (flows out of drain node convention)", op.Id)
+	}
+	if math.Abs(op.Id) < 1e-6 {
+		t.Errorf("PMOS barely conducting: %g", op.Id)
+	}
+}
+
+func TestBodyEffectRaisesThreshold(t *testing.T) {
+	p := NominalNMOS()
+	op0 := p.Eval(w0, l0, 1.0, 2.0, 0, 0)
+	opb := p.Eval(w0, l0, 1.0, 2.0, 0, -1.0) // reverse body bias
+	if opb.Vth <= op0.Vth {
+		t.Errorf("Vth with vbs=-1 (%g) should exceed Vth at vbs=0 (%g)", opb.Vth, op0.Vth)
+	}
+	if opb.Id >= op0.Id {
+		t.Error("reverse body bias should reduce the current")
+	}
+}
+
+func TestGmMatchesFiniteDifferenceOfId(t *testing.T) {
+	p := NominalNMOS()
+	op := p.Eval(w0, l0, 1.1, 1.8, 0, 0)
+	h := 1e-4
+	fd := (p.Eval(w0, l0, 1.1+h, 1.8, 0, 0).Id - p.Eval(w0, l0, 1.1-h, 1.8, 0, 0).Id) / (2 * h)
+	if math.Abs(op.Gm-fd)/fd > 1e-3 {
+		t.Errorf("Gm = %g, coarse FD = %g", op.Gm, fd)
+	}
+	if op.Gm <= 0 {
+		t.Error("Gm must be positive in the conducting region")
+	}
+}
+
+func TestGdsPositiveWithLambda(t *testing.T) {
+	p := NominalNMOS()
+	op := p.Eval(w0, l0, 1.1, 2.5, 0, 0)
+	if op.Gds <= 0 {
+		t.Errorf("saturation Gds = %g, want > 0 (channel-length modulation)", op.Gds)
+	}
+	// Longer channel → smaller lambda → smaller gds at same current.
+	long := p.Eval(w0, 4*um, 1.1, 2.5, 0, 0)
+	if long.Gds/long.Id >= op.Gds/op.Id {
+		t.Error("gds/Id should fall with channel length")
+	}
+}
+
+func TestGainIncreasesWithLength(t *testing.T) {
+	// Intrinsic gain gm/gds must grow with L — the mechanism behind the
+	// paper's gain/PM trade-off.
+	p := NominalNMOS()
+	gain := func(l float64) float64 {
+		op := p.Eval(w0, l, 1.0, 2.0, 0, 0)
+		return op.Gm / op.Gds
+	}
+	if !(gain(4*um) > gain(1*um) && gain(1*um) > gain(0.35*um)) {
+		t.Errorf("intrinsic gain not increasing with L: %g %g %g",
+			gain(0.35*um), gain(1*um), gain(4*um))
+	}
+}
+
+func TestCurrentContinuityProperty(t *testing.T) {
+	// The smooth model must have no jumps: |Id(v+h) − Id(v)| → 0 with h.
+	p := NominalNMOS()
+	f := func(seedVgs, seedVds uint8) bool {
+		vgs := float64(seedVgs)/255*3 - 0.5 // −0.5 .. 2.5
+		vds := float64(seedVds)/255*4 - 2   // −2 .. 2 (crosses the swap point)
+		h := 1e-7
+		a := p.Eval(w0, l0, vgs, vds, 0, 0).Id
+		b := p.Eval(w0, l0, vgs, vds+h, 0, 0).Id
+		return math.Abs(a-b) < 1e-3*(math.Abs(a)+1e-9)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubthresholdExponential(t *testing.T) {
+	p := NominalNMOS()
+	i1 := p.Eval(w0, l0, 0.35, 1.5, 0, 0).Id
+	i2 := p.Eval(w0, l0, 0.25, 1.5, 0, 0).Id
+	if i1 <= 0 || i2 <= 0 {
+		t.Fatal("subthreshold current must stay positive (Newton robustness)")
+	}
+	if i1/i2 < 5 {
+		t.Errorf("100 mV below threshold should change Id by >5x, got %g", i1/i2)
+	}
+}
+
+func TestAppliedShift(t *testing.T) {
+	n := NominalNMOS()
+	sh := process.Shift{DVth: 0.05, DBeta: -0.1}
+	na := n.Applied(sh)
+	if na.VTO != n.VTO+0.05 {
+		t.Errorf("NMOS VTO after shift = %g, want %g", na.VTO, n.VTO+0.05)
+	}
+	if math.Abs(na.KP-0.9*n.KP) > 1e-18 {
+		t.Errorf("KP after shift = %g, want %g", na.KP, 0.9*n.KP)
+	}
+	p := NominalPMOS()
+	pa := p.Applied(sh)
+	if pa.VTO != p.VTO-0.05 {
+		t.Errorf("PMOS VTO after shift = %g, want %g (|Vth| grows)", pa.VTO, p.VTO-0.05)
+	}
+	// A slow shift must reduce the current.
+	idNom := n.Eval(w0, l0, 1.0, 2.0, 0, 0).Id
+	idSlow := na.Eval(w0, l0, 1.0, 2.0, 0, 0).Id
+	if idSlow >= idNom {
+		t.Error("slow corner should reduce drain current")
+	}
+}
+
+func TestAppliedShiftDegenerateKP(t *testing.T) {
+	n := NominalNMOS()
+	na := n.Applied(process.Shift{DBeta: -2})
+	if na.KP <= 0 {
+		t.Error("Applied must keep KP positive")
+	}
+}
+
+func TestCapacitancesSane(t *testing.T) {
+	p := NominalNMOS()
+	sat := p.Eval(w0, l0, 1.0, 2.5, 0, 0)
+	tri := p.Eval(w0, l0, 2.5, 0.05, 0, 0)
+	if sat.Cgs <= 0 || sat.Cgd <= 0 || sat.Csb <= 0 {
+		t.Error("capacitances must be positive")
+	}
+	// Saturation: Cgs > Cgd (channel pinched at drain).
+	if sat.Cgs <= sat.Cgd {
+		t.Errorf("saturation Cgs (%g) should exceed Cgd (%g)", sat.Cgs, sat.Cgd)
+	}
+	// Triode: Cgs ≈ Cgd.
+	if math.Abs(tri.Cgs-tri.Cgd)/tri.Cgs > 0.2 {
+		t.Errorf("triode Cgs (%g) and Cgd (%g) should be close", tri.Cgs, tri.Cgd)
+	}
+	// Bigger device → bigger caps.
+	big := p.Eval(4*w0, l0, 1.0, 2.5, 0, 0)
+	if big.Cgs <= sat.Cgs {
+		t.Error("Cgs should scale with W")
+	}
+}
+
+func TestEvalPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero width accepted")
+		}
+	}()
+	NominalNMOS().Eval(0, l0, 1, 1, 0, 0)
+}
+
+func TestNominalByClass(t *testing.T) {
+	if Nominal(process.NMOS).Class != process.NMOS {
+		t.Error("Nominal(NMOS) wrong class")
+	}
+	if Nominal(process.PMOS).Class != process.PMOS {
+		t.Error("Nominal(PMOS) wrong class")
+	}
+	if Nominal(process.PMOS).VTO >= 0 {
+		t.Error("PMOS VTO should be negative")
+	}
+}

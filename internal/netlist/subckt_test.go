@@ -1,0 +1,213 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+
+	"analogyield/internal/analysis"
+	"analogyield/internal/circuit"
+	"analogyield/internal/measure"
+)
+
+func TestSubcktBasicExpansion(t *testing.T) {
+	src := `* divider as a subcircuit
+.subckt div top out
+R1 top out 1k
+R2 out 0 2k
+.ends
+V1 in 0 DC 3
+X1 in mid div
+.end
+`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Device("X1.R1") == nil || n.Device("X1.R2") == nil {
+		t.Fatal("subcircuit devices not prefixed/expanded")
+	}
+	op, err := analysis.OP(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := op.V("mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-2) > 1e-6 {
+		t.Errorf("V(mid) = %g, want 2", v)
+	}
+}
+
+func TestSubcktTwoInstancesAreIndependent(t *testing.T) {
+	src := `.subckt stage in out
+R1 in out 1k
+C1 out 0 1n
+.ends
+V1 a 0 DC 1 AC 1
+X1 a b stage
+X2 b c stage
+.end
+`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two independent internal device sets.
+	if n.Device("X1.R1") == nil || n.Device("X2.R1") == nil {
+		t.Fatal("instances share or lost devices")
+	}
+	// Cascaded RC: two-pole rolloff at high frequency.
+	op, err := analysis.OP(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := 1 / (2 * math.Pi * 1e3 * 1e-9)
+	ac, err := analysis.AC(n, op, []float64{fc * 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, _ := ac.V("c")
+	vb, _ := ac.V("b")
+	if measure.GainDB(vc[0]) > measure.GainDB(vb[0])-15 {
+		t.Errorf("cascade not steeper: b %.1f dB, c %.1f dB",
+			measure.GainDB(vb[0]), measure.GainDB(vc[0]))
+	}
+}
+
+func TestSubcktInternalNodesPrivate(t *testing.T) {
+	src := `.subckt cell a
+R1 a internal 1k
+R2 internal 0 1k
+.ends
+V1 x 0 DC 2
+X1 x cell
+X2 x cell
+.end
+`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.NodeIndex("X1.internal"); !ok {
+		t.Fatal("internal node not namespaced")
+	}
+	i1, _ := n.NodeIndex("X1.internal")
+	i2, _ := n.NodeIndex("X2.internal")
+	if i1 == i2 {
+		t.Fatal("instances share an internal node")
+	}
+	// A bare "internal" node must not exist at top level.
+	if _, ok := n.NodeIndex("internal"); ok {
+		t.Fatal("internal node leaked to top level")
+	}
+}
+
+func TestSubcktNested(t *testing.T) {
+	src := `.subckt leaf a b
+R1 a b 500
+.ends
+.subckt branch x y
+X1 x m leaf
+X2 m y leaf
+.ends
+V1 in 0 DC 1
+Xtop in out branch
+Rload out 0 1k
+.end
+`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Device("Xtop.X1.R1") == nil || n.Device("Xtop.X2.R1") == nil {
+		t.Fatal("nested instances not expanded")
+	}
+	op, err := analysis.OP(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 V through 500+500 into 1k: divider gives 0.5 V.
+	v, _ := op.V("out")
+	if math.Abs(v-0.5) > 1e-6 {
+		t.Errorf("V(out) = %g, want 0.5", v)
+	}
+}
+
+func TestSubcktWithMOSAndModel(t *testing.T) {
+	src := `.model myn nmos VTO=0.45
+.subckt csamp g d vdd
+RD vdd d 20k
+M1 d g 0 0 myn W=10u L=1u
+.ends
+VDD vdd 0 DC 3.3
+VG g 0 DC 0.8 AC 1
+X1 g out vdd csamp
+.end
+`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := n.Device("X1.M1").(*circuit.MOSFET)
+	if !ok {
+		t.Fatal("MOSFET missing inside subckt")
+	}
+	if m.Model.VTO != 0.45 {
+		t.Error("model card not visible inside subckt")
+	}
+	op, err := analysis.OP(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := op.V("out")
+	if v <= 0.1 || v >= 3.3 {
+		t.Errorf("amp bias V(out) = %g", v)
+	}
+}
+
+func TestSubcktErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown", "X1 a b nosuch\n.end\n"},
+		{"port mismatch", ".subckt s a b\nR1 a b 1k\n.ends\nX1 n1 s\n.end\n"},
+		{"unterminated", ".subckt s a\nR1 a 0 1k\n"},
+		{"stray ends", ".ends\n"},
+		{"nested def", ".subckt a x\n.subckt b y\n.ends\n.ends\n"},
+		{"duplicate", ".subckt s a\nR1 a 0 1k\n.ends\n.subckt s a\nR1 a 0 2k\n.ends\n"},
+		{"recursive", ".subckt s a\nX1 a s\n.ends\nX1 top s\n.end\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c.src); err == nil {
+			t.Errorf("%s: accepted\n%s", c.name, c.src)
+		}
+	}
+}
+
+func TestSubcktGroundInsideBody(t *testing.T) {
+	// Ground referenced inside a subckt stays global ground.
+	src := `.subckt s a
+R1 a gnd 1k
+.ends
+V1 x 0 DC 1
+X1 x s
+.end
+`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := analysis.OP(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Current flows: V(x)=1 through 1k to ground.
+	v, _ := op.V("x")
+	if v != 1 {
+		t.Errorf("V(x) = %g", v)
+	}
+	if _, ok := n.NodeIndex("X1.gnd"); ok {
+		t.Error("ground was namespaced")
+	}
+}

@@ -1,0 +1,32 @@
+* Symmetrical OTA open-loop testbench (paper Fig 5 topology)
+* Run:  go run ./cmd/asim -op -ac 100:1g:12 -probe out netlists/ota_openloop.sp
+*
+* The DC servo (RFB/CFB) centres the output bias, exactly as the Go
+* testbench builder does; at AC frequencies the loop is transparent.
+
+.subckt symota inp inn out vdd bias
+* differential pair (fixed geometry)
+M1 n1 inn tail 0 nmos W=20u L=1u
+M2 n2 inp tail 0 nmos W=20u L=1u
+* PMOS diode loads
+M3 n1 n1 vdd vdd pmos W=15u L=1u
+M4 n2 n2 vdd vdd pmos W=15u L=1u
+* PMOS mirror outputs
+M5 outm n1 vdd vdd pmos W=45u L=1.5u
+M6 out  n2 vdd vdd pmos W=45u L=1.5u
+* NMOS output mirror
+M7 outm outm 0 0 nmos W=20u L=1.5u
+M8 out  outm 0 0 nmos W=20u L=1.5u
+* bias / tail mirror
+M9  bias bias 0 0 nmos W=20u L=2u
+M10 tail bias 0 0 nmos W=20u L=2u
+.ends
+
+VDD vdd 0 DC 3.3
+VIN inp 0 DC 1.5 AC 1
+IB  vdd bias DC 10u
+CL  out 0 2p
+RFB out inn 1g
+CFB inn 0 1
+X1 inp inn out vdd bias symota
+.end

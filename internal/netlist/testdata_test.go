@@ -1,0 +1,60 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+
+	"analogyield/internal/analysis"
+	"analogyield/internal/measure"
+	"analogyield/internal/ota"
+)
+
+// TestOTANetlistMatchesBuilder is a cross-representation regression: the
+// shipped .sp testbench (netlists/ota_openloop.sp, mirrored in testdata)
+// must produce the same open-loop gain and phase margin as the Go
+// topology builder with the same sizes.
+func TestOTANetlistMatchesBuilder(t *testing.T) {
+	n, err := ParseFile("testdata/ota_openloop.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := analysis.OP(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := analysis.ACDecade(n, op, 100, 1e9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := ac.V("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gainSP := measure.DCGainDB(tf)
+	pmSP, err := measure.PhaseMarginDeg(ac.Freqs, tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := ota.DefaultConfig()
+	perf, err := cfg.Evaluate(ota.NominalParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gainSP-perf.GainDB) > 0.05 {
+		t.Errorf("netlist gain %.3f dB vs builder %.3f dB", gainSP, perf.GainDB)
+	}
+	if math.Abs(pmSP-perf.PMDeg) > 0.5 {
+		t.Errorf("netlist PM %.2f deg vs builder %.2f deg", pmSP, perf.PMDeg)
+	}
+	// Device report sanity: all ten transistors saturated.
+	rows := analysis.DeviceReport(n, op)
+	if len(rows) != 10 {
+		t.Fatalf("expected 10 MOSFETs, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Region != "saturation" {
+			t.Errorf("%s in %s, want saturation", r.Name, r.Region)
+		}
+	}
+}

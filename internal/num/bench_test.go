@@ -1,0 +1,58 @@
+package num
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchMatrix builds a well-conditioned random system of the size of a
+// typical OTA MNA matrix.
+func benchMatrix(n int) (*Matrix, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		a.Add(i, i, float64(2*n))
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return a, b
+}
+
+func BenchmarkFactorSolve16(b *testing.B) {
+	a, rhs := benchMatrix(16)
+	x := make([]float64, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := Factor(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Solve(rhs, x)
+	}
+}
+
+func BenchmarkCFactorSolve16(b *testing.B) {
+	a, _ := benchMatrix(16)
+	ca := NewCMatrix(16)
+	for i, v := range a.Data {
+		ca.Data[i] = complex(v, v/3)
+	}
+	rhs := make([]complex128, 16)
+	for i := range rhs {
+		rhs[i] = complex(1, -1)
+	}
+	x := make([]complex128, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := CFactor(ca)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Solve(rhs, x)
+	}
+}

@@ -1,0 +1,247 @@
+package num
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorSolveIdentity(t *testing.T) {
+	n := 5
+	a := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	b := []float64{1, 2, 3, 4, 5}
+	x, err := SolveSystem(a, b)
+	if err != nil {
+		t.Fatalf("SolveSystem: %v", err)
+	}
+	for i := range b {
+		if x[i] != b[i] {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], b[i])
+		}
+	}
+}
+
+func TestFactorSolveKnown(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+	a := NewMatrix(2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := SolveSystem(a, []float64{5, 10})
+	if err != nil {
+		t.Fatalf("SolveSystem: %v", err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("got x = %v, want [1 3]", x)
+	}
+}
+
+func TestFactorRequiresPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a := NewMatrix(2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := SolveSystem(a, []float64{2, 3})
+	if err != nil {
+		t.Fatalf("SolveSystem: %v", err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("got x = %v, want [3 2]", x)
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4) // row 1 = 2 * row 0
+	if _, err := Factor(a); err == nil {
+		t.Fatal("Factor of singular matrix: want error, got nil")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := NewMatrix(3)
+	vals := [][]float64{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-24) > 1e-12 {
+		t.Errorf("Det = %g, want 24", d)
+	}
+}
+
+func TestDetSignWithPivot(t *testing.T) {
+	// A permutation matrix swapping two rows has determinant -1.
+	a := NewMatrix(2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d+1) > 1e-12 {
+		t.Errorf("Det = %g, want -1", d)
+	}
+}
+
+// Property: for random well-conditioned matrices, A·x reproduces b.
+func TestSolveResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		a := NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+			a.Add(i, i, float64(n)) // diagonal dominance => well conditioned
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := SolveSystem(a, b)
+		if err != nil {
+			return false
+		}
+		ax := make([]float64, n)
+		a.MulVec(x, ax)
+		for i := range ax {
+			if math.Abs(ax[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveAliasing(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 4)
+	a.Set(1, 1, 2)
+	b := []float64{8, 6}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Solve(b, b) // in-place
+	if math.Abs(b[0]-2) > 1e-12 || math.Abs(b[1]-3) > 1e-12 {
+		t.Errorf("in-place solve got %v, want [2 3]", b)
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 1)
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestCFactorSolveKnown(t *testing.T) {
+	// (1+1i)x = 2  =>  x = 1-1i.
+	a := NewCMatrix(1)
+	a.Set(0, 0, complex(1, 1))
+	x, err := CSolveSystem(a, []complex128{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := complex(1, -1)
+	if cmplx.Abs(x[0]-want) > 1e-12 {
+		t.Errorf("x = %v, want %v", x[0], want)
+	}
+}
+
+func TestCFactorSolveResidual(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 8
+	a := NewCMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, complex(r.NormFloat64(), r.NormFloat64()))
+		}
+		a.Add(i, i, complex(float64(2*n), 0))
+	}
+	b := make([]complex128, n)
+	for i := range b {
+		b[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	x, err := CSolveSystem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		s := complex(0, 0)
+		for j := 0; j < n; j++ {
+			s += a.At(i, j) * x[j]
+		}
+		if cmplx.Abs(s-b[i]) > 1e-9 {
+			t.Errorf("residual at row %d: %v", i, s-b[i])
+		}
+	}
+}
+
+func TestCFactorSingular(t *testing.T) {
+	a := NewCMatrix(2) // all zeros
+	if _, err := CFactor(a); err == nil {
+		t.Fatal("CFactor of zero matrix: want error, got nil")
+	}
+}
+
+func TestCFactorRequiresPivoting(t *testing.T) {
+	a := NewCMatrix(2)
+	a.Set(0, 1, complex(1, 0))
+	a.Set(1, 0, complex(1, 0))
+	x, err := CSolveSystem(a, []complex128{complex(2, 1), complex(3, -1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-complex(3, -1)) > 1e-12 || cmplx.Abs(x[1]-complex(2, 1)) > 1e-12 {
+		t.Errorf("got x = %v", x)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	y := make([]float64, 2)
+	a.MulVec([]float64{1, 1}, y)
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec got %v, want [3 7]", y)
+	}
+}
+
+func TestNewMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrix(-1) did not panic")
+		}
+	}()
+	NewMatrix(-1)
+}

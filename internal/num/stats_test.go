@@ -1,0 +1,142 @@
+package num
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Mean(%v) = %g, want %g", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.13808993) > 1e-6 {
+		t.Errorf("StdDev = %g, want 2.138", got)
+	}
+	if StdDev([]float64{3}) != 0 {
+		t.Error("StdDev of single element should be 0")
+	}
+	if StdDev(nil) != 0 {
+		t.Error("StdDev of nil should be 0")
+	}
+}
+
+func TestStdDevTranslationInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		shift := r.NormFloat64() * 100
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = xs[i] + shift
+		}
+		return math.Abs(StdDev(xs)-StdDev(ys)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = (%g, %g), want (-1, 7)", min, max)
+	}
+}
+
+func TestMinMaxPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax(nil) did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {-5, 1}, {200, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Does not mutate input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaved")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	pts := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(pts[i]-want[i]) > 1e-12 {
+			t.Errorf("Linspace[%d] = %g, want %g", i, pts[i], want[i])
+		}
+	}
+	if pts[len(pts)-1] != 1 {
+		t.Error("Linspace endpoint not exact")
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	pts := Logspace(1, 1000, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if math.Abs(pts[i]/want[i]-1) > 1e-9 {
+			t.Errorf("Logspace[%d] = %g, want %g", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestLogspacePanicsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Logspace(0, 1, 3) did not panic")
+		}
+	}()
+	Logspace(0, 1, 3)
+}
+
+func TestDot(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+}
+
+func TestNormInf(t *testing.T) {
+	if NormInf([]float64{1, -9, 3}) != 9 {
+		t.Error("NormInf wrong")
+	}
+	if NormInf(nil) != 0 {
+		t.Error("NormInf(nil) should be 0")
+	}
+}

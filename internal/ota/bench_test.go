@@ -1,0 +1,16 @@
+package ota
+
+import "testing"
+
+// BenchmarkEvaluate times one full objective evaluation (OP + AC sweep +
+// measurements) — the unit cost of the paper's 10,000-sample MOO.
+func BenchmarkEvaluate(b *testing.B) {
+	c := DefaultConfig()
+	p := NominalParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Evaluate(p, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkFront10000 times front extraction over a paper-sized archive.
+func BenchmarkFront10000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([][]float64, 10000)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 50, rng.Float64() * 90}
+	}
+	max := []bool{true, true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Front(pts, max)
+	}
+}

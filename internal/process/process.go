@@ -1,0 +1,281 @@
+// Package process models the statistical behaviour of a CMOS fabrication
+// process: nominal electrical parameters, worst-case corners, global
+// (lot-to-lot) statistical variation and local (device-to-device)
+// mismatch following Pelgrom's law.
+//
+// This substitutes for the foundry variation/mismatch decks (AMS C35B4
+// BSim3v3) the paper uses with Spectre. Pelgrom scaling —
+// σ(ΔVth) = AVT/√(W·L), σ(Δβ)/β = Aβ/√(W·L) — is the physical basis of
+// those decks, so the area dependence of the paper's variation results
+// is preserved.
+package process
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DeviceClass distinguishes NMOS and PMOS statistical populations.
+type DeviceClass int
+
+// Device classes.
+const (
+	NMOS DeviceClass = iota
+	PMOS
+)
+
+// String names the device class.
+func (c DeviceClass) String() string {
+	if c == PMOS {
+		return "pmos"
+	}
+	return "nmos"
+}
+
+// ClassParams holds per-class statistical coefficients.
+type ClassParams struct {
+	// Pelgrom mismatch coefficients.
+	AVT   float64 // V·m: σ(ΔVth) = AVT / sqrt(W·L)
+	ABeta float64 // m:   σ(Δβ)/β = ABeta / sqrt(W·L)
+	// Global (lot) variation standard deviations.
+	SigmaVth  float64 // V, absolute shift of threshold voltage
+	SigmaBeta float64 // relative shift of transconductance factor
+}
+
+// Process describes one fabrication process.
+type Process struct {
+	Name    string
+	Feature float64 // minimum channel length, metres
+	N, P    ClassParams
+	// SigmaCap is the relative global variation of capacitors (poly-poly
+	// or MiM), used by the filter application's passive variation.
+	SigmaCap float64
+	// MismatchCap is the Pelgrom-style relative capacitor matching
+	// coefficient (m): σ(ΔC)/C = MismatchCap / sqrt(area).
+	MismatchCap float64
+}
+
+// C35 returns a 0.35 µm-class process with coefficients representative
+// of published data for that node (AVT ≈ 9.5 mV·µm NMOS / 14.5 mV·µm
+// PMOS, Aβ ≈ 1.9 %·µm), standing in for the AMS C35B4 deck.
+func C35() *Process {
+	const um = 1e-6
+	return &Process{
+		Name:    "c35-class 0.35um",
+		Feature: 0.35 * um,
+		N: ClassParams{
+			AVT:       9.5e-3 * um,
+			ABeta:     0.019 * um,
+			SigmaVth:  0.015,
+			SigmaBeta: 0.03,
+		},
+		P: ClassParams{
+			AVT:       14.5e-3 * um,
+			ABeta:     0.022 * um,
+			SigmaVth:  0.020,
+			SigmaBeta: 0.03,
+		},
+		SigmaCap:    0.05,
+		MismatchCap: 0.005 * um,
+	}
+}
+
+// Class returns the parameters for the requested device class.
+func (p *Process) Class(c DeviceClass) ClassParams {
+	if c == PMOS {
+		return p.P
+	}
+	return p.N
+}
+
+// Corner identifies a worst-case process corner.
+type Corner int
+
+// The five classic corners: typical, slow/slow, fast/fast, slow-N/fast-P
+// and fast-N/slow-P.
+const (
+	TT Corner = iota
+	SS
+	FF
+	SF
+	FS
+)
+
+var cornerNames = [...]string{"TT", "SS", "FF", "SF", "FS"}
+
+// String names the corner.
+func (c Corner) String() string {
+	if int(c) < len(cornerNames) {
+		return cornerNames[c]
+	}
+	return fmt.Sprintf("Corner(%d)", int(c))
+}
+
+// Corners lists all defined corners.
+func Corners() []Corner { return []Corner{TT, SS, FF, SF, FS} }
+
+// Shift is the set of parameter perturbations applied to one MOSFET
+// instance: the sum of global (lot) variation shared by all devices in a
+// sample and local mismatch unique to the device.
+type Shift struct {
+	DVth  float64 // additive threshold-voltage shift, volts
+	DBeta float64 // relative transconductance-factor shift (ΔKP/KP)
+}
+
+// CornerShift returns the deterministic Shift a corner applies to a
+// device class, at nSigma standard deviations (3 is conventional).
+// "Slow" means higher |Vth| and lower beta.
+func (p *Process) CornerShift(corner Corner, class DeviceClass, nSigma float64) Shift {
+	cp := p.Class(class)
+	slow := Shift{DVth: nSigma * cp.SigmaVth, DBeta: -nSigma * cp.SigmaBeta}
+	fast := Shift{DVth: -nSigma * cp.SigmaVth, DBeta: nSigma * cp.SigmaBeta}
+	switch corner {
+	case SS:
+		return slow
+	case FF:
+		return fast
+	case SF:
+		if class == NMOS {
+			return slow
+		}
+		return fast
+	case FS:
+		if class == NMOS {
+			return fast
+		}
+		return slow
+	default:
+		return Shift{}
+	}
+}
+
+// Sample is one Monte Carlo sample of the process: a global shift per
+// device class plus an RNG stream for per-device mismatch. Two Samples
+// constructed with the same (seed, index) produce identical device
+// shifts when devices are visited in the same order, which makes MC
+// results independent of worker scheduling.
+type Sample struct {
+	GlobalN, GlobalP Shift
+	proc             *Process
+	rng              *rand.Rand
+	// forced marks a deterministic (corner) sample: DeviceShift returns
+	// the global shift even though there is no RNG stream.
+	forced bool
+}
+
+// NewSample draws MC sample `index` of the stream identified by `seed`.
+func (p *Process) NewSample(seed int64, index int) *Sample {
+	rng := rand.New(rand.NewSource(mix(seed, int64(index))))
+	s := &Sample{proc: p, rng: rng}
+	s.GlobalN = Shift{
+		DVth:  rng.NormFloat64() * p.N.SigmaVth,
+		DBeta: rng.NormFloat64() * p.N.SigmaBeta,
+	}
+	s.GlobalP = Shift{
+		DVth:  rng.NormFloat64() * p.P.SigmaVth,
+		DBeta: rng.NormFloat64() * p.P.SigmaBeta,
+	}
+	return s
+}
+
+// NominalSample returns a Sample with no global variation and no
+// mismatch, useful for verifying that the MC machinery is unbiased.
+func (p *Process) NominalSample() *Sample {
+	return &Sample{proc: p, rng: nil}
+}
+
+// CornerSample returns a deterministic Sample representing a worst-case
+// corner at nSigma standard deviations: every device of a class gets the
+// corner's global shift and no local mismatch. This lets any
+// Sample-consuming evaluator (the flow's CircuitProblem, the filter
+// builders) run corner analyses without a separate code path.
+func (p *Process) CornerSample(corner Corner, nSigma float64) *Sample {
+	return &Sample{
+		proc:    p,
+		rng:     nil,
+		forced:  true,
+		GlobalN: p.CornerShift(corner, NMOS, nSigma),
+		GlobalP: p.CornerShift(corner, PMOS, nSigma),
+	}
+}
+
+// DeviceShift draws the total Shift for one device of the given class
+// and geometry (W, L in metres): global component plus Pelgrom mismatch.
+// On the nominal sample it returns a zero Shift.
+func (s *Sample) DeviceShift(class DeviceClass, w, l float64) Shift {
+	if s.rng == nil {
+		if !s.forced {
+			return Shift{}
+		}
+		if class == PMOS {
+			return s.GlobalP
+		}
+		return s.GlobalN
+	}
+	global := s.GlobalN
+	if class == PMOS {
+		global = s.GlobalP
+	}
+	cp := s.proc.Class(class)
+	area := w * l
+	if area <= 0 {
+		panic(fmt.Sprintf("process: non-positive device area W=%g L=%g", w, l))
+	}
+	inv := 1 / math.Sqrt(area)
+	return Shift{
+		DVth:  global.DVth + s.rng.NormFloat64()*cp.AVT*inv,
+		DBeta: global.DBeta + s.rng.NormFloat64()*cp.ABeta*inv,
+	}
+}
+
+// CapShift draws the relative capacitance shift for one capacitor of the
+// given plate area (m²): global cap variation plus local matching.
+func (s *Sample) CapShift(area float64) float64 {
+	if s.rng == nil {
+		return 0
+	}
+	d := s.rng.NormFloat64() * s.proc.SigmaCap
+	if area > 0 {
+		d += s.rng.NormFloat64() * s.proc.MismatchCap / math.Sqrt(area)
+	}
+	return d
+}
+
+// mix produces a well-distributed 63-bit seed from (seed, index) using a
+// splitmix64-style finaliser, so neighbouring indices give uncorrelated
+// streams.
+func mix(seed, index int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(index)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z & 0x7FFFFFFFFFFFFFFF)
+}
+
+// C18 returns a 0.18 µm-class process (tighter geometries, smaller
+// mismatch coefficients), useful for exploring how the variation model
+// scales across nodes.
+func C18() *Process {
+	const um = 1e-6
+	return &Process{
+		Name:    "c18-class 0.18um",
+		Feature: 0.18 * um,
+		N: ClassParams{
+			AVT:       5.0e-3 * um,
+			ABeta:     0.010 * um,
+			SigmaVth:  0.012,
+			SigmaBeta: 0.025,
+		},
+		P: ClassParams{
+			AVT:       7.5e-3 * um,
+			ABeta:     0.012 * um,
+			SigmaVth:  0.015,
+			SigmaBeta: 0.025,
+		},
+		SigmaCap:    0.04,
+		MismatchCap: 0.004 * um,
+	}
+}

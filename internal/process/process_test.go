@@ -1,0 +1,228 @@
+package process
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestC35Basics(t *testing.T) {
+	p := C35()
+	if p.Feature != 0.35e-6 {
+		t.Errorf("Feature = %g, want 0.35e-6", p.Feature)
+	}
+	if p.N.AVT <= 0 || p.P.AVT <= 0 {
+		t.Error("AVT must be positive")
+	}
+	if p.P.AVT <= p.N.AVT {
+		t.Error("PMOS mismatch should exceed NMOS at this node")
+	}
+}
+
+func TestDeviceClassString(t *testing.T) {
+	if NMOS.String() != "nmos" || PMOS.String() != "pmos" {
+		t.Error("class names wrong")
+	}
+}
+
+func TestCornerString(t *testing.T) {
+	if TT.String() != "TT" || SF.String() != "SF" {
+		t.Error("corner names wrong")
+	}
+	if Corner(99).String() == "" {
+		t.Error("unknown corner should still render")
+	}
+	if len(Corners()) != 5 {
+		t.Error("want 5 corners")
+	}
+}
+
+func TestCornerShiftDirections(t *testing.T) {
+	p := C35()
+	ss := p.CornerShift(SS, NMOS, 3)
+	if ss.DVth <= 0 || ss.DBeta >= 0 {
+		t.Errorf("SS NMOS should be slow (Vth up, beta down): %+v", ss)
+	}
+	ff := p.CornerShift(FF, NMOS, 3)
+	if ff.DVth >= 0 || ff.DBeta <= 0 {
+		t.Errorf("FF NMOS should be fast: %+v", ff)
+	}
+	// SF: slow NMOS, fast PMOS.
+	if s := p.CornerShift(SF, NMOS, 3); s.DVth <= 0 {
+		t.Error("SF NMOS should be slow")
+	}
+	if s := p.CornerShift(SF, PMOS, 3); s.DVth >= 0 {
+		t.Error("SF PMOS should be fast")
+	}
+	// FS is the mirror.
+	if s := p.CornerShift(FS, NMOS, 3); s.DVth >= 0 {
+		t.Error("FS NMOS should be fast")
+	}
+	if s := p.CornerShift(TT, NMOS, 3); s != (Shift{}) {
+		t.Error("TT should be a zero shift")
+	}
+}
+
+func TestCornerShiftScalesWithSigma(t *testing.T) {
+	p := C35()
+	s3 := p.CornerShift(SS, NMOS, 3)
+	s1 := p.CornerShift(SS, NMOS, 1)
+	if math.Abs(s3.DVth-3*s1.DVth) > 1e-15 {
+		t.Error("corner shift not linear in nSigma")
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	p := C35()
+	a := p.NewSample(42, 7)
+	b := p.NewSample(42, 7)
+	if a.GlobalN != b.GlobalN || a.GlobalP != b.GlobalP {
+		t.Fatal("same (seed, index) gave different global shifts")
+	}
+	// Device draws in the same order must match too.
+	for i := 0; i < 5; i++ {
+		sa := a.DeviceShift(NMOS, 10e-6, 1e-6)
+		sb := b.DeviceShift(NMOS, 10e-6, 1e-6)
+		if sa != sb {
+			t.Fatalf("draw %d differs: %+v vs %+v", i, sa, sb)
+		}
+	}
+}
+
+func TestSampleIndependenceAcrossIndex(t *testing.T) {
+	p := C35()
+	a := p.NewSample(42, 0)
+	b := p.NewSample(42, 1)
+	if a.GlobalN == b.GlobalN {
+		t.Fatal("adjacent sample indices produced identical shifts")
+	}
+}
+
+func TestNominalSampleIsZero(t *testing.T) {
+	p := C35()
+	s := p.NominalSample()
+	if sh := s.DeviceShift(NMOS, 1e-6, 1e-6); sh != (Shift{}) {
+		t.Errorf("nominal DeviceShift = %+v, want zero", sh)
+	}
+	if s.CapShift(1e-12) != 0 {
+		t.Error("nominal CapShift should be zero")
+	}
+}
+
+func TestPelgromAreaScaling(t *testing.T) {
+	// The standard deviation of the mismatch component must scale as
+	// 1/sqrt(area). Estimate empirically with paired samples that share
+	// the global component (subtracting two devices from the same
+	// sample removes it).
+	p := C35()
+	est := func(w, l float64) float64 {
+		const n = 4000
+		var diffs []float64
+		for i := 0; i < n; i++ {
+			s := p.NewSample(1, i)
+			d1 := s.DeviceShift(NMOS, w, l)
+			d2 := s.DeviceShift(NMOS, w, l)
+			diffs = append(diffs, d1.DVth-d2.DVth)
+		}
+		var ss float64
+		for _, d := range diffs {
+			ss += d * d
+		}
+		// Var(d1-d2) = 2σ² for independent equal-variance draws.
+		return math.Sqrt(ss / float64(len(diffs)) / 2)
+	}
+	small := est(1e-6, 1e-6) // 1 µm²
+	large := est(4e-6, 4e-6) // 16 µm²
+	ratio := small / large   // expect ~4
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("mismatch sigma ratio = %g, want ~4 (Pelgrom 1/sqrt(area))", ratio)
+	}
+	// Absolute value: σ(ΔVth) for 1 µm² should be ≈ AVT/1µm = 9.5 mV.
+	want := p.N.AVT / 1e-6
+	if small < 0.7*want || small > 1.3*want {
+		t.Errorf("sigma(1um^2) = %g, want ~%g", small, want)
+	}
+}
+
+func TestDeviceShiftPanicsOnBadGeometry(t *testing.T) {
+	p := C35()
+	s := p.NewSample(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-area device accepted")
+		}
+	}()
+	s.DeviceShift(NMOS, 0, 1e-6)
+}
+
+func TestGlobalShiftSharedAcrossDevices(t *testing.T) {
+	// Two devices with enormous area have negligible mismatch, so their
+	// shifts should both approach the sample's global shift.
+	p := C35()
+	s := p.NewSample(3, 3)
+	big := 1.0 // 1 m² — absurd, but kills the mismatch term
+	d1 := s.DeviceShift(NMOS, big, big)
+	d2 := s.DeviceShift(NMOS, big, big)
+	if math.Abs(d1.DVth-d2.DVth) > 1e-6 {
+		t.Error("huge devices should share the global shift")
+	}
+	if math.Abs(d1.DVth-s.GlobalN.DVth) > 1e-6 {
+		t.Error("huge device shift should equal global shift")
+	}
+}
+
+func TestCapShiftStatistics(t *testing.T) {
+	p := C35()
+	var xs []float64
+	for i := 0; i < 3000; i++ {
+		s := p.NewSample(9, i)
+		xs = append(xs, s.CapShift(100e-12)) // large area: global dominates
+	}
+	var mean, ss float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	sigma := math.Sqrt(ss / float64(len(xs)-1))
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("cap shift mean = %g, want ~0", mean)
+	}
+	if sigma < 0.7*p.SigmaCap || sigma > 1.3*p.SigmaCap {
+		t.Errorf("cap shift sigma = %g, want ~%g", sigma, p.SigmaCap)
+	}
+}
+
+func TestMixQuality(t *testing.T) {
+	// Property: mix must not collide for nearby inputs (a weak but
+	// useful guarantee for stream independence).
+	f := func(a, b int64) bool {
+		if a == b {
+			return true
+		}
+		return mix(1, a) != mix(1, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if mix(0, 0) == mix(0, 1) {
+		t.Error("mix collides on adjacent indices")
+	}
+}
+
+func TestC18TighterThanC35(t *testing.T) {
+	c35, c18 := C35(), C18()
+	if c18.Feature >= c35.Feature {
+		t.Error("C18 feature size should be smaller")
+	}
+	if c18.N.AVT >= c35.N.AVT || c18.P.AVT >= c35.P.AVT {
+		t.Error("C18 mismatch coefficients should be tighter")
+	}
+	// Same machinery works on the other node.
+	s := c18.NewSample(1, 1)
+	if sh := s.DeviceShift(NMOS, 1e-6, 1e-6); sh == (Shift{}) {
+		t.Error("C18 sample produced a zero shift")
+	}
+}

@@ -1,0 +1,47 @@
+package spline
+
+import "testing"
+
+func benchKnots() ([]float64, []float64) {
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i%7) + float64(i)/50
+	}
+	return xs, ys
+}
+
+func BenchmarkCubicFit200(b *testing.B) {
+	xs, ys := benchKnots()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCubic(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCubicEval(b *testing.B) {
+	xs, ys := benchKnots()
+	s, err := NewCubic(xs, ys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Eval(float64(i%199) + 0.5)
+	}
+}
+
+func BenchmarkPCHIPEval(b *testing.B) {
+	xs, ys := benchKnots()
+	p, err := NewPCHIP(xs, ys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Eval(float64(i%199) + 0.5)
+	}
+}

@@ -1,0 +1,117 @@
+// Package table implements Verilog-A style $table_model() lookup tables:
+// control-string parsing ("3E", "1L", "2C", "I"), 1-D models, 2-D models
+// over gridded data and over curve (Pareto-manifold) data, and the .tbl
+// text file format used to exchange data between the flow stages.
+//
+// The paper stores the optimal performance model and the variation model
+// in such data files and reads them back through $table_model() with a
+// cubic-spline, no-extrapolation control string ("3E").
+package table
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"analogyield/internal/spline"
+)
+
+// ExtrapMode selects the behaviour of a table model outside its sampled
+// range, mirroring the Verilog-A control-string letters.
+type ExtrapMode int
+
+const (
+	// ExtrapError reports ErrOutOfRange for queries outside the sampled
+	// data (Verilog-A "E"). The paper uses this mode "in order to avoid
+	// approximation of the data beyond the sampled data points".
+	ExtrapError ExtrapMode = iota
+	// ExtrapClamp holds the boundary value constant (Verilog-A "C").
+	ExtrapClamp
+	// ExtrapLinear extends with the boundary slope (Verilog-A "L").
+	ExtrapLinear
+)
+
+// String returns the Verilog-A letter for the mode.
+func (m ExtrapMode) String() string {
+	switch m {
+	case ExtrapError:
+		return "E"
+	case ExtrapClamp:
+		return "C"
+	case ExtrapLinear:
+		return "L"
+	}
+	return "?"
+}
+
+// ErrOutOfRange is reported by evaluations in ExtrapError mode when a
+// query lies outside the sampled range.
+var ErrOutOfRange = errors.New("table: query outside sampled data range")
+
+// Control describes interpolation behaviour along one table dimension.
+type Control struct {
+	Degree spline.Degree // 1, 2 or 3
+	Extrap ExtrapMode
+	Ignore bool // Verilog-A "I": dimension not used for interpolation
+}
+
+// String renders the control in Verilog-A syntax.
+func (c Control) String() string {
+	if c.Ignore {
+		return "I"
+	}
+	return fmt.Sprintf("%d%s", c.Degree, c.Extrap)
+}
+
+// ParseControl parses a single-dimension control such as "3E", "1L",
+// "2C", "3" (degree with default clamp extrapolation) or "I".
+func ParseControl(s string) (Control, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		// Verilog-A default: linear interpolation, constant extrapolation.
+		return Control{Degree: spline.DegreeLinear, Extrap: ExtrapClamp}, nil
+	}
+	if strings.EqualFold(s, "I") {
+		return Control{Ignore: true}, nil
+	}
+	var c Control
+	switch s[0] {
+	case '1':
+		c.Degree = spline.DegreeLinear
+	case '2':
+		c.Degree = spline.DegreeQuadratic
+	case '3':
+		c.Degree = spline.DegreeCubic
+	default:
+		return Control{}, fmt.Errorf("table: bad interpolation degree in control %q", s)
+	}
+	rest := s[1:]
+	switch strings.ToUpper(rest) {
+	case "":
+		c.Extrap = ExtrapClamp
+	case "E":
+		c.Extrap = ExtrapError
+	case "C":
+		c.Extrap = ExtrapClamp
+	case "L":
+		c.Extrap = ExtrapLinear
+	default:
+		return Control{}, fmt.Errorf("table: bad extrapolation letter in control %q", s)
+	}
+	return c, nil
+}
+
+// ParseControlString parses a comma-separated multi-dimension control
+// string such as "3E,3E".
+func ParseControlString(s string) ([]Control, error) {
+	parts := strings.Split(s, ",")
+	out := make([]Control, len(parts))
+	for i, p := range parts {
+		c, err := ParseControl(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}

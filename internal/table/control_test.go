@@ -1,0 +1,81 @@
+package table
+
+import (
+	"testing"
+
+	"analogyield/internal/spline"
+)
+
+func TestParseControl(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Control
+	}{
+		{"3E", Control{Degree: spline.DegreeCubic, Extrap: ExtrapError}},
+		{"1L", Control{Degree: spline.DegreeLinear, Extrap: ExtrapLinear}},
+		{"2C", Control{Degree: spline.DegreeQuadratic, Extrap: ExtrapClamp}},
+		{"3", Control{Degree: spline.DegreeCubic, Extrap: ExtrapClamp}},
+		{"I", Control{Ignore: true}},
+		{"i", Control{Ignore: true}},
+		{"", Control{Degree: spline.DegreeLinear, Extrap: ExtrapClamp}},
+		{" 3e ", Control{Degree: spline.DegreeCubic, Extrap: ExtrapError}},
+	}
+	for _, c := range cases {
+		got, err := ParseControl(c.in)
+		if err != nil {
+			t.Errorf("ParseControl(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseControl(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseControlErrors(t *testing.T) {
+	for _, in := range []string{"4E", "3X", "0E", "EE"} {
+		if _, err := ParseControl(in); err == nil {
+			t.Errorf("ParseControl(%q): want error", in)
+		}
+	}
+}
+
+func TestParseControlString(t *testing.T) {
+	ctrls, err := ParseControlString("3E,3E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctrls) != 2 {
+		t.Fatalf("got %d controls, want 2", len(ctrls))
+	}
+	for i, c := range ctrls {
+		if c.Degree != spline.DegreeCubic || c.Extrap != ExtrapError {
+			t.Errorf("control %d = %+v, want cubic/error", i, c)
+		}
+	}
+}
+
+func TestParseControlStringBadDim(t *testing.T) {
+	if _, err := ParseControlString("3E,9Z"); err == nil {
+		t.Fatal("bad second dimension accepted")
+	}
+}
+
+func TestControlString(t *testing.T) {
+	c := Control{Degree: spline.DegreeCubic, Extrap: ExtrapError}
+	if c.String() != "3E" {
+		t.Errorf("String = %q, want 3E", c.String())
+	}
+	if (Control{Ignore: true}).String() != "I" {
+		t.Error("Ignore control should render as I")
+	}
+}
+
+func TestExtrapModeString(t *testing.T) {
+	if ExtrapError.String() != "E" || ExtrapClamp.String() != "C" || ExtrapLinear.String() != "L" {
+		t.Error("ExtrapMode.String wrong")
+	}
+	if ExtrapMode(9).String() != "?" {
+		t.Error("unknown mode should render as ?")
+	}
+}

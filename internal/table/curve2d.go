@@ -1,0 +1,204 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"analogyield/internal/spline"
+)
+
+// CurveModel2D is a two-input table model whose sample points lie on a
+// one-dimensional manifold — exactly the situation of the paper's
+// lp1..lp4 = $table_model(gain_prop, pm_prop, "lpN_data.tbl", "3E,3E")
+// lookups, where (gain, pm) pairs come from a Pareto front.
+//
+// Gridded bilinear/bicubic interpolation is undefined for such data, so
+// the model parameterises the samples by normalised arc length u, fits
+// splines X1(u), X2(u), Y(u), projects a query point onto the curve
+// (nearest point in normalised input space) and returns Y at the
+// projected parameter. Queries far from the curve are out-of-range in
+// "E" mode, matching the paper's refusal to extrapolate.
+type CurveModel2D struct {
+	ctrl1, ctrl2 Control
+	x1s, x2s, ys []float64 // samples ordered along the curve
+	u            []float64 // normalised arc-length parameter per sample
+	fx1, fx2, fy spline.Interpolator
+	span1, span2 float64 // input ranges used for normalisation
+	min1, min2   float64
+	// MaxDistance is the largest allowed normalised distance between a
+	// query and its projection in "E" mode, as a fraction of the curve's
+	// bounding-box diagonal.
+	MaxDistance float64
+}
+
+// NewCurveModel2D builds a curve table model from scattered samples.
+// Samples are sorted by x1 to order them along the front; duplicate x1
+// values keep the first occurrence.
+func NewCurveModel2D(x1s, x2s, ys []float64, ctrl1, ctrl2 Control) (*CurveModel2D, error) {
+	if len(x1s) != len(x2s) || len(x1s) != len(ys) {
+		return nil, fmt.Errorf("table: sample length mismatch: %d/%d/%d", len(x1s), len(x2s), len(ys))
+	}
+	if len(x1s) < 3 {
+		return nil, fmt.Errorf("table: curve model needs at least 3 samples, got %d", len(x1s))
+	}
+	type pt struct{ a, b, y float64 }
+	pts := make([]pt, 0, len(x1s))
+	for i := range x1s {
+		pts = append(pts, pt{x1s[i], x2s[i], ys[i]})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].a < pts[j].a })
+	dedup := pts[:0]
+	for i, p := range pts {
+		if i > 0 && p.a == dedup[len(dedup)-1].a {
+			continue
+		}
+		dedup = append(dedup, p)
+	}
+	pts = dedup
+	if len(pts) < 3 {
+		return nil, fmt.Errorf("table: fewer than 3 distinct samples after dedup")
+	}
+
+	m := &CurveModel2D{ctrl1: ctrl1, ctrl2: ctrl2, MaxDistance: 0.25}
+	for _, p := range pts {
+		m.x1s = append(m.x1s, p.a)
+		m.x2s = append(m.x2s, p.b)
+		m.ys = append(m.ys, p.y)
+	}
+	min1, max1 := m.x1s[0], m.x1s[len(m.x1s)-1]
+	min2, max2 := minMax(m.x2s)
+	m.min1, m.min2 = min1, min2
+	m.span1 = max1 - min1
+	m.span2 = max2 - min2
+	if m.span1 == 0 {
+		m.span1 = 1
+	}
+	if m.span2 == 0 {
+		m.span2 = 1
+	}
+	// Cumulative arc length in normalised coordinates.
+	m.u = make([]float64, len(pts))
+	for i := 1; i < len(pts); i++ {
+		d1 := (m.x1s[i] - m.x1s[i-1]) / m.span1
+		d2 := (m.x2s[i] - m.x2s[i-1]) / m.span2
+		m.u[i] = m.u[i-1] + math.Hypot(d1, d2)
+	}
+	total := m.u[len(m.u)-1]
+	if total == 0 {
+		return nil, fmt.Errorf("table: degenerate curve (zero arc length)")
+	}
+	for i := range m.u {
+		m.u[i] /= total
+	}
+	deg := ctrl1.Degree
+	if deg == 0 {
+		deg = spline.DegreeCubic
+	}
+	var err error
+	if m.fx1, err = spline.New(deg, m.u, m.x1s); err != nil {
+		return nil, fmt.Errorf("table: fitting X1(u): %w", err)
+	}
+	if m.fx2, err = spline.New(deg, m.u, m.x2s); err != nil {
+		return nil, fmt.Errorf("table: fitting X2(u): %w", err)
+	}
+	if m.fy, err = spline.New(deg, m.u, m.ys); err != nil {
+		return nil, fmt.Errorf("table: fitting Y(u): %w", err)
+	}
+	return m, nil
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// dist2 returns the squared normalised distance between the query and
+// the curve point at parameter u.
+func (m *CurveModel2D) dist2(x1, x2, u float64) float64 {
+	d1 := (m.fx1.Eval(u) - x1) / m.span1
+	d2 := (m.fx2.Eval(u) - x2) / m.span2
+	return d1*d1 + d2*d2
+}
+
+// Project returns the curve parameter u in [0,1] closest to the query
+// point, along with the normalised distance to the curve.
+func (m *CurveModel2D) Project(x1, x2 float64) (u, dist float64) {
+	// Coarse scan.
+	const n = 256
+	bestU, bestD := 0.0, math.Inf(1)
+	for i := 0; i <= n; i++ {
+		uu := float64(i) / n
+		if d := m.dist2(x1, x2, uu); d < bestD {
+			bestD, bestU = d, uu
+		}
+	}
+	// Golden-section refinement around the best coarse sample.
+	lo := math.Max(0, bestU-1.5/n)
+	hi := math.Min(1, bestU+1.5/n)
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := m.dist2(x1, x2, c), m.dist2(x1, x2, d)
+	for i := 0; i < 60; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = m.dist2(x1, x2, c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = m.dist2(x1, x2, d)
+		}
+	}
+	u = 0.5 * (a + b)
+	if bd := m.dist2(x1, x2, u); bd < bestD {
+		bestD = bd
+		bestU = u
+	}
+	return bestU, math.Sqrt(bestD)
+}
+
+// Eval evaluates the table model at the query point (x1, x2). In "E"
+// mode (on either control) a query whose normalised distance from the
+// curve exceeds MaxDistance is out of range.
+func (m *CurveModel2D) Eval(x1, x2 float64) (float64, error) {
+	u, dist := m.Project(x1, x2)
+	errMode := m.ctrl1.Extrap == ExtrapError || m.ctrl2.Extrap == ExtrapError
+	if errMode && dist > m.MaxDistance {
+		return 0, fmt.Errorf("%w: point (%g, %g) is %.3g (normalised) from the sampled front",
+			ErrOutOfRange, x1, x2, dist)
+	}
+	return m.fy.Eval(u), nil
+}
+
+// EvalAt returns the output at a given curve parameter, for callers that
+// have already projected (e.g. batch parameter lookups at one spec point).
+func (m *CurveModel2D) EvalAt(u float64) float64 {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return m.fy.Eval(u)
+}
+
+// Len returns the number of distinct samples along the curve.
+func (m *CurveModel2D) Len() int { return len(m.ys) }
+
+// Samples returns copies of the ordered sample vectors.
+func (m *CurveModel2D) Samples() (x1s, x2s, ys []float64) {
+	return append([]float64(nil), m.x1s...),
+		append([]float64(nil), m.x2s...),
+		append([]float64(nil), m.ys...)
+}

@@ -1,0 +1,153 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"analogyield/internal/spline"
+)
+
+// GridModel2D is a two-input table model over a full rectangular grid,
+// the classic $table_model(x1, x2, ...) case when the data file covers
+// every (x1, x2) combination. Interpolation is performed by successive
+// one-dimensional interpolation: first along x2 within each x1 row, then
+// along x1 across the row results.
+type GridModel2D struct {
+	ctrl1, ctrl2 Control
+	x1s          []float64   // sorted grid coordinates, len R
+	x2s          []float64   // sorted grid coordinates, len C
+	z            [][]float64 // z[r][c] value at (x1s[r], x2s[c])
+}
+
+// NewGridModel2D builds a gridded 2-D model. x1s and x2s are the axis
+// coordinates (will be sorted; z rows/columns are permuted accordingly)
+// and z[r][c] is the value at (x1s[r], x2s[c]).
+func NewGridModel2D(x1s, x2s []float64, z [][]float64, ctrl1, ctrl2 Control) (*GridModel2D, error) {
+	if len(z) != len(x1s) {
+		return nil, fmt.Errorf("table: z has %d rows, want %d", len(z), len(x1s))
+	}
+	for r := range z {
+		if len(z[r]) != len(x2s) {
+			return nil, fmt.Errorf("table: z row %d has %d cols, want %d", r, len(z[r]), len(x2s))
+		}
+	}
+	minPts := map[spline.Degree]int{
+		spline.DegreeLinear:        2,
+		spline.DegreeQuadratic:     3,
+		spline.DegreeCubic:         3,
+		spline.DegreeMonotoneCubic: 2,
+	}
+	if len(x1s) < minPts[ctrl1.Degree] || len(x2s) < minPts[ctrl2.Degree] {
+		return nil, fmt.Errorf("table: grid %dx%d too small for degrees %d/%d",
+			len(x1s), len(x2s), ctrl1.Degree, ctrl2.Degree)
+	}
+	// Sort axes, permuting z.
+	p1 := argsort(x1s)
+	p2 := argsort(x2s)
+	sx1 := permute(x1s, p1)
+	sx2 := permute(x2s, p2)
+	if hasDup(sx1) || hasDup(sx2) {
+		return nil, fmt.Errorf("table: duplicate grid coordinates")
+	}
+	sz := make([][]float64, len(sx1))
+	for r := range sz {
+		row := make([]float64, len(sx2))
+		for c := range row {
+			row[c] = z[p1[r]][p2[c]]
+		}
+		sz[r] = row
+	}
+	return &GridModel2D{ctrl1: ctrl1, ctrl2: ctrl2, x1s: sx1, x2s: sx2, z: sz}, nil
+}
+
+func argsort(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx
+}
+
+func permute(xs []float64, p []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, j := range p {
+		out[i] = xs[j]
+	}
+	return out
+}
+
+func hasDup(sorted []float64) bool {
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return true
+		}
+	}
+	return false
+}
+
+func applyExtrap(x, lo, hi float64, mode ExtrapMode) (float64, error) {
+	if x >= lo && x <= hi {
+		return x, nil
+	}
+	switch mode {
+	case ExtrapError:
+		return 0, fmt.Errorf("%w: %g outside [%g, %g]", ErrOutOfRange, x, lo, hi)
+	case ExtrapClamp:
+		if x < lo {
+			return lo, nil
+		}
+		return hi, nil
+	default: // ExtrapLinear: let the interpolant extend naturally.
+		return x, nil
+	}
+}
+
+// Eval evaluates the gridded model at (x1, x2).
+func (g *GridModel2D) Eval(x1, x2 float64) (float64, error) {
+	var err error
+	if !g.ctrl1.Ignore {
+		if x1, err = applyExtrap(x1, g.x1s[0], g.x1s[len(g.x1s)-1], g.ctrl1.Extrap); err != nil {
+			return 0, err
+		}
+	}
+	if !g.ctrl2.Ignore {
+		if x2, err = applyExtrap(x2, g.x2s[0], g.x2s[len(g.x2s)-1], g.ctrl2.Extrap); err != nil {
+			return 0, err
+		}
+	}
+	if g.ctrl1.Ignore && g.ctrl2.Ignore {
+		return 0, fmt.Errorf("table: both dimensions ignored")
+	}
+	if g.ctrl2.Ignore {
+		// Interpolate along x1 using column 0.
+		col := make([]float64, len(g.x1s))
+		for r := range col {
+			col[r] = g.z[r][0]
+		}
+		itp, err := spline.New(g.ctrl1.Degree, g.x1s, col)
+		if err != nil {
+			return 0, err
+		}
+		return itp.Eval(x1), nil
+	}
+	rowVals := make([]float64, len(g.x1s))
+	for r := range g.x1s {
+		itp, err := spline.New(g.ctrl2.Degree, g.x2s, g.z[r])
+		if err != nil {
+			return 0, err
+		}
+		rowVals[r] = itp.Eval(x2)
+	}
+	if g.ctrl1.Ignore {
+		return rowVals[0], nil
+	}
+	itp, err := spline.New(g.ctrl1.Degree, g.x1s, rowVals)
+	if err != nil {
+		return 0, err
+	}
+	return itp.Eval(x1), nil
+}
+
+// Shape returns the grid dimensions (rows along x1, cols along x2).
+func (g *GridModel2D) Shape() (rows, cols int) { return len(g.x1s), len(g.x2s) }

@@ -1,0 +1,331 @@
+package table
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"analogyield/internal/spline"
+)
+
+func cubicErr() Control { return Control{Degree: spline.DegreeCubic, Extrap: ExtrapError} }
+
+func TestModel1DInterpolates(t *testing.T) {
+	m := MustModel1D([]float64{0, 1, 2, 3}, []float64{0, 1, 4, 9}, cubicErr())
+	got, err := m.Eval(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.25) > 0.2 {
+		t.Errorf("Eval(1.5) = %g, want ~2.25", got)
+	}
+}
+
+func TestModel1DErrorExtrap(t *testing.T) {
+	m := MustModel1D([]float64{0, 1, 2}, []float64{0, 1, 2}, cubicErr())
+	if _, err := m.Eval(5); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange, got %v", err)
+	}
+	if _, err := m.Eval(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange below range, got %v", err)
+	}
+}
+
+func TestModel1DClampExtrap(t *testing.T) {
+	m := MustModel1D([]float64{0, 1, 2}, []float64{0, 1, 2},
+		Control{Degree: spline.DegreeLinear, Extrap: ExtrapClamp})
+	got, err := m.Eval(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("clamped Eval(10) = %g, want 2", got)
+	}
+}
+
+func TestModel1DLinearExtrap(t *testing.T) {
+	m := MustModel1D([]float64{0, 1, 2}, []float64{0, 2, 4},
+		Control{Degree: spline.DegreeLinear, Extrap: ExtrapLinear})
+	got, err := m.Eval(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-6) > 1e-6 {
+		t.Errorf("linear extrap Eval(3) = %g, want 6", got)
+	}
+	got, err = m.Eval(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got+2) > 1e-6 {
+		t.Errorf("linear extrap Eval(-1) = %g, want -2", got)
+	}
+}
+
+func TestModel1DInvert(t *testing.T) {
+	m := MustModel1D([]float64{0, 1, 2, 3}, []float64{0, 2, 5, 9}, cubicErr())
+	x, err := m.Invert(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := m.Eval(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y-3) > 1e-8 {
+		t.Errorf("Eval(Invert(3)) = %g", y)
+	}
+}
+
+func TestModel1DInvertLinearDegree(t *testing.T) {
+	m := MustModel1D([]float64{0, 1, 2}, []float64{0, 10, 20},
+		Control{Degree: spline.DegreeLinear, Extrap: ExtrapClamp})
+	x, err := m.Invert(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-1.5) > 1e-6 {
+		t.Errorf("Invert(15) = %g, want 1.5", x)
+	}
+}
+
+func TestModel1DRejectsIgnore(t *testing.T) {
+	if _, err := NewModel1D([]float64{0, 1}, []float64{0, 1}, Control{Ignore: true}); err == nil {
+		t.Fatal("Ignore control accepted for 1-D model")
+	}
+}
+
+func TestCurveModel2DOnFront(t *testing.T) {
+	// Synthetic Pareto-like front: x2 decreases as x1 increases;
+	// output is a smooth function along the front.
+	var x1s, x2s, ys []float64
+	for i := 0; i <= 20; i++ {
+		g := 45 + float64(i)*0.5 // "gain"
+		p := 85 - float64(i)*0.7 // "pm"
+		x1s = append(x1s, g)
+		x2s = append(x2s, p)
+		ys = append(ys, 10+0.3*g-0.1*p)
+	}
+	m, err := NewCurveModel2D(x1s, x2s, ys, cubicErr(), cubicErr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query exactly on a sample.
+	got, err := m.Eval(x1s[7], x2s[7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-ys[7]) > 1e-6 {
+		t.Errorf("Eval on sample = %g, want %g", got, ys[7])
+	}
+	// Query between samples, on the front.
+	gq := 0.5 * (x1s[7] + x1s[8])
+	pq := 0.5 * (x2s[7] + x2s[8])
+	got, err = m.Eval(gq, pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 + 0.3*gq - 0.1*pq
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("Eval between samples = %g, want ~%g", got, want)
+	}
+}
+
+func TestCurveModel2DFarQueryErrors(t *testing.T) {
+	x1s := []float64{0, 1, 2, 3}
+	x2s := []float64{3, 2, 1, 0}
+	ys := []float64{0, 1, 2, 3}
+	m, err := NewCurveModel2D(x1s, x2s, ys, cubicErr(), cubicErr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Eval(10, 10); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("far query: want ErrOutOfRange, got %v", err)
+	}
+}
+
+func TestCurveModel2DClampAcceptsFarQuery(t *testing.T) {
+	x1s := []float64{0, 1, 2, 3}
+	x2s := []float64{3, 2, 1, 0}
+	ys := []float64{0, 1, 2, 3}
+	cl := Control{Degree: spline.DegreeCubic, Extrap: ExtrapClamp}
+	m, err := NewCurveModel2D(x1s, x2s, ys, cl, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Eval(10, 10); err != nil {
+		t.Fatalf("clamp mode should not error: %v", err)
+	}
+}
+
+func TestCurveModel2DProjectRecoversParameter(t *testing.T) {
+	var x1s, x2s, ys []float64
+	for i := 0; i <= 10; i++ {
+		x1s = append(x1s, float64(i))
+		x2s = append(x2s, 10-float64(i))
+		ys = append(ys, float64(i)*2)
+	}
+	m, err := NewCurveModel2D(x1s, x2s, ys, cubicErr(), cubicErr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, dist := m.Project(5, 5)
+	if dist > 1e-6 {
+		t.Errorf("distance to on-curve point = %g", dist)
+	}
+	if math.Abs(m.EvalAt(u)-10) > 1e-3 {
+		t.Errorf("EvalAt(Project) = %g, want 10", m.EvalAt(u))
+	}
+}
+
+func TestCurveModel2DDedupsAndSorts(t *testing.T) {
+	x1s := []float64{2, 0, 1, 2} // duplicate x1 = 2
+	x2s := []float64{0, 2, 1, 0}
+	ys := []float64{4, 0, 2, 4}
+	m, err := NewCurveModel2D(x1s, x2s, ys, cubicErr(), cubicErr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 {
+		t.Errorf("Len = %d, want 3 after dedup", m.Len())
+	}
+}
+
+func TestCurveModel2DRejectsTiny(t *testing.T) {
+	if _, err := NewCurveModel2D([]float64{0, 1}, []float64{0, 1}, []float64{0, 1},
+		cubicErr(), cubicErr()); err == nil {
+		t.Fatal("2-point curve accepted")
+	}
+}
+
+func TestGridModel2DBilinearPlane(t *testing.T) {
+	// z = 2*x1 + 3*x2 is exact for any degree.
+	x1s := []float64{0, 1, 2}
+	x2s := []float64{0, 10, 20}
+	z := make([][]float64, len(x1s))
+	for r, a := range x1s {
+		z[r] = make([]float64, len(x2s))
+		for c, b := range x2s {
+			z[r][c] = 2*a + 3*b
+		}
+	}
+	g, err := NewGridModel2D(x1s, x2s, z,
+		Control{Degree: spline.DegreeLinear, Extrap: ExtrapClamp},
+		Control{Degree: spline.DegreeLinear, Extrap: ExtrapClamp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Eval(1.5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-48) > 1e-9 {
+		t.Errorf("Eval(1.5, 15) = %g, want 48", got)
+	}
+}
+
+func TestGridModel2DErrorExtrap(t *testing.T) {
+	x1s := []float64{0, 1, 2}
+	x2s := []float64{0, 1, 2}
+	z := [][]float64{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}
+	g, err := NewGridModel2D(x1s, x2s, z, cubicErr(), cubicErr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Eval(5, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatal("x1 out of range accepted")
+	}
+	if _, err := g.Eval(1, -3); !errors.Is(err, ErrOutOfRange) {
+		t.Fatal("x2 out of range accepted")
+	}
+}
+
+func TestGridModel2DIgnoreDimension(t *testing.T) {
+	x1s := []float64{0, 1, 2}
+	x2s := []float64{0, 1, 2}
+	z := [][]float64{{0, 99, 99}, {1, 99, 99}, {2, 99, 99}}
+	g, err := NewGridModel2D(x1s, x2s, z,
+		Control{Degree: spline.DegreeLinear, Extrap: ExtrapClamp},
+		Control{Ignore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Eval(1.5, 123456)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("ignore-x2 Eval = %g, want 1.5", got)
+	}
+}
+
+func TestGridModel2DShapeValidation(t *testing.T) {
+	if _, err := NewGridModel2D([]float64{0, 1}, []float64{0, 1},
+		[][]float64{{1, 2}}, cubicErr(), cubicErr()); err == nil {
+		t.Fatal("ragged z accepted")
+	}
+	if _, err := NewGridModel2D([]float64{0, 0, 1}, []float64{0, 1, 2},
+		[][]float64{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}, cubicErr(), cubicErr()); err == nil {
+		t.Fatal("duplicate axis coordinate accepted")
+	}
+}
+
+func TestGridModel2DSortsAxes(t *testing.T) {
+	// Axes given out of order must still evaluate correctly.
+	x1s := []float64{2, 0, 1}
+	x2s := []float64{1, 0}
+	// z[r][c] corresponds to the *given* order.
+	z := [][]float64{
+		{21, 20}, // x1=2: z = 10*x1 + x2
+		{1, 0},   // x1=0
+		{11, 10}, // x1=1
+	}
+	g, err := NewGridModel2D(x1s, x2s, z,
+		Control{Degree: spline.DegreeLinear, Extrap: ExtrapClamp},
+		Control{Degree: spline.DegreeLinear, Extrap: ExtrapClamp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Eval(1.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-15.5) > 1e-9 {
+		t.Errorf("Eval(1.5, 0.5) = %g, want 15.5", got)
+	}
+}
+
+func TestGridModel2DMonotoneDegree(t *testing.T) {
+	// The PCHIP degree also works in gridded tables.
+	x1s := []float64{0, 1, 2}
+	x2s := []float64{0, 1, 2}
+	z := [][]float64{{0, 1, 2}, {1, 2, 3}, {2, 3, 4}} // plane x1+x2
+	mc := Control{Degree: spline.DegreeMonotoneCubic, Extrap: ExtrapClamp}
+	g, err := NewGridModel2D(x1s, x2s, z, mc, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Eval(0.5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("PCHIP grid Eval = %g, want 2", got)
+	}
+}
+
+func TestModel1DMonotoneDegreeInvert(t *testing.T) {
+	m := MustModel1D([]float64{0, 1, 2, 3}, []float64{0, 2, 8, 9},
+		Control{Degree: spline.DegreeMonotoneCubic, Extrap: ExtrapError})
+	x, err := m.Invert(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := m.Eval(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y-5) > 1e-6 {
+		t.Errorf("PCHIP Invert round trip = %g", y)
+	}
+}

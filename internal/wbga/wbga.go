@@ -1,0 +1,285 @@
+// Package wbga implements the paper's weight-based genetic algorithm
+// (WBGA, after Hajela & Lin): the GA string carries both the designable
+// parameters and the objective-function weights (Fig 4/6), the weights
+// are normalised to sum to one (eq. 4), and each individual's fitness is
+// the normalised weighted sum of its objectives (eq. 5). Evolving the
+// weights alongside the parameters spreads the population across the
+// trade-off curve, so the archive of all evaluations contains a dense
+// sampling of the Pareto front — which internal/pareto then extracts.
+package wbga
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+
+	"analogyield/internal/ga"
+	"analogyield/internal/pareto"
+)
+
+// Problem is a multi-objective optimisation problem over [0,1]-normalised
+// parameter genes.
+type Problem interface {
+	// NumParams is the number of designable-parameter genes.
+	NumParams() int
+	// NumObjectives is the number of performance functions.
+	NumObjectives() int
+	// Maximize gives the sense of each objective.
+	Maximize() []bool
+	// Evaluate computes the raw objective values for one parameter-gene
+	// vector (length NumParams). It must be safe for concurrent use.
+	Evaluate(paramGenes []float64) ([]float64, error)
+}
+
+// Options configures a WBGA run. The paper's OTA example uses
+// PopSize=100, Generations=100 (10,000 evaluations).
+type Options struct {
+	PopSize     int // default 100
+	Generations int // default 100
+	Seed        int64
+	Workers     int // parallel objective evaluations (default GOMAXPROCS)
+	// Crossover selects the GA recombination operator (default
+	// SinglePoint, as in the classic GA-string treatment).
+	Crossover ga.CrossoverKind
+	// OnGeneration, when non-nil, observes progress (gen is 1-based).
+	OnGeneration func(gen, evals int)
+}
+
+// Evaluation is one archived individual: its parameter genes, its
+// normalised weight vector, the raw objective values and the scalar
+// fitness assigned by eq. 5. Failed circuit evaluations carry NaN
+// objectives and -1 fitness and are excluded from the front.
+type Evaluation struct {
+	ParamGenes []float64
+	Weights    []float64
+	Objectives []float64
+	Fitness    float64
+	OK         bool
+}
+
+// Result is the outcome of a WBGA run.
+type Result struct {
+	// Evals archives every evaluated individual in evaluation order —
+	// the "number of optimal and non-optimal solutions" the paper's
+	// Pareto step consumes.
+	Evals []Evaluation
+	// FrontIdx indexes the Pareto-optimal members of Evals.
+	FrontIdx []int
+	// Evaluations counts objective evaluations (PopSize × Generations).
+	Evaluations int
+}
+
+// Front returns the Pareto-optimal evaluations.
+func (r *Result) Front() []Evaluation {
+	out := make([]Evaluation, len(r.FrontIdx))
+	for i, idx := range r.FrontIdx {
+		out[i] = r.Evals[idx]
+	}
+	return out
+}
+
+// NormalizeWeights applies the paper's eq. 4: w_i ← w_i / Σ w_j. A zero
+// (or degenerate) raw vector normalises to equal weights.
+func NormalizeWeights(raw []float64) []float64 {
+	out := make([]float64, len(raw))
+	sum := 0.0
+	for _, w := range raw {
+		if w > 0 {
+			sum += w
+		}
+	}
+	if sum <= 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i, w := range raw {
+		if w > 0 {
+			out[i] = w / sum
+		}
+	}
+	return out
+}
+
+// evaluator adapts a Problem to the ga.PopulationEvaluator interface,
+// maintaining the archive and the running objective ranges used by the
+// eq. 5 normalisation.
+type evaluator struct {
+	prob    Problem
+	workers int
+
+	mu      sync.Mutex
+	archive []Evaluation
+	// Running min/max per objective over all successful evaluations.
+	min, max []float64
+}
+
+func newEvaluator(p Problem, workers int) *evaluator {
+	m := p.NumObjectives()
+	e := &evaluator{prob: p, workers: workers,
+		min: make([]float64, m), max: make([]float64, m)}
+	for k := 0; k < m; k++ {
+		e.min[k] = math.Inf(1)
+		e.max[k] = math.Inf(-1)
+	}
+	return e
+}
+
+// EvaluatePopulation scores one generation: it simulates every
+// individual's objectives in parallel, archives them, updates the
+// objective ranges, and assigns each individual the eq. 5 fitness
+//
+//	O(x,w) = Σ_j w_j · (f_j(x) − f_j,min) / (f_j,max − f_j,min)
+//
+// with minimised objectives reflected so that larger is always better.
+func (e *evaluator) EvaluatePopulation(genomes [][]float64) []float64 {
+	np := e.prob.NumParams()
+	m := e.prob.NumObjectives()
+	maximize := e.prob.Maximize()
+
+	evals := make([]Evaluation, len(genomes))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers)
+	for i, g := range genomes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, g []float64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			params := append([]float64(nil), g[:np]...)
+			weights := NormalizeWeights(g[np:])
+			objs, err := e.prob.Evaluate(params)
+			ev := Evaluation{ParamGenes: params, Weights: weights}
+			if err != nil || len(objs) != m {
+				ev.Objectives = nanVec(m)
+			} else {
+				ev.Objectives = objs
+				ev.OK = true
+			}
+			evals[i] = ev
+		}(i, g)
+	}
+	wg.Wait()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range evals {
+		if !evals[i].OK {
+			continue
+		}
+		for k, v := range evals[i].Objectives {
+			if v < e.min[k] {
+				e.min[k] = v
+			}
+			if v > e.max[k] {
+				e.max[k] = v
+			}
+		}
+		_ = i
+	}
+	fits := make([]float64, len(evals))
+	for i := range evals {
+		if !evals[i].OK {
+			evals[i].Fitness = -1
+			fits[i] = -1
+			e.archive = append(e.archive, evals[i])
+			continue
+		}
+		f := 0.0
+		for k, v := range evals[i].Objectives {
+			span := e.max[k] - e.min[k]
+			var norm float64
+			if span <= 0 {
+				norm = 0.5
+			} else if maximize[k] {
+				norm = (v - e.min[k]) / span
+			} else {
+				norm = (e.max[k] - v) / span
+			}
+			f += evals[i].Weights[k] * norm
+		}
+		evals[i].Fitness = f
+		fits[i] = f
+		e.archive = append(e.archive, evals[i])
+	}
+	return fits
+}
+
+func nanVec(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.NaN()
+	}
+	return v
+}
+
+// Run executes the WBGA and extracts the Pareto front from the archive.
+func Run(p Problem, o Options) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("wbga: nil problem")
+	}
+	if p.NumParams() <= 0 || p.NumObjectives() <= 0 {
+		return nil, fmt.Errorf("wbga: problem needs params and objectives")
+	}
+	if len(p.Maximize()) != p.NumObjectives() {
+		return nil, fmt.Errorf("wbga: Maximize length %d != objectives %d",
+			len(p.Maximize()), p.NumObjectives())
+	}
+	if o.PopSize <= 0 {
+		o.PopSize = 100
+	}
+	if o.Generations <= 0 {
+		o.Generations = 100
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	ev := newEvaluator(p, workers)
+	cfg := ga.Config{
+		GenomeLen:   p.NumParams() + p.NumObjectives(),
+		PopSize:     o.PopSize,
+		Generations: o.Generations,
+		Seed:        o.Seed,
+		Crossover:   o.Crossover,
+		SkipArchive: true, // the evaluator keeps the richer archive
+	}
+	var hooks *ga.Hooks
+	if o.OnGeneration != nil {
+		hooks = &ga.Hooks{OnGeneration: func(gen int, pop []ga.Individual) {
+			o.OnGeneration(gen, gen*o.PopSize)
+		}}
+	}
+	gaRes, err := ga.Run(cfg, ev, hooks)
+	if err != nil {
+		return nil, fmt.Errorf("wbga: %w", err)
+	}
+
+	res := &Result{Evals: ev.archive, Evaluations: gaRes.Evaluations}
+	objs := make([][]float64, len(res.Evals))
+	for i := range res.Evals {
+		objs[i] = res.Evals[i].Objectives
+	}
+	res.FrontIdx = pareto.Front(objs, p.Maximize())
+	return res, nil
+}
+
+// GAStringLayout renders the Fig 4/6 GA-string construction for
+// documentation and tool output, e.g.
+// "| W1 | L1 | ... | L4 || Wg1 | Wg2 |".
+func GAStringLayout(paramNames, weightNames []string) string {
+	var b strings.Builder
+	b.WriteString("|")
+	for _, p := range paramNames {
+		fmt.Fprintf(&b, " %s |", p)
+	}
+	b.WriteString("|")
+	for _, w := range weightNames {
+		fmt.Fprintf(&b, " %s |", w)
+	}
+	return b.String()
+}

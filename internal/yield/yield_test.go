@@ -1,0 +1,172 @@
+package yield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecPass(t *testing.T) {
+	gain := Spec{Name: "gain", Sense: AtLeast, Bound: 50}
+	if !gain.Pass(50) || !gain.Pass(51) || gain.Pass(49.9) {
+		t.Error("AtLeast semantics wrong")
+	}
+	pwr := Spec{Name: "power", Sense: AtMost, Bound: 1e-3}
+	if !pwr.Pass(1e-3) || !pwr.Pass(0.5e-3) || pwr.Pass(2e-3) {
+		t.Error("AtMost semantics wrong")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Name: "gain", Sense: AtLeast, Bound: 50}
+	if s.String() != "gain >= 50" {
+		t.Errorf("String = %q", s.String())
+	}
+	s2 := Spec{Name: "p", Sense: AtMost, Bound: 1}
+	if s2.String() != "p <= 1" {
+		t.Errorf("String = %q", s2.String())
+	}
+}
+
+func TestGuardBandPaperExample(t *testing.T) {
+	// Paper Table 3: gain > 50 dB with Δ = 0.51% → target 50.26 dB
+	// (the paper rounds 50.255 to 50.26).
+	got := GuardBand(Spec{Name: "gain", Sense: AtLeast, Bound: 50}, 0.51)
+	if math.Abs(got-50.255) > 1e-9 {
+		t.Errorf("guard-banded gain = %g, want 50.255", got)
+	}
+	// Paper Table 3: PM > 74 deg with Δ = 1.71% → target 75.27 deg
+	// (74·1.0171 = 75.2654 ≈ 75.27).
+	got = GuardBand(Spec{Name: "pm", Sense: AtLeast, Bound: 74}, 1.71)
+	if math.Abs(got-75.2654) > 1e-3 {
+		t.Errorf("guard-banded PM = %g, want ~75.27", got)
+	}
+}
+
+func TestGuardBandAtMost(t *testing.T) {
+	got := GuardBand(Spec{Sense: AtMost, Bound: 100}, 2)
+	if math.Abs(got-98) > 1e-12 {
+		t.Errorf("AtMost guard band = %g, want 98", got)
+	}
+}
+
+func TestGuardBandNegativeDelta(t *testing.T) {
+	a := GuardBand(Spec{Sense: AtLeast, Bound: 50}, 1)
+	b := GuardBand(Spec{Sense: AtLeast, Bound: 50}, -1)
+	if a != b {
+		t.Error("negative delta should behave as its magnitude")
+	}
+}
+
+func TestGuardBandProperty(t *testing.T) {
+	// Property: the worst-case extreme of the guard-banded target meets
+	// the original bound to first order. The paper's multiplicative
+	// guard band is first-order exact: target·(1−δ) = bound·(1−δ²), so
+	// allow the δ² term.
+	f := func(boundSeed, deltaSeed uint8) bool {
+		bound := 1 + float64(boundSeed)    // 1..256
+		delta := float64(deltaSeed) / 25.5 // 0..10 %
+		spec := Spec{Sense: AtLeast, Bound: bound}
+		target := GuardBand(spec, delta)
+		lo, _ := Range(target, delta)
+		secondOrder := bound * (delta / 100) * (delta / 100)
+		return lo >= bound-secondOrder-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	lo, hi := Range(50, 0.51)
+	if math.Abs(lo-49.745) > 1e-9 || math.Abs(hi-50.255) > 1e-9 {
+		t.Errorf("Range = (%g, %g), want (49.745, 50.255)", lo, hi)
+	}
+	// Negative nominal keeps lo <= hi.
+	lo, hi = Range(-50, 1)
+	if lo > hi {
+		t.Error("Range inverted for negative nominal")
+	}
+}
+
+func TestFromSamples(t *testing.T) {
+	samples := [][]float64{
+		{50.5, 75}, // pass both
+		{49.0, 80}, // fail gain
+		{51.0, 70}, // fail pm
+		nil,        // failed sim counts as fail
+		{50.0, 74}, // pass both (boundaries inclusive)
+	}
+	specs := []Spec{
+		{Name: "gain", Sense: AtLeast, Bound: 50},
+		{Name: "pm", Sense: AtLeast, Bound: 74},
+	}
+	y, err := FromSamples(samples, specs, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y-0.4) > 1e-12 {
+		t.Errorf("yield = %g, want 0.4", y)
+	}
+}
+
+func TestFromSamplesValidation(t *testing.T) {
+	specs := []Spec{{Sense: AtLeast, Bound: 0}}
+	if _, err := FromSamples(nil, specs, []int{0}); err == nil {
+		t.Error("no samples accepted")
+	}
+	if _, err := FromSamples([][]float64{{1}}, specs, []int{0, 1}); err == nil {
+		t.Error("spec/col mismatch accepted")
+	}
+	if _, err := FromSamples([][]float64{{1}}, specs, []int{5}); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+func TestWilsonIntervalPaperCase(t *testing.T) {
+	// 500/500 passes: the paper's "100% yield" claim corresponds to a
+	// 95% lower bound of ~99.2%.
+	lo, hi, err := WilsonInterval(500, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi != 1 {
+		t.Errorf("hi = %g, want 1", hi)
+	}
+	if lo < 0.99 || lo > 0.995 {
+		t.Errorf("lo = %g, want ~0.9924", lo)
+	}
+}
+
+func TestWilsonIntervalHalf(t *testing.T) {
+	lo, hi, err := WilsonInterval(50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Errorf("interval [%g, %g] should bracket 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("interval width %g too wide for n=100", hi-lo)
+	}
+}
+
+func TestWilsonIntervalShrinksWithN(t *testing.T) {
+	lo1, hi1, _ := WilsonInterval(90, 100)
+	lo2, hi2, _ := WilsonInterval(900, 1000)
+	if (hi2 - lo2) >= (hi1 - lo1) {
+		t.Error("interval should shrink with sample count")
+	}
+}
+
+func TestWilsonIntervalValidation(t *testing.T) {
+	if _, _, err := WilsonInterval(1, 0); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, _, err := WilsonInterval(5, 3); err == nil {
+		t.Error("passes > samples accepted")
+	}
+	if _, _, err := WilsonInterval(-1, 3); err == nil {
+		t.Error("negative passes accepted")
+	}
+}

@@ -1,0 +1,6 @@
+* First-order RC low-pass, corner at ~159 kHz
+* Run:  go run ./cmd/asim -ac 1k:100meg:10 -probe out netlists/rc_lowpass.sp
+V1 in 0 DC 0 AC 1
+R1 in out 1k
+C1 out 0 1n
+.end
