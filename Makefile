@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test vet bench bench-paper examples cover
+.PHONY: build test test-race vet check bench bench-paper bench-perf examples cover
 
 build:
 	go build ./...
@@ -10,6 +10,19 @@ vet:
 
 test:
 	go test ./...
+
+# Concurrency-sensitive packages (worker pools, genome cache) under the
+# race detector.
+test-race:
+	go test -race ./internal/wbga/... ./internal/montecarlo/... ./internal/analysis/... ./internal/core/...
+
+# Everything CI should gate on.
+check: vet test test-race
+
+# Solver/engine micro-benchmarks with baseline comparison (fails on >5%
+# ns/op regression when benchmarks/baseline.txt exists).
+bench-perf:
+	scripts/bench.sh
 
 # Regenerate every paper table/figure at scaled-down budgets (~1 min).
 bench:

@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"analogyield/internal/analysis"
 	"analogyield/internal/circuit"
@@ -39,6 +41,7 @@ func main() {
 		trArg = flag.String("tran", "", "transient: tstop:tstep")
 		nzArg = flag.String("noise", "", "noise analysis: outnode:fstart:fstop:pointsPerDecade")
 		probe = flag.String("probe", "", "comma-separated node names to print (default: all)")
+		perf  = flag.Bool("perf", false, "report wall time and heap allocations of the analyses")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -53,6 +56,11 @@ func main() {
 	fmt.Fprintln(os.Stderr, n.Stats())
 
 	probes := probeNodes(n, *probe)
+	var m0 runtime.MemStats
+	t0 := time.Now()
+	if *perf {
+		runtime.ReadMemStats(&m0)
+	}
 	ran := false
 	if *doOP {
 		runOP(n, probes, *doDev)
@@ -76,6 +84,13 @@ func main() {
 	}
 	if !ran {
 		runOP(n, probes, *doDev)
+	}
+	if *perf {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		fmt.Fprintf(os.Stderr, "# perf: %.3fms wall, %d heap allocs, %.1f KiB allocated\n",
+			float64(time.Since(t0).Microseconds())/1000,
+			m1.Mallocs-m0.Mallocs, float64(m1.TotalAlloc-m0.TotalAlloc)/1024)
 	}
 }
 

@@ -34,6 +34,7 @@ func main() {
 		pop   = flag.Int("pop", 100, "GA population size")
 		gen   = flag.Int("gen", 100, "GA generations")
 		mc    = flag.Int("mc", 200, "Monte Carlo samples per Pareto point")
+		cache = flag.Int("cache", 0, "genome cache bound (0 = default 8192, negative disables)")
 		seed  = flag.Int64("seed", 1, "RNG seed")
 		knots = flag.Int("knots", 200, "max table knots after thinning")
 		quiet = flag.Bool("q", false, "suppress progress output")
@@ -46,6 +47,7 @@ func main() {
 		PopSize:     *pop,
 		Generations: *gen,
 		MCSamples:   *mc,
+		CacheSize:   *cache,
 		Seed:        *seed,
 		Model:       core.ModelOptions{MaxTablePoints: *knots},
 	}
@@ -86,6 +88,11 @@ func main() {
 	fmt.Printf("  Evaluation samples: %d\n", res.Evaluations)
 	fmt.Printf("  Pareto points:      %d\n", len(res.FrontIdx))
 	fmt.Printf("  MC simulations:     %d\n", res.MCSimulations)
+	if lookups := res.CacheHits + res.CacheMisses; lookups > 0 {
+		fmt.Printf("  Genome cache:       %d hits / %d misses (%.1f%% hit rate, %d simulations skipped)\n",
+			res.CacheHits, res.CacheMisses,
+			100*float64(res.CacheHits)/float64(lookups), res.CacheHits)
+	}
 	fmt.Printf("  CPU time:           %.1fs (MOO %.1fs, MC %.1fs, tables %.3fs)\n",
 		time.Since(t0).Seconds(), res.Timing.MOO.Seconds(),
 		res.Timing.MC.Seconds(), res.Timing.Tables.Seconds())

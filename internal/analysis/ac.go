@@ -36,13 +36,21 @@ func (r *ACResult) V(node string) ([]complex128, error) {
 // linearised about the DC operating point op. Sources contribute their
 // ACMag values as stimulus.
 func AC(n *circuit.Netlist, op *OPResult, freqs []float64) (*ACResult, error) {
+	return ACWith(n, op, freqs, nil)
+}
+
+// ACWith is AC with reusable solver buffers: each frequency point
+// stamps, factors and solves through ws instead of allocating a fresh
+// complex system. A nil ws allocates internally once per call.
+func ACWith(n *circuit.Netlist, op *OPResult, freqs []float64, ws *Workspace) (*ACResult, error) {
 	if len(freqs) == 0 {
 		return nil, fmt.Errorf("analysis: empty frequency list")
 	}
 	nu := n.NumUnknowns()
 	res := &ACResult{Freqs: append([]float64(nil), freqs...), net: n}
-	A := num.NewCMatrix(nu)
-	B := make([]complex128, nu)
+	res.X = make([][]complex128, 0, len(freqs))
+	cw := ws.cplx(nu)
+	A, B := cw.A, cw.B
 	for _, f := range freqs {
 		if f <= 0 {
 			return nil, fmt.Errorf("analysis: non-positive AC frequency %g", f)
@@ -60,11 +68,11 @@ func AC(n *circuit.Netlist, op *OPResult, freqs []float64) (*ACResult, error) {
 		for i := 0; i < n.NumNodes(); i++ {
 			A.Add(i, i, complex(1e-12, 0))
 		}
-		x, err := num.CSolveSystem(A, B)
-		if err != nil {
+		if err := cw.LU.FactorInto(A); err != nil {
 			return nil, fmt.Errorf("analysis: AC solve at %g Hz: %w", f, err)
 		}
-		res.X = append(res.X, x)
+		cw.LU.Solve(B, cw.X)
+		res.X = append(res.X, append([]complex128(nil), cw.X...))
 	}
 	return res, nil
 }
@@ -72,6 +80,11 @@ func AC(n *circuit.Netlist, op *OPResult, freqs []float64) (*ACResult, error) {
 // ACDecade sweeps pointsPerDecade logarithmically spaced frequencies
 // from fStart to fStop (inclusive endpoints).
 func ACDecade(n *circuit.Netlist, op *OPResult, fStart, fStop float64, pointsPerDecade int) (*ACResult, error) {
+	return ACDecadeWith(n, op, fStart, fStop, pointsPerDecade, nil)
+}
+
+// ACDecadeWith is ACDecade with reusable solver buffers (see ACWith).
+func ACDecadeWith(n *circuit.Netlist, op *OPResult, fStart, fStop float64, pointsPerDecade int, ws *Workspace) (*ACResult, error) {
 	if fStart <= 0 || fStop <= fStart {
 		return nil, fmt.Errorf("analysis: bad AC range [%g, %g]", fStart, fStop)
 	}
@@ -83,5 +96,5 @@ func ACDecade(n *circuit.Netlist, op *OPResult, fStart, fStop float64, pointsPer
 	if npts < 2 {
 		npts = 2
 	}
-	return AC(n, op, num.Logspace(fStart, fStop, npts))
+	return ACWith(n, op, num.Logspace(fStart, fStop, npts), ws)
 }

@@ -8,7 +8,7 @@ import (
 	"analogyield/internal/num"
 )
 
-func benchAmp(b *testing.B) *circuit.Netlist {
+func benchAmp(b testing.TB) *circuit.Netlist {
 	b.Helper()
 	n := circuit.New("bench cs amp")
 	vdd := n.Node("vdd")
@@ -33,6 +33,67 @@ func BenchmarkOPCommonSource(b *testing.B) {
 	}
 }
 
+// BenchmarkOPCommonSourceWS is BenchmarkOPCommonSource with a reused
+// workspace — the configuration every GA/MC worker runs in.
+func BenchmarkOPCommonSourceWS(b *testing.B) {
+	n := benchAmp(b)
+	ws := NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OP(n, &OPOptions{WS: ws}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOPSolve measures the steady-state Newton solve: a converged
+// warm start refined through a reused workspace, the inner loop of every
+// repeated evaluation (DC sweeps, GA populations, Monte Carlo samples).
+func BenchmarkOPSolve(b *testing.B) {
+	n := benchAmp(b)
+	op, err := OP(n, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var o *OPOptions
+	opts := o.withDefaults()
+	ws := opts.WS.real(n.NumUnknowns())
+	x := make([]float64, n.NumUnknowns())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(x, op.X)
+		if _, ok := newton(n, x, opts, opts.Gmin, 1, ws); !ok {
+			b.Fatal("steady-state newton did not converge")
+		}
+	}
+}
+
+// TestOPSolveSteadyStateAllocs pins the allocation budget of the
+// steady-state solve path: at most 2 allocs/op (the stamp context; every
+// matrix, RHS, update and LU buffer is reused).
+func TestOPSolveSteadyStateAllocs(t *testing.T) {
+	n := benchAmp(t)
+	op, err := OP(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o *OPOptions
+	opts := o.withDefaults()
+	ws := opts.WS.real(n.NumUnknowns())
+	x := make([]float64, n.NumUnknowns())
+	allocs := testing.AllocsPerRun(50, func() {
+		copy(x, op.X)
+		if _, ok := newton(n, x, opts, opts.Gmin, 1, ws); !ok {
+			t.Fatal("steady-state newton did not converge")
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("steady-state OP solve allocates %v objects/op, want <= 2", allocs)
+	}
+}
+
 func BenchmarkACSweep(b *testing.B) {
 	n := benchAmp(b)
 	op, err := OP(n, nil)
@@ -44,6 +105,66 @@ func BenchmarkACSweep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := AC(n, op, freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkACSweepWS is BenchmarkACSweep with a reused workspace: the
+// per-frequency complex system is stamped and factored in place.
+func BenchmarkACSweepWS(b *testing.B) {
+	n := benchAmp(b)
+	op, err := OP(n, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	freqs := num.Logspace(1e3, 1e9, 60)
+	ws := NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ACWith(n, op, freqs, ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestACSweepSteadyStateAllocs bounds the per-frequency allocations of a
+// workspace-backed AC sweep: the result rows plus a handful of
+// fixed-size header objects, independent of iteration count.
+func TestACSweepSteadyStateAllocs(t *testing.T) {
+	n := benchAmp(t)
+	op, err := OP(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := num.Logspace(1e3, 1e9, 60)
+	ws := NewWorkspace()
+	if _, err := ACWith(n, op, freqs, ws); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := ACWith(n, op, freqs, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Output rows: one solution slice per frequency plus one stamp
+	// context, the Freqs copy, the X header and the result struct.
+	budget := float64(len(freqs) + 2*len(freqs) + 8)
+	if allocs > budget {
+		t.Errorf("AC sweep allocates %v objects/op, want <= %v", allocs, budget)
+	}
+}
+
+// BenchmarkTranWS runs a short fixed-step transient with a reused
+// workspace.
+func BenchmarkTranWS(b *testing.B) {
+	n := benchAmp(b)
+	ws := NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Tran(n, TranOptions{TStop: 100e-9, TStep: 1e-9, WS: ws}); err != nil {
 			b.Fatal(err)
 		}
 	}

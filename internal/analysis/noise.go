@@ -84,20 +84,24 @@ func Noise(n *circuit.Netlist, op *OPResult, outNode string, freqs []float64) (*
 	A := num.NewCMatrix(nu)
 	b := make([]complex128, nu)
 	x := make([]complex128, nu)
+	stampB := make([]complex128, nu)
+	lu := num.NewCLU(nu)
 	for fi, f := range freqs {
 		if f <= 0 {
 			return nil, fmt.Errorf("analysis: non-positive noise frequency %g", f)
 		}
 		A.Zero()
-		ctx := &circuit.ACCtx{A: A, B: make([]complex128, nu), Omega: 2 * math.Pi * f, DC: op.X}
+		for i := range stampB {
+			stampB[i] = 0
+		}
+		ctx := &circuit.ACCtx{A: A, B: stampB, Omega: 2 * math.Pi * f, DC: op.X}
 		for di, d := range n.Devices() {
 			d.StampAC(ctx, n.BranchBase(di))
 		}
 		for i := 0; i < n.NumNodes(); i++ {
 			A.Add(i, i, complex(1e-12, 0))
 		}
-		lu, err := num.CFactor(A)
-		if err != nil {
+		if err := lu.FactorInto(A); err != nil {
 			return nil, fmt.Errorf("analysis: noise solve at %g Hz: %w", f, err)
 		}
 		for _, s := range sources {

@@ -25,6 +25,10 @@ type OPOptions struct {
 	Gmin    float64   // diagonal conductance floor, S (default 1e-12)
 	VStep   float64   // per-iteration voltage damping limit, V (default 0.5)
 	X0      []float64 // initial guess (optional; length NumUnknowns)
+	// WS, when non-nil, supplies reusable solver buffers so repeated
+	// solves (GA evaluations, Monte Carlo samples, sweeps) do not
+	// allocate. nil allocates internally once per call.
+	WS *Workspace
 }
 
 func (o *OPOptions) withDefaults() OPOptions {
@@ -48,6 +52,7 @@ func (o *OPOptions) withDefaults() OPOptions {
 		out.VStep = o.VStep
 	}
 	out.X0 = o.X0
+	out.WS = o.WS
 	return out
 }
 
@@ -79,12 +84,11 @@ func (r *OPResult) VNode(idx int) float64 {
 }
 
 // newton runs damped Newton-Raphson at a fixed gmin and source scale,
-// starting from x (modified in place). It reports convergence.
-func newton(n *circuit.Netlist, x []float64, opts OPOptions, gmin, srcScale float64) (int, bool) {
-	nu := n.NumUnknowns()
+// starting from x (modified in place), solving through the reusable
+// buffers of ws. It reports convergence.
+func newton(n *circuit.Netlist, x []float64, opts OPOptions, gmin, srcScale float64, ws *num.Workspace) (int, bool) {
 	nn := n.NumNodes()
-	J := num.NewMatrix(nu)
-	B := make([]float64, nu)
+	J, B, xn := ws.J, ws.B, ws.Xn
 	ctx := &circuit.DCCtx{J: J, B: B, X: x, SourceScale: srcScale}
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		J.Zero()
@@ -97,15 +101,13 @@ func newton(n *circuit.Netlist, x []float64, opts OPOptions, gmin, srcScale floa
 		for i := 0; i < nn; i++ {
 			J.Add(i, i, gmin)
 		}
-		lu, err := num.Factor(J)
-		if err != nil {
+		if err := ws.LU.FactorInto(J); err != nil {
 			return iter, false
 		}
-		xn := make([]float64, nu)
-		lu.Solve(B, xn)
+		ws.LU.Solve(B, xn)
 		// Damping: limit node-voltage steps.
 		worst := 0.0
-		for i := 0; i < nu; i++ {
+		for i := 0; i < len(x); i++ {
 			dx := xn[i] - x[i]
 			if i < nn && math.Abs(dx) > opts.VStep {
 				dx = math.Copysign(opts.VStep, dx)
@@ -142,19 +144,20 @@ func OP(n *circuit.Netlist, o *OPOptions) (*OPResult, error) {
 		}
 		copy(start, opts.X0)
 	}
+	ws := opts.WS.real(nu)
 
 	// Attempt 1: plain Newton.
 	x := append([]float64(nil), start...)
-	if it, ok := newton(n, x, opts, opts.Gmin, 1); ok {
+	if it, ok := newton(n, x, opts, opts.Gmin, 1, ws); ok {
 		return &OPResult{X: x, Iterations: it, net: n}, nil
 	}
 
 	// Attempt 2: gmin stepping from a heavily damped system.
-	x = append([]float64(nil), start...)
+	copy(x, start)
 	okAll := true
 	total := 0
 	for _, g := range []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, opts.Gmin} {
-		it, ok := newton(n, x, opts, g, 1)
+		it, ok := newton(n, x, opts, g, 1, ws)
 		total += it
 		if !ok {
 			okAll = false
@@ -166,15 +169,17 @@ func OP(n *circuit.Netlist, o *OPOptions) (*OPResult, error) {
 	}
 
 	// Attempt 3: source stepping.
-	x = make([]float64, nu)
+	for i := range x {
+		x[i] = 0
+	}
 	total = 0
 	okAll = true
 	for _, s := range []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.95, 1.0} {
-		it, ok := newton(n, x, opts, opts.Gmin, s)
+		it, ok := newton(n, x, opts, opts.Gmin, s, ws)
 		total += it
 		if !ok {
 			// Retry this step with elevated gmin before giving up.
-			it2, ok2 := newton(n, x, opts, 1e-6, s)
+			it2, ok2 := newton(n, x, opts, 1e-6, s, ws)
 			total += it2
 			if !ok2 {
 				okAll = false
@@ -184,7 +189,7 @@ func OP(n *circuit.Netlist, o *OPOptions) (*OPResult, error) {
 	}
 	if okAll {
 		// Final polish at full sources and floor gmin.
-		if it, ok := newton(n, x, opts, opts.Gmin, 1); ok {
+		if it, ok := newton(n, x, opts, opts.Gmin, 1, ws); ok {
 			return &OPResult{X: x, Iterations: total + it, net: n}, nil
 		}
 	}

@@ -15,6 +15,10 @@ type TranOptions struct {
 	MaxIter int     // Newton iterations per step (default 80)
 	VTol    float64 // voltage tolerance (default 1e-6)
 	ITol    float64 // current tolerance (default 1e-9)
+	// WS, when non-nil, supplies reusable solver buffers shared by the
+	// initial operating point and every timestep. nil allocates
+	// internally once per run.
+	WS *Workspace
 }
 
 func (o TranOptions) withDefaults() TranOptions {
@@ -85,14 +89,14 @@ func cloneState(state map[string][]float64) map[string][]float64 {
 }
 
 // tranStep advances the circuit one timestep from (xPrev, state) to time
-// t with step dt, returning the new solution and the updated companion
-// state. The inputs are not modified.
+// t with step dt, solving through the reusable buffers of ws and
+// returning the new solution and the updated companion state. The inputs
+// are not modified.
 func tranStep(n *circuit.Netlist, xPrev []float64, state map[string][]float64,
-	t, dt float64, opts TranOptions) ([]float64, map[string][]float64, error) {
+	t, dt float64, opts TranOptions, ws *num.Workspace) ([]float64, map[string][]float64, error) {
 	nu := n.NumUnknowns()
 	nn := n.NumNodes()
-	J := num.NewMatrix(nu)
-	B := make([]float64, nu)
+	J, B, xn := ws.J, ws.B, ws.Xn
 	x := append([]float64(nil), xPrev...)
 	st := cloneState(state)
 	ctx := &circuit.TranCtx{J: J, B: B, X: x, XPrev: xPrev, Time: t, Dt: dt, State: st}
@@ -108,12 +112,10 @@ func tranStep(n *circuit.Netlist, xPrev []float64, state map[string][]float64,
 		for i := 0; i < nn; i++ {
 			J.Add(i, i, 1e-12)
 		}
-		lu, err := num.Factor(J)
-		if err != nil {
+		if err := ws.LU.FactorInto(J); err != nil {
 			return nil, nil, fmt.Errorf("analysis: transient t=%g: %w", t, err)
 		}
-		xn := make([]float64, nu)
-		lu.Solve(B, xn)
+		ws.LU.Solve(B, xn)
 		worst := 0.0
 		for i := 0; i < nu; i++ {
 			dx := xn[i] - x[i]
@@ -154,7 +156,7 @@ func Tran(n *circuit.Netlist, opts TranOptions) (*TranResult, error) {
 		return nil, fmt.Errorf("analysis: transient needs positive TStop and TStep")
 	}
 	o := opts.withDefaults()
-	op, err := OP(n, nil)
+	op, err := OP(n, &OPOptions{WS: o.WS})
 	if err != nil {
 		return nil, fmt.Errorf("analysis: transient initial condition: %w", err)
 	}
@@ -162,12 +164,13 @@ func Tran(n *circuit.Netlist, opts TranOptions) (*TranResult, error) {
 	res.Times = append(res.Times, 0)
 	res.X = append(res.X, append([]float64(nil), op.X...))
 
+	ws := o.WS.real(n.NumUnknowns())
 	state := make(map[string][]float64)
 	xPrev := append([]float64(nil), op.X...)
 	steps := int(math.Ceil(o.TStop / o.TStep))
 	for s := 1; s <= steps; s++ {
 		t := float64(s) * o.TStep
-		x, st, err := tranStep(n, xPrev, state, t, o.TStep, o)
+		x, st, err := tranStep(n, xPrev, state, t, o.TStep, o, ws)
 		if err != nil {
 			return nil, err
 		}
@@ -222,7 +225,7 @@ func TranAdaptive(n *circuit.Netlist, opts AdaptiveOptions) (*TranResult, error)
 		h = o.MaxStep / 4
 	}
 
-	op, err := OP(n, nil)
+	op, err := OP(n, &OPOptions{WS: o.WS})
 	if err != nil {
 		return nil, fmt.Errorf("analysis: transient initial condition: %w", err)
 	}
@@ -230,6 +233,7 @@ func TranAdaptive(n *circuit.Netlist, opts AdaptiveOptions) (*TranResult, error)
 	res.Times = append(res.Times, 0)
 	res.X = append(res.X, append([]float64(nil), op.X...))
 
+	ws := o.WS.real(n.NumUnknowns())
 	state := make(map[string][]float64)
 	x := append([]float64(nil), op.X...)
 	t := 0.0
@@ -243,15 +247,15 @@ func TranAdaptive(n *circuit.Netlist, opts AdaptiveOptions) (*TranResult, error)
 			h = o.TStop - t
 		}
 		// Full step.
-		xF, _, errF := tranStep(n, x, state, t+h, h, o.TranOptions)
+		xF, _, errF := tranStep(n, x, state, t+h, h, o.TranOptions, ws)
 		// Two half steps.
 		var xH []float64
 		var stH map[string][]float64
 		var errH error
 		if errF == nil {
-			xH, stH, errH = tranStep(n, x, state, t+h/2, h/2, o.TranOptions)
+			xH, stH, errH = tranStep(n, x, state, t+h/2, h/2, o.TranOptions, ws)
 			if errH == nil {
-				xH, stH, errH = tranStep(n, xH, stH, t+h, h/2, o.TranOptions)
+				xH, stH, errH = tranStep(n, xH, stH, t+h, h/2, o.TranOptions, ws)
 			}
 		}
 		if errF != nil || errH != nil {

@@ -1,0 +1,50 @@
+package analysis
+
+import "analogyield/internal/num"
+
+// Workspace holds the reusable solver state of one evaluation thread:
+// the real Newton system shared by OP, DC sweeps and transient steps,
+// and the complex system used by AC and noise solves. Reusing one
+// Workspace across the thousands of evaluations of a GA or Monte Carlo
+// run keeps the solver hot path allocation-free.
+//
+// A nil *Workspace is always valid — every analysis then allocates
+// internally, once per call — so existing callers need not change.
+// A Workspace serves one goroutine at a time: never share one between
+// concurrently running analyses.
+type Workspace struct {
+	re *num.Workspace
+	cx *num.CWorkspace
+}
+
+// NewWorkspace returns an empty workspace; buffers are sized lazily by
+// the first analysis that uses it.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// real returns the real solver workspace sized for order-n systems. On a
+// nil receiver it allocates fresh buffers (the allocate-per-call path).
+func (w *Workspace) real(n int) *num.Workspace {
+	if w == nil {
+		return num.NewWorkspace(n)
+	}
+	if w.re == nil {
+		w.re = num.NewWorkspace(n)
+	} else {
+		w.re.Resize(n)
+	}
+	return w.re
+}
+
+// cplx returns the complex solver workspace sized for order-n systems.
+// On a nil receiver it allocates fresh buffers.
+func (w *Workspace) cplx(n int) *num.CWorkspace {
+	if w == nil {
+		return num.NewCWorkspace(n)
+	}
+	if w.cx == nil {
+		w.cx = num.NewCWorkspace(n)
+	} else {
+		w.cx.Resize(n)
+	}
+	return w.cx
+}

@@ -45,14 +45,12 @@ func VerifyDesignYield(prob CircuitProblem, proc *process.Process, genes []float
 	if samples <= 0 {
 		return nil, fmt.Errorf("core: non-positive sample count %d", samples)
 	}
-	mc, err := montecarlo.Run(montecarlo.Options{
+	mc, err := montecarlo.RunFactory(montecarlo.Options{
 		Proc:    proc,
 		Samples: samples,
 		Seed:    seed,
 		Metrics: prob.ObjectiveNames(),
-	}, func(s *process.Sample) ([]float64, error) {
-		return prob.Evaluate(genes, s)
-	})
+	}, mcFactory(prob, genes))
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"analogyield/internal/analysis"
 	"analogyield/internal/montecarlo"
 	"analogyield/internal/process"
 	"analogyield/internal/wbga"
@@ -21,6 +22,9 @@ type FlowConfig struct {
 	MCSamples   int // default 200
 	Seed        int64
 	Workers     int // parallelism for MOO and MC (default GOMAXPROCS)
+	// CacheSize bounds the MOO genome evaluation cache (0 selects the
+	// wbga default, negative disables; see wbga.Options.CacheSize).
+	CacheSize int
 
 	Model ModelOptions
 
@@ -53,7 +57,10 @@ type FlowResult struct {
 	// variation-model simulations.
 	Evaluations   int
 	MCSimulations int
-	Timing        Timing
+	// CacheHits and CacheMisses count MOO genome-cache lookups; each hit
+	// is one circuit simulation skipped (see wbga.Result).
+	CacheHits, CacheMisses int
+	Timing                 Timing
 }
 
 // wbgaAdapter exposes a CircuitProblem (nominal evaluation) as a
@@ -65,6 +72,39 @@ func (a wbgaAdapter) NumObjectives() int { return len(a.p.ObjectiveNames()) }
 func (a wbgaAdapter) Maximize() []bool   { return a.p.Maximize() }
 func (a wbgaAdapter) Evaluate(genes []float64) ([]float64, error) {
 	return a.p.Evaluate(genes, nil)
+}
+
+// NewEvaluator satisfies wbga.ReusableProblem: problems that accept a
+// solver workspace get one long-lived workspace per WBGA worker; plain
+// problems fall back to the shared Evaluate.
+func (a wbgaAdapter) NewEvaluator() func([]float64) ([]float64, error) {
+	we, ok := a.p.(WorkspaceEvaluator)
+	if !ok {
+		return a.Evaluate
+	}
+	ws := analysis.NewWorkspace()
+	return func(genes []float64) ([]float64, error) {
+		return we.EvaluateWS(genes, nil, ws)
+	}
+}
+
+// mcFactory builds the per-worker Monte Carlo evaluator for one design
+// point: workspace-backed when the problem supports it.
+func mcFactory(p CircuitProblem, genes []float64) montecarlo.Factory {
+	we, ok := p.(WorkspaceEvaluator)
+	if !ok {
+		return func() montecarlo.Evaluator {
+			return func(s *process.Sample) ([]float64, error) {
+				return p.Evaluate(genes, s)
+			}
+		}
+	}
+	return func() montecarlo.Evaluator {
+		ws := analysis.NewWorkspace()
+		return func(s *process.Sample) ([]float64, error) {
+			return we.EvaluateWS(genes, s, ws)
+		}
+	}
 }
 
 // RunFlow executes the complete paper flow: WBGA optimisation, Pareto
@@ -103,6 +143,7 @@ func RunFlow(cfg FlowConfig) (*FlowResult, error) {
 		Generations:  cfg.Generations,
 		Seed:         cfg.Seed,
 		Workers:      cfg.Workers,
+		CacheSize:    cfg.CacheSize,
 		OnGeneration: onGen,
 	})
 	if err != nil {
@@ -111,6 +152,8 @@ func RunFlow(cfg FlowConfig) (*FlowResult, error) {
 	res.Archive = mooRes.Evals
 	res.FrontIdx = mooRes.FrontIdx
 	res.Evaluations = mooRes.Evaluations
+	res.CacheHits = mooRes.CacheHits
+	res.CacheMisses = mooRes.CacheMisses
 	res.Timing.MOO = time.Since(t0)
 	if len(res.FrontIdx) < 4 {
 		return nil, fmt.Errorf("core: Pareto front has only %d points", len(res.FrontIdx))
@@ -122,15 +165,13 @@ func RunFlow(cfg FlowConfig) (*FlowResult, error) {
 	for i, idx := range res.FrontIdx {
 		ev := res.Archive[idx]
 		genes := ev.ParamGenes
-		mcRes, err := montecarlo.Run(montecarlo.Options{
+		mcRes, err := montecarlo.RunFactory(montecarlo.Options{
 			Proc:    cfg.Proc,
 			Samples: cfg.MCSamples,
 			Seed:    cfg.Seed + int64(i)*1000003,
 			Workers: cfg.Workers,
 			Metrics: objNames,
-		}, func(s *process.Sample) ([]float64, error) {
-			return cfg.Problem.Evaluate(genes, s)
-		})
+		}, mcFactory(cfg.Problem, genes))
 		if err != nil {
 			// A point whose MC fails entirely is dropped from the model
 			// rather than aborting the flow.

@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 
+	"analogyield/internal/analysis"
 	"analogyield/internal/ota"
 	"analogyield/internal/process"
 )
@@ -48,6 +49,20 @@ type CircuitProblem interface {
 	// ParamUnits names the physical unit of each parameter as stored in
 	// tables (e.g. "um").
 	ParamUnits() []string
+}
+
+// WorkspaceEvaluator is an optional CircuitProblem extension for
+// problems whose simulations can reuse solver workspaces. The flow's
+// hot loops (WBGA population scoring, per-point Monte Carlo) give every
+// worker goroutine one long-lived workspace and evaluate through it, so
+// every simulation after a worker's first is allocation-free in the
+// solver. The workspace is not safe for concurrent use; callers must
+// not share one across goroutines.
+type WorkspaceEvaluator interface {
+	CircuitProblem
+	// EvaluateWS is Evaluate with an explicit workspace (nil behaves
+	// exactly like Evaluate).
+	EvaluateWS(genes []float64, sample *process.Sample, ws *analysis.Workspace) ([]float64, error)
 }
 
 // OTAProblem adapts the symmetrical-OTA benchmark to the flow: eight
@@ -84,11 +99,17 @@ func (p *OTAProblem) ParamUnits() []string {
 
 // Evaluate simulates the OTA testbench at the given genes.
 func (p *OTAProblem) Evaluate(genes []float64, sample *process.Sample) ([]float64, error) {
+	return p.EvaluateWS(genes, sample, nil)
+}
+
+// EvaluateWS simulates the OTA testbench through a reusable solver
+// workspace (nil allocates fresh buffers, like Evaluate).
+func (p *OTAProblem) EvaluateWS(genes []float64, sample *process.Sample, ws *analysis.Workspace) ([]float64, error) {
 	params, err := p.Space.Denormalize(genes)
 	if err != nil {
 		return nil, err
 	}
-	perf, err := p.Config.Evaluate(params, sample)
+	perf, err := p.Config.EvaluateWS(params, sample, ws)
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,12 @@ import (
 // receives its own Sample).
 type Evaluator func(s *process.Sample) ([]float64, error)
 
+// Factory supplies each worker goroutine with its own Evaluator. The
+// returned Evaluator is called from a single goroutine only, so it may
+// own reusable scratch state — typically a circuit-solver workspace that
+// makes every Monte Carlo sample after the first allocation-free.
+type Factory func() Evaluator
+
 // Options configures a Monte Carlo run.
 type Options struct {
 	Proc    *process.Process // required
@@ -53,16 +59,29 @@ type Result struct {
 	Stats   []Stats
 }
 
-// Run executes the Monte Carlo analysis.
+// Run executes the Monte Carlo analysis with a single shared Evaluator
+// (which must be safe for concurrent use).
 func Run(opts Options, eval Evaluator) (*Result, error) {
+	if eval == nil {
+		return nil, fmt.Errorf("montecarlo: nil evaluator")
+	}
+	return RunFactory(opts, func() Evaluator { return eval })
+}
+
+// RunFactory executes the Monte Carlo analysis with per-worker
+// evaluators: each worker goroutine calls factory once and evaluates all
+// its samples through the result, so evaluators can carry long-lived
+// solver workspaces. Sampling stays deterministic — sample i always
+// draws process sample (seed, i) regardless of worker count.
+func RunFactory(opts Options, factory Factory) (*Result, error) {
 	if opts.Proc == nil {
 		return nil, fmt.Errorf("montecarlo: nil process")
 	}
 	if opts.Samples <= 0 {
 		return nil, fmt.Errorf("montecarlo: Samples must be positive, got %d", opts.Samples)
 	}
-	if eval == nil {
-		return nil, fmt.Errorf("montecarlo: nil evaluator")
+	if factory == nil {
+		return nil, fmt.Errorf("montecarlo: nil evaluator factory")
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -81,7 +100,14 @@ func Run(opts Options, eval Evaluator) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			eval := factory()
 			for i := range idx {
+				if eval == nil {
+					mu.Lock()
+					failed++
+					mu.Unlock()
+					continue
+				}
 				s := opts.Proc.NewSample(opts.Seed, i)
 				m, err := eval(s)
 				if err != nil {

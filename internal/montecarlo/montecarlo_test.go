@@ -3,6 +3,7 @@ package montecarlo
 import (
 	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"analogyield/internal/process"
@@ -145,5 +146,53 @@ func TestMetricNamesDefault(t *testing.T) {
 	}
 	if res.Stats[0].Name != "metric0" {
 		t.Errorf("default metric name = %q", res.Stats[0].Name)
+	}
+}
+
+// TestRunFactoryMatchesRun checks per-worker evaluators produce results
+// identical to the shared-evaluator path, and that each worker receives
+// its own evaluator instance.
+func TestRunFactoryMatchesRun(t *testing.T) {
+	shared, err := Run(Options{Proc: proc(), Samples: 200, Seed: 3, Workers: 4}, vthEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evaluators atomic.Int64
+	factored, err := RunFactory(Options{Proc: proc(), Samples: 200, Seed: 3, Workers: 4},
+		func() Evaluator {
+			evaluators.Add(1)
+			scratch := make([]float64, 1) // stands in for a solver workspace
+			return func(s *process.Sample) ([]float64, error) {
+				m, err := vthEval(s)
+				if err != nil {
+					return nil, err
+				}
+				scratch[0] = m[0]
+				return []float64{scratch[0]}, nil
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := evaluators.Load(); got != 4 {
+		t.Errorf("factory called %d times, want once per worker (4)", got)
+	}
+	for i := range shared.Samples {
+		if shared.Samples[i][0] != factored.Samples[i][0] {
+			t.Fatalf("sample %d differs between Run and RunFactory", i)
+		}
+	}
+}
+
+// TestRunFactoryValidation checks nil factories and nil evaluators are
+// handled without deadlock.
+func TestRunFactoryValidation(t *testing.T) {
+	if _, err := RunFactory(Options{Proc: proc(), Samples: 5}, nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	// A factory returning nil evaluators must fail cleanly, not hang.
+	if _, err := RunFactory(Options{Proc: proc(), Samples: 5, Workers: 2},
+		func() Evaluator { return nil }); err == nil {
+		t.Error("all-nil evaluators should error (every sample failed)")
 	}
 }

@@ -86,18 +86,55 @@ func (m *Matrix) String() string {
 
 // LU holds an in-place LU factorisation with partial pivoting of a real
 // matrix: P·A = L·U with unit-diagonal L stored below the diagonal.
+//
+// An LU owns its buffers and can be refilled with FactorInto, so hot
+// loops (Newton iterations, Monte Carlo samples) factor repeatedly
+// without allocating. Because Solve reuses an internal scratch vector,
+// an LU must not be shared between goroutines solving concurrently.
 type LU struct {
 	n    int
 	lu   []float64
 	piv  []int
+	y    []float64 // Solve scratch
 	sign int
+}
+
+// NewLU returns an LU buffer pre-sized for order-n systems, ready for
+// FactorInto.
+func NewLU(n int) *LU {
+	if n < 0 {
+		panic("num: negative LU order")
+	}
+	return &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n),
+		y: make([]float64, n), sign: 1}
 }
 
 // Factor computes the LU factorisation of a. The contents of a are not
 // modified. It returns ErrSingular when a pivot underflows.
 func Factor(a *Matrix) (*LU, error) {
+	f := NewLU(a.N)
+	if err := f.FactorInto(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorInto refactors a into f's buffers without allocating (buffers
+// grow only when the order increases). The contents of a are not
+// modified. On ErrSingular the receiver stays usable for further calls.
+func (f *LU) FactorInto(a *Matrix) error {
 	n := a.N
-	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	if cap(f.lu) < n*n {
+		f.lu = make([]float64, n*n)
+		f.piv = make([]int, n)
+		f.y = make([]float64, n)
+	} else {
+		f.lu = f.lu[:n*n]
+		f.piv = f.piv[:n]
+		f.y = f.y[:n]
+	}
+	f.n = n
+	f.sign = 1
 	copy(f.lu, a.Data)
 	for i := range f.piv {
 		f.piv[i] = i
@@ -114,7 +151,7 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 		if maxAbs == 0 || math.IsNaN(maxAbs) {
-			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
 		}
 		if p != k {
 			rowP := lu[p*n : p*n+n]
@@ -139,17 +176,22 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // Solve solves A·x = b, writing the solution into x. b and x may alias.
+// It reuses the factorisation's scratch vector, so concurrent Solve
+// calls on one LU are not safe.
 func (f *LU) Solve(b, x []float64) {
 	n := f.n
 	if len(b) != n || len(x) != n {
 		panic("num: Solve dimension mismatch")
 	}
 	// Apply permutation: y = P·b.
-	y := make([]float64, n)
+	if len(f.y) < n {
+		f.y = make([]float64, n)
+	}
+	y := f.y[:n]
 	for i := 0; i < n; i++ {
 		y[i] = b[f.piv[i]]
 	}
@@ -225,17 +267,50 @@ func (m *CMatrix) Zero() {
 	}
 }
 
-// CLU holds an LU factorisation with partial pivoting of a complex matrix.
+// CLU holds an LU factorisation with partial pivoting of a complex
+// matrix. Like LU it owns reusable buffers (see FactorInto) and must not
+// be shared between goroutines solving concurrently.
 type CLU struct {
 	n   int
 	lu  []complex128
 	piv []int
+	y   []complex128 // Solve scratch
+}
+
+// NewCLU returns a CLU buffer pre-sized for order-n systems, ready for
+// FactorInto.
+func NewCLU(n int) *CLU {
+	if n < 0 {
+		panic("num: negative CLU order")
+	}
+	return &CLU{n: n, lu: make([]complex128, n*n), piv: make([]int, n),
+		y: make([]complex128, n)}
 }
 
 // CFactor computes the complex LU factorisation of a without modifying it.
 func CFactor(a *CMatrix) (*CLU, error) {
+	f := NewCLU(a.N)
+	if err := f.FactorInto(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorInto refactors a into f's buffers without allocating (buffers
+// grow only when the order increases). The contents of a are not
+// modified.
+func (f *CLU) FactorInto(a *CMatrix) error {
 	n := a.N
-	f := &CLU{n: n, lu: make([]complex128, n*n), piv: make([]int, n)}
+	if cap(f.lu) < n*n {
+		f.lu = make([]complex128, n*n)
+		f.piv = make([]int, n)
+		f.y = make([]complex128, n)
+	} else {
+		f.lu = f.lu[:n*n]
+		f.piv = f.piv[:n]
+		f.y = f.y[:n]
+	}
+	f.n = n
 	copy(f.lu, a.Data)
 	for i := range f.piv {
 		f.piv[i] = i
@@ -251,7 +326,7 @@ func CFactor(a *CMatrix) (*CLU, error) {
 			}
 		}
 		if maxAbs == 0 || math.IsNaN(maxAbs) {
-			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
 		}
 		if p != k {
 			rowP := lu[p*n : p*n+n]
@@ -275,16 +350,21 @@ func CFactor(a *CMatrix) (*CLU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // Solve solves A·x = b over the complex field, writing the result into x.
+// It reuses the factorisation's scratch vector, so concurrent Solve
+// calls on one CLU are not safe.
 func (f *CLU) Solve(b, x []complex128) {
 	n := f.n
 	if len(b) != n || len(x) != n {
 		panic("num: CLU.Solve dimension mismatch")
 	}
-	y := make([]complex128, n)
+	if len(f.y) < n {
+		f.y = make([]complex128, n)
+	}
+	y := f.y[:n]
 	for i := 0; i < n; i++ {
 		y[i] = b[f.piv[i]]
 	}

@@ -1,0 +1,83 @@
+package num
+
+// Workspace bundles the reusable buffers of a real MNA solve: the system
+// matrix J, the right-hand side B, the Newton update Xn, and an LU
+// factorisation buffer (which carries its own pivot and scratch arrays).
+// Solver drivers that are handed a Workspace can iterate without
+// allocating. A Workspace serves one goroutine at a time; it is not safe
+// for concurrent use.
+type Workspace struct {
+	J  *Matrix
+	B  []float64
+	Xn []float64
+	LU *LU
+}
+
+// NewWorkspace returns a workspace sized for order-n systems.
+func NewWorkspace(n int) *Workspace {
+	w := &Workspace{}
+	w.Resize(n)
+	return w
+}
+
+// Resize (re)sizes the workspace for order-n systems, keeping existing
+// allocations whenever they are large enough.
+func (w *Workspace) Resize(n int) {
+	if w.J == nil || cap(w.J.Data) < n*n {
+		w.J = &Matrix{N: n, Data: make([]float64, n*n)}
+	} else {
+		w.J.N = n
+		w.J.Data = w.J.Data[:n*n]
+	}
+	w.B = resizeVec(w.B, n)
+	w.Xn = resizeVec(w.Xn, n)
+	if w.LU == nil {
+		w.LU = NewLU(n)
+	}
+}
+
+// CWorkspace is the complex-field counterpart of Workspace, used by the
+// per-frequency solves of AC and noise analysis.
+type CWorkspace struct {
+	A  *CMatrix
+	B  []complex128
+	X  []complex128
+	LU *CLU
+}
+
+// NewCWorkspace returns a complex workspace sized for order-n systems.
+func NewCWorkspace(n int) *CWorkspace {
+	w := &CWorkspace{}
+	w.Resize(n)
+	return w
+}
+
+// Resize (re)sizes the workspace for order-n systems, keeping existing
+// allocations whenever they are large enough.
+func (w *CWorkspace) Resize(n int) {
+	if w.A == nil || cap(w.A.Data) < n*n {
+		w.A = &CMatrix{N: n, Data: make([]complex128, n*n)}
+	} else {
+		w.A.N = n
+		w.A.Data = w.A.Data[:n*n]
+	}
+	w.B = resizeCVec(w.B, n)
+	w.X = resizeCVec(w.X, n)
+	if w.LU == nil {
+		w.LU = NewCLU(n)
+	}
+}
+
+func resizeVec(v []float64, n int) []float64 {
+	if cap(v) < n {
+		return make([]float64, n)
+	}
+	return v[:n]
+}
+
+func resizeCVec(v []complex128, n int) []complex128 {
+	if cap(v) < n {
+		return make([]complex128, n)
+	}
+	return v[:n]
+}

@@ -1,0 +1,162 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFactorIntoMatchesFactor checks that refactoring through a reused
+// LU reproduces Factor's solution exactly.
+func TestFactorIntoMatchesFactor(t *testing.T) {
+	a, b := benchMatrix(12)
+	want, err := SolveSystem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewLU(12)
+	x := make([]float64, 12)
+	for rep := 0; rep < 3; rep++ {
+		if err := f.FactorInto(a); err != nil {
+			t.Fatal(err)
+		}
+		f.Solve(b, x)
+		for i := range x {
+			if x[i] != want[i] {
+				t.Fatalf("rep %d: x[%d] = %g, want %g", rep, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFactorIntoResizes checks the buffers grow and shrink with the
+// system order.
+func TestFactorIntoResizes(t *testing.T) {
+	f := NewLU(4)
+	for _, n := range []int{4, 9, 3} {
+		a, b := benchMatrix(n)
+		if err := f.FactorInto(a); err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		f.Solve(b, x)
+		// Verify residual A·x = b.
+		y := make([]float64, n)
+		a.MulVec(x, y)
+		for i := range y {
+			if math.Abs(y[i]-b[i]) > 1e-9 {
+				t.Fatalf("n=%d: residual %g at row %d", n, y[i]-b[i], i)
+			}
+		}
+	}
+}
+
+// TestFactorIntoSingularRecovers checks a singular matrix leaves the
+// receiver usable.
+func TestFactorIntoSingularRecovers(t *testing.T) {
+	f := NewLU(3)
+	if err := f.FactorInto(NewMatrix(3)); err == nil {
+		t.Fatal("zero matrix should be singular")
+	}
+	a, b := benchMatrix(3)
+	if err := f.FactorInto(a); err != nil {
+		t.Fatalf("refactor after singular: %v", err)
+	}
+	x := make([]float64, 3)
+	f.Solve(b, x)
+}
+
+// TestFactorIntoAllocFree asserts the steady-state factor+solve path is
+// allocation-free once the buffers exist.
+func TestFactorIntoAllocFree(t *testing.T) {
+	a, b := benchMatrix(16)
+	f := NewLU(16)
+	x := make([]float64, 16)
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := f.FactorInto(a); err != nil {
+			t.Fatal(err)
+		}
+		f.Solve(b, x)
+	})
+	if allocs != 0 {
+		t.Errorf("FactorInto+Solve allocates %v objects/op, want 0", allocs)
+	}
+}
+
+func cbenchMatrix(n int) (*CMatrix, []complex128) {
+	a, b := benchMatrix(n)
+	ca := NewCMatrix(n)
+	for i, v := range a.Data {
+		ca.Data[i] = complex(v, v/3)
+	}
+	cb := make([]complex128, n)
+	for i, v := range b {
+		cb[i] = complex(v, -v)
+	}
+	return ca, cb
+}
+
+// TestCFactorIntoMatchesCFactor is the complex-field analogue.
+func TestCFactorIntoMatchesCFactor(t *testing.T) {
+	a, b := cbenchMatrix(10)
+	want, err := CSolveSystem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewCLU(10)
+	x := make([]complex128, 10)
+	for rep := 0; rep < 3; rep++ {
+		if err := f.FactorInto(a); err != nil {
+			t.Fatal(err)
+		}
+		f.Solve(b, x)
+		for i := range x {
+			if x[i] != want[i] {
+				t.Fatalf("rep %d: x[%d] = %v, want %v", rep, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCFactorIntoAllocFree asserts the complex steady-state path is
+// allocation-free.
+func TestCFactorIntoAllocFree(t *testing.T) {
+	a, b := cbenchMatrix(16)
+	f := NewCLU(16)
+	x := make([]complex128, 16)
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := f.FactorInto(a); err != nil {
+			t.Fatal(err)
+		}
+		f.Solve(b, x)
+	})
+	if allocs != 0 {
+		t.Errorf("CFactorInto+Solve allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestWorkspaceReuse checks Resize keeps capacity and the buffers stay
+// consistent across size changes.
+func TestWorkspaceReuse(t *testing.T) {
+	w := NewWorkspace(8)
+	jData := &w.J.Data[0]
+	w.Resize(5)
+	if &w.J.Data[0] != jData {
+		t.Error("shrinking Resize should keep the matrix allocation")
+	}
+	if w.J.N != 5 || len(w.B) != 5 || len(w.Xn) != 5 {
+		t.Fatalf("Resize(5) left sizes J=%d B=%d Xn=%d", w.J.N, len(w.B), len(w.Xn))
+	}
+	w.Resize(12)
+	if w.J.N != 12 || len(w.B) != 12 || len(w.Xn) != 12 {
+		t.Fatalf("Resize(12) left sizes J=%d B=%d Xn=%d", w.J.N, len(w.B), len(w.Xn))
+	}
+	if w.LU == nil {
+		t.Fatal("workspace LU not allocated")
+	}
+
+	cw := NewCWorkspace(8)
+	cw.Resize(3)
+	if cw.A.N != 3 || len(cw.B) != 3 || len(cw.X) != 3 || cw.LU == nil {
+		t.Fatal("CWorkspace Resize inconsistent")
+	}
+}

@@ -247,7 +247,16 @@ const (
 // Evaluate builds and simulates the testbench, returning the measured
 // performance. It is the objective function of the paper's MOO step.
 func (c Config) Evaluate(p Params, sample *process.Sample) (Perf, error) {
-	freqs, tf, vout, err := c.response(p, sample, 10)
+	return c.EvaluateWS(p, sample, nil)
+}
+
+// EvaluateWS is Evaluate with a reusable solver workspace: the operating
+// point and AC sweep solve through ws instead of allocating fresh
+// matrices, factorisations and vectors. A nil ws allocates internally
+// (identical to Evaluate). A workspace serves one goroutine at a time —
+// give each evaluation worker its own.
+func (c Config) EvaluateWS(p Params, sample *process.Sample, ws *analysis.Workspace) (Perf, error) {
+	freqs, tf, vout, err := c.response(p, sample, 10, ws)
 	if err != nil {
 		return Perf{}, err
 	}
@@ -257,21 +266,21 @@ func (c Config) Evaluate(p Params, sample *process.Sample) (Perf, error) {
 // Response returns the open-loop frequency response (Fig 8's series) at
 // pointsPerDecade resolution.
 func (c Config) Response(p Params, sample *process.Sample, pointsPerDecade int) ([]float64, []complex128, error) {
-	freqs, tf, _, err := c.response(p, sample, pointsPerDecade)
+	freqs, tf, _, err := c.response(p, sample, pointsPerDecade, nil)
 	return freqs, tf, err
 }
 
-func (c Config) response(p Params, sample *process.Sample, ppd int) ([]float64, []complex128, float64, error) {
+func (c Config) response(p Params, sample *process.Sample, ppd int, ws *analysis.Workspace) ([]float64, []complex128, float64, error) {
 	if err := validate(p); err != nil {
 		return nil, nil, 0, err
 	}
 	n := c.Build(p, sample)
-	op, err := analysis.OP(n, nil)
+	op, err := analysis.OP(n, &analysis.OPOptions{WS: ws})
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("ota: %w", err)
 	}
 	vout, _ := op.V("out")
-	ac, err := analysis.ACDecade(n, op, sweepStart, sweepStop, ppd)
+	ac, err := analysis.ACDecadeWith(n, op, sweepStart, sweepStop, ppd, ws)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("ota: %w", err)
 	}

@@ -33,6 +33,16 @@ type Problem interface {
 	Evaluate(paramGenes []float64) ([]float64, error)
 }
 
+// ReusableProblem is an optional Problem extension for problems whose
+// evaluation benefits from per-goroutine scratch state (e.g. reusable
+// circuit-solver workspaces). Each worker goroutine of a run calls
+// NewEvaluator once and evaluates exclusively through the returned
+// function, which therefore does not need to be safe for concurrent use.
+type ReusableProblem interface {
+	Problem
+	NewEvaluator() func(paramGenes []float64) ([]float64, error)
+}
+
 // Options configures a WBGA run. The paper's OTA example uses
 // PopSize=100, Generations=100 (10,000 evaluations).
 type Options struct {
@@ -43,9 +53,20 @@ type Options struct {
 	// Crossover selects the GA recombination operator (default
 	// SinglePoint, as in the classic GA-string treatment).
 	Crossover ga.CrossoverKind
+	// CacheSize bounds the genome evaluation cache: converging
+	// populations re-emit duplicate parameter genomes (elites, crossover
+	// without mutation), and cached genomes skip the circuit simulation
+	// entirely. 0 selects the default (8192 genomes); negative disables
+	// caching.
+	CacheSize int
 	// OnGeneration, when non-nil, observes progress (gen is 1-based).
 	OnGeneration func(gen, evals int)
 }
+
+// DefaultCacheSize is the genome-cache bound used when Options.CacheSize
+// is zero — comfortably above the paper's 10,000-evaluation budget once
+// duplicates are folded.
+const DefaultCacheSize = 8192
 
 // Evaluation is one archived individual: its parameter genes, its
 // normalised weight vector, the raw objective values and the scalar
@@ -69,6 +90,10 @@ type Result struct {
 	FrontIdx []int
 	// Evaluations counts objective evaluations (PopSize × Generations).
 	Evaluations int
+	// CacheHits and CacheMisses count genome-cache lookups: every hit is
+	// one circuit simulation skipped. Both stay zero when caching is
+	// disabled.
+	CacheHits, CacheMisses int
 }
 
 // Front returns the Pareto-optimal evaluations.
@@ -105,11 +130,12 @@ func NormalizeWeights(raw []float64) []float64 {
 }
 
 // evaluator adapts a Problem to the ga.PopulationEvaluator interface,
-// maintaining the archive and the running objective ranges used by the
-// eq. 5 normalisation.
+// maintaining the archive, the genome cache and the running objective
+// ranges used by the eq. 5 normalisation.
 type evaluator struct {
 	prob    Problem
 	workers int
+	cache   *genomeCache // nil disables caching
 
 	mu      sync.Mutex
 	archive []Evaluation
@@ -117,15 +143,57 @@ type evaluator struct {
 	min, max []float64
 }
 
-func newEvaluator(p Problem, workers int) *evaluator {
+func newEvaluator(p Problem, workers int, cache *genomeCache) *evaluator {
 	m := p.NumObjectives()
-	e := &evaluator{prob: p, workers: workers,
+	e := &evaluator{prob: p, workers: workers, cache: cache,
 		min: make([]float64, m), max: make([]float64, m)}
 	for k := 0; k < m; k++ {
 		e.min[k] = math.Inf(1)
 		e.max[k] = math.Inf(-1)
 	}
 	return e
+}
+
+// evalFunc returns the evaluation function one worker goroutine owns for
+// its lifetime: problems implementing ReusableProblem get a private
+// scratch-owning closure, everything else shares the concurrency-safe
+// Evaluate.
+func (e *evaluator) evalFunc() func([]float64) ([]float64, error) {
+	if rp, ok := e.prob.(ReusableProblem); ok {
+		return rp.NewEvaluator()
+	}
+	return e.prob.Evaluate
+}
+
+// evaluateOne scores one parameter-gene vector through the cache: a hit
+// returns the memoised objectives without simulating; a miss simulates
+// via the worker's eval function and memoises the outcome (failures
+// included, so known-bad genomes are never re-simulated).
+func (e *evaluator) evaluateOne(eval func([]float64) ([]float64, error), params []float64) ([]float64, bool) {
+	m := e.prob.NumObjectives()
+	var key string
+	if e.cache != nil {
+		key = quantKey(params)
+		if ent, hit := e.cache.get(key); hit {
+			if !ent.ok {
+				return nil, false
+			}
+			return append([]float64(nil), ent.objs...), true
+		}
+	}
+	objs, err := eval(params)
+	ok := err == nil && len(objs) == m
+	if e.cache != nil {
+		ent := cacheEntry{ok: ok}
+		if ok {
+			ent.objs = append([]float64(nil), objs...)
+		}
+		e.cache.put(key, ent)
+	}
+	if !ok {
+		return nil, false
+	}
+	return objs, true
 }
 
 // EvaluatePopulation scores one generation: it simulates every
@@ -140,28 +208,40 @@ func (e *evaluator) EvaluatePopulation(genomes [][]float64) []float64 {
 	m := e.prob.NumObjectives()
 	maximize := e.prob.Maximize()
 
+	// A fixed pool of workers, each owning a long-lived evaluation
+	// function (and with it any reusable solver workspaces), drains the
+	// generation off a channel. Archive order stays index-ordered, so
+	// results are identical for any worker count.
 	evals := make([]Evaluation, len(genomes))
+	idxCh := make(chan int)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.workers)
-	for i, g := range genomes {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, g []float64) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			params := append([]float64(nil), g[:np]...)
-			weights := NormalizeWeights(g[np:])
-			objs, err := e.prob.Evaluate(params)
-			ev := Evaluation{ParamGenes: params, Weights: weights}
-			if err != nil || len(objs) != m {
-				ev.Objectives = nanVec(m)
-			} else {
-				ev.Objectives = objs
-				ev.OK = true
-			}
-			evals[i] = ev
-		}(i, g)
+	workers := e.workers
+	if workers > len(genomes) {
+		workers = len(genomes)
 	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eval := e.evalFunc()
+			for i := range idxCh {
+				g := genomes[i]
+				params := append([]float64(nil), g[:np]...)
+				ev := Evaluation{ParamGenes: params, Weights: NormalizeWeights(g[np:])}
+				if objs, ok := e.evaluateOne(eval, params); ok {
+					ev.Objectives = objs
+					ev.OK = true
+				} else {
+					ev.Objectives = nanVec(m)
+				}
+				evals[i] = ev
+			}
+		}()
+	}
+	for i := range genomes {
+		idxCh <- i
+	}
+	close(idxCh)
 	wg.Wait()
 
 	e.mu.Lock()
@@ -239,7 +319,11 @@ func Run(p Problem, o Options) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	ev := newEvaluator(p, workers)
+	cacheSize := o.CacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	ev := newEvaluator(p, workers, newGenomeCache(cacheSize))
 	cfg := ga.Config{
 		GenomeLen:   p.NumParams() + p.NumObjectives(),
 		PopSize:     o.PopSize,
@@ -260,6 +344,8 @@ func Run(p Problem, o Options) (*Result, error) {
 	}
 
 	res := &Result{Evals: ev.archive, Evaluations: gaRes.Evaluations}
+	hits, misses := ev.cache.stats()
+	res.CacheHits, res.CacheMisses = int(hits), int(misses)
 	objs := make([][]float64, len(res.Evals))
 	for i := range res.Evals {
 		objs[i] = res.Evals[i].Objectives

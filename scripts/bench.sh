@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the performance benchmark suite and compare against the recorded
+# baseline.
+#
+#   scripts/bench.sh            run + compare (fails on >5% regression)
+#   BENCH_COUNT=5 scripts/bench.sh   more repetitions for stable numbers
+#
+# Results land in benchmarks/latest.txt; promote a run to the baseline
+# with `cp benchmarks/latest.txt benchmarks/baseline.txt` once the
+# numbers are intentional.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+COUNT="${BENCH_COUNT:-1}"
+PKGS="./internal/num ./internal/analysis ./internal/wbga"
+OUT=benchmarks/latest.txt
+
+mkdir -p benchmarks
+
+echo "== benchmarking (count=$COUNT): $PKGS"
+# -run '^$' skips tests so only benchmarks execute.
+go test -run '^$' -bench . -benchmem -count "$COUNT" $PKGS | tee "$OUT"
+
+echo
+scripts/bench-compare.sh benchmarks/baseline.txt "$OUT"
