@@ -1,12 +1,17 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race vet check bench bench-paper bench-perf examples cover
+.PHONY: build test test-race vet lint check bench bench-paper bench-perf examples cover
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# go vet + staticcheck (when installed) + the deprecated-API gate
+# (in-repo use of FlowConfig.OnProgress fails the build).
+lint:
+	scripts/lint.sh
 
 test:
 	go test ./...
@@ -17,7 +22,7 @@ test-race:
 	go test -race ./internal/wbga/... ./internal/montecarlo/... ./internal/analysis/... ./internal/core/...
 
 # Everything CI should gate on.
-check: vet test test-race
+check: lint test test-race
 
 # Solver/engine micro-benchmarks with baseline comparison (fails on >5%
 # ns/op regression when benchmarks/baseline.txt exists).

@@ -11,6 +11,7 @@
 package analogyield_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -59,7 +60,7 @@ func sharedFlow(b *testing.B) *core.FlowResult {
 	flowOnce.Do(func() {
 		bud := budget()
 		t0 := time.Now()
-		flowRes, flowErr = core.RunFlow(core.FlowConfig{
+		flowRes, flowErr = core.RunFlow(context.Background(), core.FlowConfig{
 			Problem:     core.NewOTAProblem(),
 			Proc:        process.C35(),
 			PopSize:     bud.pop,
@@ -357,7 +358,7 @@ func BenchmarkTable5_FlowSummary(b *testing.B) {
 	// Kernel: one tiny flow (the whole pipeline at minimum budget).
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := core.RunFlow(core.FlowConfig{
+		_, err := core.RunFlow(context.Background(), core.FlowConfig{
 			Problem:     core.NewOTAProblem(),
 			Proc:        process.C35(),
 			PopSize:     16,
@@ -433,11 +434,12 @@ func sharedFilterDesign(b *testing.B) (*filter.OptimizeResult, *filter.YieldResu
 	gm, ro := filterGmRo(b)
 	filtOnce.Do(func() {
 		prob := &filter.Problem{Spec: filter.DefaultSpec(), Space: filter.DefaultCapSpace(), GM: gm, Ro: ro}
-		filtOpt, filtErr = filter.Optimize(prob, 30, 40, 1) // paper's 30 x 40
+		filtOpt, filtErr = filter.Optimize(context.Background(), prob,
+			filter.OptimizeOptions{PopSize: 30, Generations: 40, Seed: 1}) // paper's 30 x 40
 		if filtErr != nil {
 			return
 		}
-		filtYr, filtErr = filter.VerifyYield(filtOpt.Caps, ota.DefaultConfig(), otaForFilt,
+		filtYr, filtErr = filter.VerifyYield(context.Background(), filtOpt.Caps, ota.DefaultConfig(), otaForFilt,
 			filter.DefaultSpec(), process.C35(), budget().filterMC, 7)
 	})
 	if filtErr != nil {
@@ -613,14 +615,14 @@ func BenchmarkAblation_WBGAvsFixedWeights(b *testing.B) {
 		prob := core.NewOTAProblem()
 		pop, gen := 30, 20
 		// WBGA: weights in the GA string.
-		wres, err := wbga.Run(wbgaShim{prob}, wbga.Options{PopSize: pop, Generations: gen, Seed: 5})
+		wres, err := wbga.Run(context.Background(), wbgaShim{prob}, wbga.Options{PopSize: pop, Generations: gen, Seed: 5})
 		if err != nil {
 			fmt.Println("  error:", err)
 			return
 		}
 		// Fixed weights: same budget, weight genes pinned by using a
 		// 0-weight-gene problem (equal weights throughout).
-		fres, err := wbga.Run(fixedShim{prob}, wbga.Options{PopSize: pop, Generations: gen, Seed: 5})
+		fres, err := wbga.Run(context.Background(), fixedShim{prob}, wbga.Options{PopSize: pop, Generations: gen, Seed: 5})
 		if err != nil {
 			fmt.Println("  error:", err)
 			return
@@ -752,7 +754,7 @@ func BenchmarkSec44_YieldVerification(b *testing.B) {
 	if paperScale() {
 		samples = 500 // the paper's verification budget
 	}
-	ver, err := core.VerifyDesignYield(prob, process.C35(), genes, spec0, spec1, samples, 21)
+	ver, err := core.VerifyDesignYield(context.Background(), prob, process.C35(), genes, spec0, spec1, samples, 21)
 	if err != nil {
 		b.Fatal(err)
 	}

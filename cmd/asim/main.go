@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
@@ -30,6 +33,22 @@ import (
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "asim:", err)
 	os.Exit(1)
+}
+
+// expvar counters: published under "asim" so embedding asim's analysis
+// loop in a served process exposes them alongside memstats; the -perf
+// flag renders the same map on stderr.
+var (
+	simStats     = expvar.NewMap("asim")
+	statAnalyses = new(expvar.Int)
+	statNewton   = new(expvar.Int)
+	statSolves   = new(expvar.Int)
+)
+
+func init() {
+	simStats.Set("analyses", statAnalyses)
+	simStats.Set("newton_iterations", statNewton)
+	simStats.Set("linear_solves", statSolves)
 }
 
 func main() {
@@ -56,30 +75,37 @@ func main() {
 	fmt.Fprintln(os.Stderr, n.Stats())
 
 	probes := probeNodes(n, *probe)
+
+	// SIGINT aborts between analyses (each single analysis is short;
+	// the checks bound latency to one analysis).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var m0 runtime.MemStats
 	t0 := time.Now()
 	if *perf {
 		runtime.ReadMemStats(&m0)
 	}
 	ran := false
-	if *doOP {
-		runOP(n, probes, *doDev)
-		ran = true
+	steps := []struct {
+		enabled bool
+		run     func()
+	}{
+		{*doOP, func() { runOP(n, probes, *doDev) }},
+		{*acArg != "", func() { runAC(n, probes, *acArg) }},
+		{*dcArg != "", func() { runDC(n, probes, *dcArg) }},
+		{*trArg != "", func() { runTran(n, probes, *trArg) }},
+		{*nzArg != "", func() { runNoise(n, *nzArg) }},
 	}
-	if *acArg != "" {
-		runAC(n, probes, *acArg)
-		ran = true
-	}
-	if *dcArg != "" {
-		runDC(n, probes, *dcArg)
-		ran = true
-	}
-	if *trArg != "" {
-		runTran(n, probes, *trArg)
-		ran = true
-	}
-	if *nzArg != "" {
-		runNoise(n, *nzArg)
+	for _, s := range steps {
+		if !s.enabled {
+			continue
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "asim: interrupted")
+			os.Exit(130)
+		}
+		s.run()
 		ran = true
 	}
 	if !ran {
@@ -91,6 +117,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "# perf: %.3fms wall, %d heap allocs, %.1f KiB allocated\n",
 			float64(time.Since(t0).Microseconds())/1000,
 			m1.Mallocs-m0.Mallocs, float64(m1.TotalAlloc-m0.TotalAlloc)/1024)
+		fmt.Fprintf(os.Stderr, "# metrics: %s\n", simStats.String())
 	}
 }
 
@@ -118,6 +145,9 @@ func runOP(n *circuit.Netlist, probes []string, devices bool) {
 	if err != nil {
 		fail(err)
 	}
+	statAnalyses.Add(1)
+	statNewton.Add(int64(op.Iterations))
+	statSolves.Add(int64(op.Iterations))
 	fmt.Printf("# operating point (%d Newton iterations)\n", op.Iterations)
 	for _, node := range probes {
 		v, err := op.V(node)
@@ -160,6 +190,9 @@ func runAC(n *circuit.Netlist, probes []string, arg string) {
 	if err != nil {
 		fail(err)
 	}
+	statAnalyses.Add(1)
+	statNewton.Add(int64(op.Iterations))
+	statSolves.Add(int64(len(res.Freqs)))
 	fmt.Printf("# freq_hz")
 	for _, p := range probes {
 		fmt.Printf(" mag_db(%s) phase_deg(%s)", p, p)
@@ -202,6 +235,8 @@ func runDC(n *circuit.Netlist, probes []string, arg string) {
 	if err != nil {
 		fail(err)
 	}
+	statAnalyses.Add(1)
+	statSolves.Add(int64(len(pts)))
 	fmt.Printf("# %s", src)
 	for _, p := range probes {
 		fmt.Printf(" V(%s)", p)
@@ -251,6 +286,9 @@ func runNoise(n *circuit.Netlist, arg string) {
 	if err != nil {
 		fail(err)
 	}
+	statAnalyses.Add(1)
+	statNewton.Add(int64(op.Iterations))
+	statSolves.Add(int64(len(res.Freqs)))
 	fmt.Printf("# freq_hz vnoise_v_per_rthz\n")
 	for i, f := range res.Freqs {
 		fmt.Printf("%.6g %.6g\n", f, math.Sqrt(res.OutputPSD[i]))
@@ -275,6 +313,8 @@ func runTran(n *circuit.Netlist, probes []string, arg string) {
 	if err != nil {
 		fail(err)
 	}
+	statAnalyses.Add(1)
+	statSolves.Add(int64(len(res.Times)))
 	fmt.Printf("# time_s")
 	for _, p := range probes {
 		fmt.Printf(" V(%s)", p)

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"analogyield/internal/behave"
 	"analogyield/internal/core"
@@ -22,6 +25,17 @@ import (
 	"analogyield/internal/process"
 	"analogyield/internal/yield"
 )
+
+// fail reports err and exits: 130 for an interrupt (matching shell
+// convention), 1 for anything else.
+func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "filterdesign: interrupted")
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, "filterdesign:", err)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -33,8 +47,14 @@ func main() {
 		mc       = flag.Int("mc", 500, "Monte Carlo yield samples (paper: 500)")
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		series   = flag.Bool("series", false, "print the filter response series (Fig 11)")
+		verbose  = flag.Bool("v", false, "print per-generation MOO progress")
 	)
 	flag.Parse()
+
+	// SIGINT cancels the capacitor MOO (within one generation) and the
+	// Monte Carlo yield run (within one sample batch).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cfg := ota.DefaultConfig()
 	params := ota.NominalParams()
@@ -75,10 +95,18 @@ func main() {
 		spec.RippleDB, spec.PassbandEdge, spec.StopbandAttenDB, spec.StopbandEdge)
 
 	prob := &filter.Problem{Spec: spec, Space: filter.DefaultCapSpace(), GM: gm, Ro: ro}
-	opt, err := filter.Optimize(prob, *pop, *gen, *seed)
+	optOpts := filter.OptimizeOptions{PopSize: *pop, Generations: *gen, Seed: *seed}
+	if *verbose {
+		optOpts.Obs = core.ObserverFunc(func(e core.Event) {
+			if g, ok := e.(core.GenerationDone); ok {
+				fmt.Fprintf(os.Stderr, "gen %3d/%d: best fitness %.4f\n",
+					g.Gen, g.Generations, g.BestFitness)
+			}
+		})
+	}
+	opt, err := filter.Optimize(ctx, prob, optOpts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "filterdesign:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("Optimised capacitors (%d behavioural evaluations, front %d):\n",
 		opt.Evaluations, opt.FrontSize)
@@ -99,10 +127,9 @@ func main() {
 		rt.DCGainDB, rt.PassbandDevDB, rt.StopbandAttenDB, rt.F3dB)
 	fmt.Printf("  meets spec at transistor level: %v\n", spec.Satisfies(rt))
 
-	yr, err := filter.VerifyYield(opt.Caps, cfg, params, spec, process.C35(), *mc, *seed+99)
+	yr, err := filter.VerifyYield(ctx, opt.Caps, cfg, params, spec, process.C35(), *mc, *seed+99)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "filterdesign: yield:", err)
-		os.Exit(1)
+		fail(fmt.Errorf("yield: %w", err))
 	}
 	passes := int(yr.Yield*float64(yr.Samples) + 0.5)
 	lo, hi, _ := yield.WilsonInterval(passes, yr.Samples)

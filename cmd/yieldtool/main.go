@@ -7,13 +7,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 
 	"analogyield/internal/core"
 	"analogyield/internal/ota"
+	"analogyield/internal/process"
 	"analogyield/internal/yield"
 )
 
@@ -23,8 +26,13 @@ func main() {
 		gain   = flag.Float64("gain", 50, "required minimum open-loop gain, dB")
 		pm     = flag.Float64("pm", 80, "required minimum phase margin, deg")
 		verify = flag.Bool("verify", false, "simulate the transistor OTA at the interpolated parameters")
+		mcVer  = flag.Int("mc", 0, "with -verify: Monte Carlo samples for a yield check (0 disables)")
 	)
 	flag.Parse()
+
+	// SIGINT cancels the (optional) Monte Carlo verification run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	m, err := core.LoadModel(*dir)
 	if err != nil {
@@ -76,4 +84,19 @@ func main() {
 		100*math.Abs(perf.GainDB-d.Target[0])/perf.GainDB)
 	fmt.Printf("  %-14s %-16.2f %-16.2f %-8.2f\n", "Phase margin", perf.PMDeg, d.Target[1],
 		100*math.Abs(perf.PMDeg-d.Target[1])/perf.PMDeg)
+
+	if *mcVer > 0 {
+		genes, err := prob.GenesForDesign(d)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yieldtool:", err)
+			os.Exit(1)
+		}
+		ver, err := core.VerifyDesignYield(ctx, prob, process.C35(), genes, spec0, spec1, *mcVer, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yieldtool: yield verification:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nMonte Carlo verification (%d samples): yield %.1f%%\n",
+			ver.Samples, 100*ver.Yield)
+	}
 }

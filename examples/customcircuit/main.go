@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -123,7 +124,7 @@ func (a csAmp) Evaluate(genes []float64, sample *process.Sample) ([]float64, err
 
 func main() {
 	prob := csAmp{nmos: mos.NominalNMOS(), pmos: mos.NominalPMOS()}
-	res, err := core.RunFlow(core.FlowConfig{
+	res, err := core.RunFlow(context.Background(), core.FlowConfig{
 		Problem:     prob,
 		Proc:        process.C35(),
 		PopSize:     30,

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,8 @@ func main() {
 	// each candidate is a 3-node linear solve instead of a 26-transistor
 	// simulation.
 	prob := &filter.Problem{Spec: spec, Space: filter.DefaultCapSpace(), GM: gm, Ro: ro}
-	opt, err := filter.Optimize(prob, 30, 40, 1)
+	opt, err := filter.Optimize(context.Background(), prob,
+		filter.OptimizeOptions{PopSize: 30, Generations: 40, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +59,7 @@ func main() {
 	fmt.Printf("meets spec: %v\n", spec.Satisfies(rt))
 
 	// Monte Carlo yield, as in the paper's final check.
-	yr, err := filter.VerifyYield(opt.Caps, cfg, params, spec, process.C35(), 500, 7)
+	yr, err := filter.VerifyYield(context.Background(), opt.Caps, cfg, params, spec, process.C35(), 500, 7)
 	if err != nil {
 		log.Fatal(err)
 	}

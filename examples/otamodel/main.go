@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -30,7 +31,7 @@ func main() {
 		outDir = os.Args[1]
 	}
 
-	res, err := core.RunFlow(core.FlowConfig{
+	res, err := core.RunFlow(context.Background(), core.FlowConfig{
 		Problem:     core.NewOTAProblem(),
 		Proc:        process.C35(),
 		PopSize:     50,

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -29,7 +30,7 @@ func main() {
 		fmt.Printf("loaded model from %s (%d points)\n", os.Args[1], len(m.Points))
 	} else {
 		fmt.Println("no model directory given; building a small model first...")
-		res, err := core.RunFlow(core.FlowConfig{
+		res, err := core.RunFlow(context.Background(), core.FlowConfig{
 			Problem:     core.NewOTAProblem(),
 			Proc:        process.C35(),
 			PopSize:     40,

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	// 2. Run the flow: WBGA optimisation -> Pareto front -> Monte Carlo
 	//    variation analysis -> table model. Budgets here are reduced
 	//    from the paper's 100x100 / 200 for a fast first run.
-	res, err := core.RunFlow(core.FlowConfig{
+	res, err := core.RunFlow(context.Background(), core.FlowConfig{
 		Problem:     problem,
 		Proc:        process.C35(),
 		PopSize:     40,

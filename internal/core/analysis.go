@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"analogyield/internal/montecarlo"
@@ -39,13 +40,14 @@ type YieldVerification struct {
 
 // VerifyDesignYield runs samples Monte Carlo simulations of the circuit
 // at the given design genes and reports the fraction meeting both specs
-// (the paper runs 500 samples and verifies 100%).
-func VerifyDesignYield(prob CircuitProblem, proc *process.Process, genes []float64,
+// (the paper runs 500 samples and verifies 100%). Cancelling ctx stops
+// the sampling with ctx.Err().
+func VerifyDesignYield(ctx context.Context, prob CircuitProblem, proc *process.Process, genes []float64,
 	spec0, spec1 yield.Spec, samples int, seed int64) (*YieldVerification, error) {
 	if samples <= 0 {
 		return nil, fmt.Errorf("core: non-positive sample count %d", samples)
 	}
-	mc, err := montecarlo.RunFactory(montecarlo.Options{
+	mc, err := montecarlo.RunFactory(ctx, montecarlo.Options{
 		Proc:    proc,
 		Samples: samples,
 		Seed:    seed,
@@ -101,7 +103,7 @@ type YieldTargetResult struct {
 // when the verified yield falls short of the target — widens the guard
 // band and repeats. It returns the first design meeting the target, or
 // an error when the front runs out of headroom.
-func DesignForYieldTarget(m *Model, prob CircuitProblem, proc *process.Process,
+func DesignForYieldTarget(ctx context.Context, m *Model, prob CircuitProblem, proc *process.Process,
 	spec0, spec1 yield.Spec, targetYield float64, samples int, seed int64) (*YieldTargetResult, error) {
 	inv, ok := prob.(GeneInverter)
 	if !ok {
@@ -125,7 +127,7 @@ func DesignForYieldTarget(m *Model, prob CircuitProblem, proc *process.Process,
 		if err != nil {
 			return nil, err
 		}
-		ver, err := VerifyDesignYield(prob, proc, genes, spec0, spec1, samples, seed)
+		ver, err := VerifyDesignYield(ctx, prob, proc, genes, spec0, spec1, samples, seed)
 		if err != nil {
 			return nil, err
 		}

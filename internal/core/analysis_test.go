@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"analogyield/internal/process"
@@ -82,7 +83,7 @@ func TestVerifyDesignYield(t *testing.T) {
 	for i, v := range d.Params {
 		genes[i] = (v - 10) / 50 // inverse of synthProblem.Denormalize
 	}
-	ver, err := VerifyDesignYield(synthProblem{}, process.C35(), genes, spec0, spec1, 200, 11)
+	ver, err := VerifyDesignYield(context.Background(), synthProblem{}, process.C35(), genes, spec0, spec1, 200, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestVerifyDesignYield(t *testing.T) {
 }
 
 func TestVerifyDesignYieldValidation(t *testing.T) {
-	if _, err := VerifyDesignYield(synthProblem{}, process.C35(), []float64{0, 0, 0},
+	if _, err := VerifyDesignYield(context.Background(), synthProblem{}, process.C35(), []float64{0, 0, 0},
 		yield.Spec{}, yield.Spec{}, 0, 1); err == nil {
 		t.Error("zero samples accepted")
 	}
@@ -143,7 +144,7 @@ func TestDesignForYieldTarget(t *testing.T) {
 	}
 	spec0 := yield.Spec{Name: "gain", Sense: yield.AtLeast, Bound: bound}
 	spec1 := yield.Spec{Name: "pm", Sense: yield.AtLeast, Bound: pmAt - 4}
-	out, err := DesignForYieldTarget(m, synthProblem{}, process.C35(),
+	out, err := DesignForYieldTarget(context.Background(), m, synthProblem{}, process.C35(),
 		spec0, spec1, 0.95, 120, 17)
 	if err != nil {
 		t.Fatal(err)
@@ -162,12 +163,12 @@ func TestDesignForYieldTarget(t *testing.T) {
 func TestDesignForYieldTargetValidation(t *testing.T) {
 	res := smallFlow(t)
 	m := res.Model
-	if _, err := DesignForYieldTarget(m, synthProblem{}, process.C35(),
+	if _, err := DesignForYieldTarget(context.Background(), m, synthProblem{}, process.C35(),
 		yield.Spec{}, yield.Spec{}, 1.5, 10, 1); err == nil {
 		t.Error("target > 1 accepted")
 	}
 	// A problem without the inverse interface.
-	if _, err := DesignForYieldTarget(m, bareProblem{}, process.C35(),
+	if _, err := DesignForYieldTarget(context.Background(), m, bareProblem{}, process.C35(),
 		yield.Spec{}, yield.Spec{}, 0.9, 10, 1); err == nil {
 		t.Error("non-invertible problem accepted")
 	}

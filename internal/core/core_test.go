@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"strings"
@@ -44,7 +45,7 @@ func (synthProblem) Denormalize(g []float64) ([]float64, error) {
 
 func smallFlow(t *testing.T) *FlowResult {
 	t.Helper()
-	res, err := RunFlow(FlowConfig{
+	res, err := RunFlow(context.Background(), FlowConfig{
 		Problem:     synthProblem{},
 		Proc:        process.C35(),
 		PopSize:     24,
@@ -96,17 +97,17 @@ func TestRunFlowEndToEnd(t *testing.T) {
 }
 
 func TestRunFlowValidation(t *testing.T) {
-	if _, err := RunFlow(FlowConfig{Proc: process.C35()}); err == nil {
+	if _, err := RunFlow(context.Background(), FlowConfig{Proc: process.C35()}); err == nil {
 		t.Error("nil problem accepted")
 	}
-	if _, err := RunFlow(FlowConfig{Problem: synthProblem{}}); err == nil {
+	if _, err := RunFlow(context.Background(), FlowConfig{Problem: synthProblem{}}); err == nil {
 		t.Error("nil process accepted")
 	}
 }
 
 func TestRunFlowProgressCallback(t *testing.T) {
 	stages := map[string]int{}
-	_, err := RunFlow(FlowConfig{
+	_, err := RunFlow(context.Background(), FlowConfig{
 		Problem: synthProblem{}, Proc: process.C35(),
 		PopSize: 10, Generations: 5, MCSamples: 10, Seed: 2,
 		OnProgress: func(stage string, done, total int) {
@@ -352,7 +353,7 @@ func TestRunFlowOTAIntegration(t *testing.T) {
 	if testing.Short() {
 		t.Skip("OTA integration flow in -short mode")
 	}
-	res, err := RunFlow(FlowConfig{
+	res, err := RunFlow(context.Background(), FlowConfig{
 		Problem:     NewOTAProblem(),
 		Proc:        process.C35(),
 		PopSize:     16,

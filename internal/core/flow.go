@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"os"
 	"time"
 
 	"analogyield/internal/analysis"
@@ -12,25 +15,135 @@ import (
 
 // FlowConfig configures a full model-building run. The paper's budgets
 // are PopSize=100, Generations=100 (10,000 evaluations) and
-// MCSamples=200 per Pareto point.
+// MCSamples=200 per Pareto point; zero values select those defaults,
+// negative values are rejected by Validate.
 type FlowConfig struct {
 	Problem CircuitProblem   // required
 	Proc    *process.Process // required (variation model)
 
-	PopSize     int // default 100
-	Generations int // default 100
-	MCSamples   int // default 200
+	PopSize     int // 0 → 100
+	Generations int // 0 → 100
+	MCSamples   int // 0 → 200
 	Seed        int64
-	Workers     int // parallelism for MOO and MC (default GOMAXPROCS)
+	Workers     int // parallelism for MOO and MC (0 → GOMAXPROCS)
 	// CacheSize bounds the MOO genome evaluation cache (0 selects the
 	// wbga default, negative disables; see wbga.Options.CacheSize).
 	CacheSize int
 
 	Model ModelOptions
 
-	// OnProgress, when non-nil, reports stage progress: stage is "moo"
+	// MaxDroppedFraction bounds the tolerated fraction of Pareto points
+	// whose Monte Carlo analysis fails entirely. Dropped points are
+	// excluded from the model and counted in FlowResult.DroppedPoints;
+	// once more than this fraction of the front is lost the flow fails
+	// instead of silently building a model from the remainder.
+	// 0 selects the default 0.25; values >= 1 tolerate any loss.
+	MaxDroppedFraction float64
+
+	// Checkpoint, when non-empty, is the path of the resume file: the
+	// flow checkpoints after the MOO stage and after every
+	// CheckpointEvery Monte Carlo points, and a later RunFlow with the
+	// same deterministic configuration (problem shape, budgets, seed)
+	// resumes from it, producing results bit-identical to an
+	// uninterrupted run. The file is removed when the flow completes.
+	Checkpoint string
+	// CheckpointEvery is the Monte Carlo checkpoint cadence in points
+	// (0 → 16; negative checkpoints only after the MOO stage and on
+	// cancellation).
+	CheckpointEvery int
+
+	// Obs, when non-nil, receives the flow's typed event stream (see
+	// Event). Events are delivered synchronously from the flow
+	// goroutine.
+	Obs Observer
+
+	// Metrics, when non-nil, is updated in place as the flow runs, so a
+	// long-lived caller can export one registry (via Metrics.Publish /
+	// expvar) across many flows. A nil Metrics uses a private registry;
+	// either way FlowResult.Metrics carries the end-of-run snapshot.
+	Metrics *Metrics
+
+	// OnProgress reports coarse stage progress: stage is "moo"
 	// (done = evaluations) or "mc" (done = Pareto points analysed).
+	//
+	// Deprecated: use Obs. OnProgress is adapted internally onto the
+	// typed event stream and will be removed one release after the
+	// Observer API; new code should consume GenerationDone/MCPointDone
+	// events instead.
 	OnProgress func(stage string, done, total int)
+}
+
+// Validate checks the configuration for nonsensical values, returning an
+// explicit error instead of silently substituting defaults. Zero values
+// for PopSize/Generations/MCSamples/Workers/MaxDroppedFraction/
+// CheckpointEvery remain valid and select the documented paper defaults.
+func (c FlowConfig) Validate() error {
+	if c.Problem == nil {
+		return fmt.Errorf("core: nil problem")
+	}
+	if c.Proc == nil {
+		return fmt.Errorf("core: nil process")
+	}
+	if len(c.Problem.ObjectiveNames()) != 2 {
+		return fmt.Errorf("core: the table model requires exactly 2 objectives, problem has %d",
+			len(c.Problem.ObjectiveNames()))
+	}
+	if c.PopSize < 0 {
+		return fmt.Errorf("core: negative PopSize %d", c.PopSize)
+	}
+	if c.Generations < 0 {
+		return fmt.Errorf("core: negative Generations %d", c.Generations)
+	}
+	if c.MCSamples < 0 {
+		return fmt.Errorf("core: negative MCSamples %d", c.MCSamples)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: negative Workers %d", c.Workers)
+	}
+	if c.MaxDroppedFraction < 0 {
+		return fmt.Errorf("core: negative MaxDroppedFraction %g", c.MaxDroppedFraction)
+	}
+	return nil
+}
+
+// withDefaults resolves zero-value fields to the paper defaults. It must
+// run after Validate so negatives have already been rejected.
+func (c FlowConfig) withDefaults() FlowConfig {
+	if c.PopSize == 0 {
+		c.PopSize = 100
+	}
+	if c.Generations == 0 {
+		c.Generations = 100
+	}
+	if c.MCSamples == 0 {
+		c.MCSamples = 200
+	}
+	if c.MaxDroppedFraction == 0 {
+		c.MaxDroppedFraction = 0.25
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 16
+	}
+	return c
+}
+
+// observer resolves the configured event sinks: the typed Obs plus the
+// deprecated OnProgress callback adapted through progressShim.
+func (c FlowConfig) observer() Observer {
+	var sinks []Observer
+	if c.Obs != nil {
+		sinks = append(sinks, c.Obs)
+	}
+	if c.OnProgress != nil {
+		sinks = append(sinks, progressShim{c.OnProgress})
+	}
+	switch len(sinks) {
+	case 0:
+		return nil
+	case 1:
+		return sinks[0]
+	}
+	return MultiObserver(sinks...)
 }
 
 // Timing records per-stage wall-clock durations (the paper's Table 5
@@ -41,7 +154,9 @@ type Timing struct {
 	Tables time.Duration
 }
 
-// FlowResult is the outcome of RunFlow.
+// FlowResult is the outcome of RunFlow. When RunFlow returns a context
+// error the result still carries everything completed before the
+// cancellation (partial archive, analysed points, metrics snapshot).
 type FlowResult struct {
 	// Archive is every MOO evaluation (Fig 7's 10,000-point cloud).
 	Archive []wbga.Evaluation
@@ -60,7 +175,15 @@ type FlowResult struct {
 	// CacheHits and CacheMisses count MOO genome-cache lookups; each hit
 	// is one circuit simulation skipped (see wbga.Result).
 	CacheHits, CacheMisses int
-	Timing                 Timing
+	// DroppedPoints counts Pareto points excluded from the model because
+	// their Monte Carlo analysis failed entirely (see
+	// FlowConfig.MaxDroppedFraction).
+	DroppedPoints int
+	// Resumed reports that prior work was recovered from a checkpoint.
+	Resumed bool
+	// Metrics is the end-of-run snapshot of the flow's counter registry.
+	Metrics MetricsSnapshot
+	Timing  Timing
 }
 
 // wbgaAdapter exposes a CircuitProblem (nominal evaluation) as a
@@ -107,100 +230,285 @@ func mcFactory(p CircuitProblem, genes []float64) montecarlo.Factory {
 	}
 }
 
+// flowRun carries the per-run state shared by RunFlow's stages.
+type flowRun struct {
+	cfg     FlowConfig
+	obs     Observer
+	metrics *Metrics
+	res     *FlowResult
+	ck      *checkpoint
+}
+
+func (f *flowRun) emit(e Event) {
+	if f.obs != nil {
+		f.obs.Observe(e)
+	}
+}
+
+// save writes the current checkpoint when checkpointing is enabled and
+// notifies the observer. Checkpoint write failures are hard errors: a
+// caller that asked for resumability must not discover at kill time that
+// no checkpoint ever existed.
+func (f *flowRun) save() error {
+	if f.cfg.Checkpoint == "" {
+		return nil
+	}
+	if err := saveCheckpoint(f.cfg.Checkpoint, f.ck); err != nil {
+		return err
+	}
+	f.metrics.checkpoints.Add(1)
+	f.emit(CheckpointSaved{Path: f.cfg.Checkpoint, MCDone: len(f.ck.Done)})
+	return nil
+}
+
 // RunFlow executes the complete paper flow: WBGA optimisation, Pareto
 // extraction, per-point Monte Carlo, and table-model construction.
-func RunFlow(cfg FlowConfig) (*FlowResult, error) {
-	if cfg.Problem == nil {
-		return nil, fmt.Errorf("core: nil problem")
+//
+// Cancellation is cooperative: ctx is checked once per WBGA generation
+// and once per Monte Carlo point (plus per sample batch inside a
+// point), so cancellation latency is bounded by one generation or one MC
+// point. A cancelled flow returns the partial FlowResult alongside
+// ctx.Err(); with FlowConfig.Checkpoint set the partial state is also
+// persisted, and a later RunFlow with the same configuration resumes
+// from it with bit-identical final results.
+func RunFlow(ctx context.Context, cfg FlowConfig) (*FlowResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	if cfg.Proc == nil {
-		return nil, fmt.Errorf("core: nil process")
-	}
-	if len(cfg.Problem.ObjectiveNames()) != 2 {
-		return nil, fmt.Errorf("core: the table model requires exactly 2 objectives")
-	}
-	if cfg.PopSize <= 0 {
-		cfg.PopSize = 100
-	}
-	if cfg.Generations <= 0 {
-		cfg.Generations = 100
-	}
-	if cfg.MCSamples <= 0 {
-		cfg.MCSamples = 200
-	}
-
-	res := &FlowResult{}
-
-	// Stage 1-2: multi-objective optimisation.
-	t0 := time.Now()
-	var onGen func(gen, evals int)
-	if cfg.OnProgress != nil {
-		total := cfg.PopSize * cfg.Generations
-		onGen = func(gen, evals int) { cfg.OnProgress("moo", evals, total) }
-	}
-	mooRes, err := wbga.Run(wbgaAdapter{cfg.Problem}, wbga.Options{
-		PopSize:      cfg.PopSize,
-		Generations:  cfg.Generations,
-		Seed:         cfg.Seed,
-		Workers:      cfg.Workers,
-		CacheSize:    cfg.CacheSize,
-		OnGeneration: onGen,
-	})
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	res.Archive = mooRes.Evals
-	res.FrontIdx = mooRes.FrontIdx
-	res.Evaluations = mooRes.Evaluations
-	res.CacheHits = mooRes.CacheHits
-	res.CacheMisses = mooRes.CacheMisses
-	res.Timing.MOO = time.Since(t0)
-	if len(res.FrontIdx) < 4 {
-		return nil, fmt.Errorf("core: Pareto front has only %d points", len(res.FrontIdx))
+	cfg = cfg.withDefaults()
+
+	f := &flowRun{cfg: cfg, obs: cfg.observer(), metrics: cfg.Metrics, res: &FlowResult{}}
+	if f.metrics == nil {
+		f.metrics = &Metrics{}
+	}
+	f.metrics.flows.Add(1)
+	defer func() { f.res.Metrics = f.metrics.Snapshot() }()
+
+	fp := cfg.fingerprint()
+	if cfg.Checkpoint != "" {
+		ck, err := loadCheckpoint(cfg.Checkpoint)
+		switch {
+		case err == nil && ck.Fingerprint != fp:
+			return nil, fmt.Errorf("core: checkpoint %s was written by a different flow configuration; delete it or change FlowConfig.Checkpoint", cfg.Checkpoint)
+		case err == nil:
+			f.ck = ck
+		case !errors.Is(err, os.ErrNotExist):
+			return nil, err
+		}
 	}
 
-	// Stage 3-4: Monte Carlo variation analysis per Pareto point.
-	t1 := time.Now()
+	if f.ck != nil {
+		// Resume: the checkpointed MOO stage replaces stages 1-2.
+		f.res.Resumed = true
+		f.res.Archive = f.ck.Archive
+		f.res.FrontIdx = f.ck.FrontIdx
+		f.res.Evaluations = f.ck.Evaluations
+		f.res.CacheHits = f.ck.CacheHits
+		f.res.CacheMisses = f.ck.CacheMisses
+		f.emit(FlowResumed{Path: cfg.Checkpoint, MCDone: len(f.ck.Done)})
+	} else {
+		if err := f.runMOO(ctx); err != nil {
+			return f.res, err
+		}
+		f.ck = &checkpoint{
+			Version:     checkpointVersion,
+			Fingerprint: fp,
+			Archive:     f.res.Archive,
+			FrontIdx:    f.res.FrontIdx,
+			Evaluations: f.res.Evaluations,
+			CacheHits:   f.res.CacheHits,
+			CacheMisses: f.res.CacheMisses,
+		}
+		if err := f.save(); err != nil {
+			return f.res, err
+		}
+	}
+
+	if err := f.runMC(ctx); err != nil {
+		return f.res, err
+	}
+	if err := f.buildTables(); err != nil {
+		return f.res, err
+	}
+	if cfg.Checkpoint != "" {
+		// The flow completed; the checkpoint has served its purpose.
+		if err := os.Remove(cfg.Checkpoint); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return f.res, fmt.Errorf("core: removing finished checkpoint: %w", err)
+		}
+	}
+	return f.res, nil
+}
+
+// runMOO executes stages 1-2 (WBGA optimisation + Pareto extraction).
+func (f *flowRun) runMOO(ctx context.Context) error {
+	cfg, res := f.cfg, f.res
+	totalEvals := cfg.PopSize * cfg.Generations
+	t0 := time.Now()
+	f.emit(StageStart{Stage: StageMOO, Total: totalEvals})
+	mooRes, err := wbga.Run(ctx, wbgaAdapter{cfg.Problem}, wbga.Options{
+		PopSize:     cfg.PopSize,
+		Generations: cfg.Generations,
+		Seed:        cfg.Seed,
+		Workers:     cfg.Workers,
+		CacheSize:   cfg.CacheSize,
+		OnGeneration: func(gs wbga.GenStats) {
+			f.emit(GenerationDone{
+				Gen:         gs.Gen,
+				Generations: cfg.Generations,
+				Evals:       gs.Evals,
+				TotalEvals:  totalEvals,
+				BestFitness: gs.BestFitness,
+				CacheHits:   gs.CacheHits,
+				CacheMisses: gs.CacheMisses,
+			})
+		},
+	})
+	elapsed := time.Since(t0)
+	res.Timing.MOO = elapsed
+	f.metrics.addStage(StageMOO, elapsed)
+	if mooRes != nil {
+		res.Archive = mooRes.Evals
+		res.FrontIdx = mooRes.FrontIdx
+		res.Evaluations = mooRes.Evaluations
+		res.CacheHits = mooRes.CacheHits
+		res.CacheMisses = mooRes.CacheMisses
+		f.metrics.evaluations.Add(int64(mooRes.Evaluations))
+		f.metrics.cacheHits.Add(int64(mooRes.CacheHits))
+		f.metrics.cacheMisses.Add(int64(mooRes.CacheMisses))
+		for i := range mooRes.Evals {
+			if !mooRes.Evals[i].OK {
+				f.metrics.solverFailures.Add(1)
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	f.emit(StageEnd{Stage: StageMOO, Elapsed: elapsed})
+	if len(res.FrontIdx) < 4 {
+		return fmt.Errorf("core: Pareto front has only %d points", len(res.FrontIdx))
+	}
+	return nil
+}
+
+// runMC executes stages 3-4: Monte Carlo variation analysis per Pareto
+// point, replaying checkpointed points and checkpointing fresh ones.
+func (f *flowRun) runMC(ctx context.Context) error {
+	cfg, res := f.cfg, f.res
+	total := len(res.FrontIdx)
 	objNames := cfg.Problem.ObjectiveNames()
-	for i, idx := range res.FrontIdx {
-		ev := res.Archive[idx]
+	t1 := time.Now()
+	f.emit(StageStart{Stage: StageMC, Total: total})
+	defer func() {
+		elapsed := time.Since(t1)
+		res.Timing.MC += elapsed
+		f.metrics.addStage(StageMC, elapsed)
+	}()
+
+	apply := func(rec mcPointRecord, resumed bool) {
+		if rec.Dropped {
+			res.DroppedPoints++
+			f.emit(PointDropped{Index: rec.FrontPos, Err: errors.New(rec.DropMsg)})
+			return
+		}
+		res.Points = append(res.Points, rec.Point)
+		res.MCSimulations += rec.MCSims
+		f.emit(MCPointDone{
+			Index:    rec.FrontPos,
+			Total:    total,
+			Perf:     rec.Point.Perf,
+			DeltaPct: rec.Point.DeltaPct,
+			Failures: rec.Failures,
+			Resumed:  resumed,
+		})
+	}
+	for _, rec := range f.ck.Done {
+		apply(rec, true)
+	}
+
+	for pos := len(f.ck.Done); pos < total; pos++ {
+		if err := ctx.Err(); err != nil {
+			if serr := f.save(); serr != nil {
+				return serr
+			}
+			return err
+		}
+		ev := res.Archive[res.FrontIdx[pos]]
 		genes := ev.ParamGenes
-		mcRes, err := montecarlo.RunFactory(montecarlo.Options{
+		rec := mcPointRecord{FrontPos: pos}
+		mcRes, err := montecarlo.RunFactory(ctx, montecarlo.Options{
 			Proc:    cfg.Proc,
 			Samples: cfg.MCSamples,
-			Seed:    cfg.Seed + int64(i)*1000003,
+			Seed:    cfg.Seed + int64(pos)*1000003,
 			Workers: cfg.Workers,
 			Metrics: objNames,
 		}, mcFactory(cfg.Problem, genes))
 		if err != nil {
-			// A point whose MC fails entirely is dropped from the model
-			// rather than aborting the flow.
-			continue
+			if cerr := ctx.Err(); cerr != nil {
+				if serr := f.save(); serr != nil {
+					return serr
+				}
+				return cerr
+			}
+			// The point's MC failed outright: record the drop rather
+			// than silently thinning the front.
+			rec.Dropped = true
+			rec.DropMsg = err.Error()
+			f.metrics.droppedPoints.Add(1)
+			f.metrics.mcSimulations.Add(int64(cfg.MCSamples))
+			f.metrics.solverFailures.Add(int64(cfg.MCSamples))
+		} else {
+			phys, derr := cfg.Problem.Denormalize(genes)
+			if derr != nil {
+				return derr
+			}
+			rec.Point = ParetoPoint{
+				Params:   phys,
+				Perf:     [2]float64{ev.Objectives[0], ev.Objectives[1]},
+				DeltaPct: [2]float64{mcRes.Stats[0].DeltaPct, mcRes.Stats[1].DeltaPct},
+			}
+			rec.MCSims = cfg.MCSamples
+			rec.Failures = mcRes.Failed
+			f.metrics.mcSimulations.Add(int64(cfg.MCSamples))
+			f.metrics.solverFailures.Add(int64(mcRes.Failed))
 		}
-		phys, err := cfg.Problem.Denormalize(genes)
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, ParetoPoint{
-			Params:   phys,
-			Perf:     [2]float64{ev.Objectives[0], ev.Objectives[1]},
-			DeltaPct: [2]float64{mcRes.Stats[0].DeltaPct, mcRes.Stats[1].DeltaPct},
-		})
-		res.MCSimulations += cfg.MCSamples
-		if cfg.OnProgress != nil {
-			cfg.OnProgress("mc", i+1, len(res.FrontIdx))
+		f.ck.Done = append(f.ck.Done, rec)
+		apply(rec, false)
+		if cfg.CheckpointEvery > 0 && len(f.ck.Done)%cfg.CheckpointEvery == 0 && pos != total-1 {
+			if err := f.save(); err != nil {
+				return err
+			}
 		}
 	}
-	res.Timing.MC = time.Since(t1)
 
-	// Stage 5: table-model construction.
+	if res.DroppedPoints > 0 {
+		frac := float64(res.DroppedPoints) / float64(total)
+		if frac > cfg.MaxDroppedFraction {
+			return fmt.Errorf("core: Monte Carlo dropped %d of %d Pareto points (%.0f%%, budget %.0f%%)",
+				res.DroppedPoints, total, 100*frac, 100*cfg.MaxDroppedFraction)
+		}
+	}
+	f.emit(StageEnd{Stage: StageMC, Elapsed: time.Since(t1)})
+	return nil
+}
+
+// buildTables executes stage 5: table-model construction.
+func (f *flowRun) buildTables() error {
+	cfg, res := f.cfg, f.res
 	t2 := time.Now()
-	model, err := BuildModel(res.Points, objNames, cfg.Problem.ParamNames(),
-		cfg.Problem.ParamUnits(), cfg.Model)
+	f.emit(StageStart{Stage: StageTables})
+	model, err := BuildModel(res.Points, cfg.Problem.ObjectiveNames(),
+		cfg.Problem.ParamNames(), cfg.Problem.ParamUnits(), cfg.Model)
+	elapsed := time.Since(t2)
+	res.Timing.Tables = elapsed
+	f.metrics.addStage(StageTables, elapsed)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	res.Model = model
-	res.Timing.Tables = time.Since(t2)
-	return res, nil
+	f.emit(StageEnd{Stage: StageTables, Elapsed: elapsed})
+	return nil
 }

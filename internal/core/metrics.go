@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the flow's counter registry: evaluation counts, solver
+// failures, genome-cache traffic, dropped points, checkpoints, and
+// per-stage wall clock. All methods are safe for concurrent use, so one
+// registry may be shared by several flows (a long-lived server
+// accumulates across runs). The zero value is ready to use.
+//
+// Metrics implements expvar.Var; Publish exports a registry under a
+// global expvar name for scraping alongside memstats.
+type Metrics struct {
+	evaluations    atomic.Int64
+	mcSimulations  atomic.Int64
+	solverFailures atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	droppedPoints  atomic.Int64
+	checkpoints    atomic.Int64
+	flows          atomic.Int64
+	mooNanos       atomic.Int64
+	mcNanos        atomic.Int64
+	tablesNanos    atomic.Int64
+}
+
+// MetricsSnapshot is a point-in-time copy of a Metrics registry, as
+// rendered by otaflow's summary and the expvar export.
+type MetricsSnapshot struct {
+	Flows          int64   `json:"flows"`
+	Evaluations    int64   `json:"evaluations"`
+	MCSimulations  int64   `json:"mc_simulations"`
+	SolverFailures int64   `json:"solver_failures"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	DroppedPoints  int64   `json:"dropped_points"`
+	Checkpoints    int64   `json:"checkpoints"`
+	MOOSeconds     float64 `json:"moo_seconds"`
+	MCSeconds      float64 `json:"mc_seconds"`
+	TablesSeconds  float64 `json:"tables_seconds"`
+}
+
+func (m *Metrics) addStage(s Stage, d time.Duration) {
+	switch s {
+	case StageMOO:
+		m.mooNanos.Add(int64(d))
+	case StageMC:
+		m.mcNanos.Add(int64(d))
+	case StageTables:
+		m.tablesNanos.Add(int64(d))
+	}
+}
+
+// Snapshot returns a consistent-enough copy of the counters (each field
+// is read atomically; the set is not a single transaction).
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Flows:          m.flows.Load(),
+		Evaluations:    m.evaluations.Load(),
+		MCSimulations:  m.mcSimulations.Load(),
+		SolverFailures: m.solverFailures.Load(),
+		CacheHits:      m.cacheHits.Load(),
+		CacheMisses:    m.cacheMisses.Load(),
+		DroppedPoints:  m.droppedPoints.Load(),
+		Checkpoints:    m.checkpoints.Load(),
+		MOOSeconds:     time.Duration(m.mooNanos.Load()).Seconds(),
+		MCSeconds:      time.Duration(m.mcNanos.Load()).Seconds(),
+		TablesSeconds:  time.Duration(m.tablesNanos.Load()).Seconds(),
+	}
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
+	}
+	return s
+}
+
+// String renders the snapshot as JSON, satisfying expvar.Var.
+func (m *Metrics) String() string {
+	b, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Publish exports the registry under the given expvar name (e.g.
+// "analogyield.flow"). It reports false when the name is already taken —
+// expvar panics on duplicate registration, so republishing the same
+// registry across flows is a harmless no-op here.
+func (m *Metrics) Publish(name string) bool {
+	if expvar.Get(name) != nil {
+		return false
+	}
+	expvar.Publish(name, m)
+	return true
+}

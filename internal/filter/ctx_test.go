@@ -1,0 +1,77 @@
+package filter
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"analogyield/internal/core"
+	"analogyield/internal/ota"
+	"analogyield/internal/process"
+)
+
+func TestOptimizeCancelMidMOO(t *testing.T) {
+	gm, ro := benchGmRo(t)
+	prob := &Problem{Spec: DefaultSpec(), Space: DefaultCapSpace(), GM: gm, Ro: ro}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	gens := 0
+	_, err := Optimize(ctx, prob, OptimizeOptions{
+		PopSize: 10, Generations: 40, Seed: 1,
+		Obs: core.ObserverFunc(func(e core.Event) {
+			if g, ok := e.(core.GenerationDone); ok {
+				gens = g.Gen
+				if g.Gen == 2 {
+					cancel()
+				}
+			}
+		}),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// One-generation latency: generation 3 must never have been reported.
+	if gens != 2 {
+		t.Errorf("last reported generation = %d, want 2", gens)
+	}
+}
+
+func TestOptimizeEventStream(t *testing.T) {
+	gm, ro := benchGmRo(t)
+	prob := &Problem{Spec: DefaultSpec(), Space: DefaultCapSpace(), GM: gm, Ro: ro}
+	var stages []core.Stage
+	gens := 0
+	_, err := Optimize(context.Background(), prob, OptimizeOptions{
+		PopSize: 20, Generations: 15, Seed: 2,
+		Obs: core.ObserverFunc(func(e core.Event) {
+			switch ev := e.(type) {
+			case core.StageStart:
+				stages = append(stages, ev.Stage)
+				if ev.Total != 300 {
+					t.Errorf("StageStart.Total = %d, want 300", ev.Total)
+				}
+			case core.GenerationDone:
+				gens++
+			}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 1 || stages[0] != StageFilterMOO {
+		t.Errorf("stages = %v, want [%s]", stages, StageFilterMOO)
+	}
+	if gens != 15 {
+		t.Errorf("%d GenerationDone events, want 15", gens)
+	}
+}
+
+func TestVerifyYieldCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := VerifyYield(ctx, nominalCaps(), ota.DefaultConfig(), ota.NominalParams(),
+		DefaultSpec(), process.C35(), 50, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package filter
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -150,7 +151,7 @@ func TestOptimizeMeetsSpec(t *testing.T) {
 	gm, ro := benchGmRo(t)
 	prob := &Problem{Spec: DefaultSpec(), Space: DefaultCapSpace(), GM: gm, Ro: ro}
 	// Paper budgets: 30 individuals x 40 generations.
-	res, err := Optimize(prob, 30, 40, 1)
+	res, err := Optimize(context.Background(), prob, OptimizeOptions{PopSize: 30, Generations: 40, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestOptimizeImpossibleSpec(t *testing.T) {
 	spec := DefaultSpec()
 	spec.StopbandAttenDB = 120 // unreachable for a 2nd-order filter
 	prob := &Problem{Spec: spec, Space: DefaultCapSpace(), GM: gm, Ro: ro}
-	if _, err := Optimize(prob, 10, 10, 1); err == nil {
+	if _, err := Optimize(context.Background(), prob, OptimizeOptions{PopSize: 10, Generations: 10, Seed: 1}); err == nil {
 		t.Fatal("impossible spec accepted")
 	}
 }
@@ -178,11 +179,11 @@ func TestOptimizeImpossibleSpec(t *testing.T) {
 func TestVerifyYieldNominalDesign(t *testing.T) {
 	gm, ro := benchGmRo(t)
 	prob := &Problem{Spec: DefaultSpec(), Space: DefaultCapSpace(), GM: gm, Ro: ro}
-	opt, err := Optimize(prob, 20, 15, 2)
+	opt, err := Optimize(context.Background(), prob, OptimizeOptions{PopSize: 20, Generations: 15, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	yr, err := VerifyYield(opt.Caps, ota.DefaultConfig(), ota.NominalParams(),
+	yr, err := VerifyYield(context.Background(), opt.Caps, ota.DefaultConfig(), ota.NominalParams(),
 		DefaultSpec(), process.C35(), 25, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -196,12 +197,12 @@ func TestVerifyYieldNominalDesign(t *testing.T) {
 }
 
 func TestVerifyYieldDeterministic(t *testing.T) {
-	a, err := VerifyYield(nominalCaps(), ota.DefaultConfig(), ota.NominalParams(),
+	a, err := VerifyYield(context.Background(), nominalCaps(), ota.DefaultConfig(), ota.NominalParams(),
 		DefaultSpec(), process.C35(), 10, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := VerifyYield(nominalCaps(), ota.DefaultConfig(), ota.NominalParams(),
+	b, err := VerifyYield(context.Background(), nominalCaps(), ota.DefaultConfig(), ota.NominalParams(),
 		DefaultSpec(), process.C35(), 10, 5)
 	if err != nil {
 		t.Fatal(err)

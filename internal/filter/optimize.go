@@ -1,9 +1,11 @@
 package filter
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"analogyield/internal/core"
 	"analogyield/internal/montecarlo"
 	"analogyield/internal/ota"
 	"analogyield/internal/process"
@@ -63,22 +65,58 @@ type OptimizeResult struct {
 	FrontSize int
 }
 
-// Optimize runs the paper's §5 capacitor optimisation (default budgets:
-// 30 individuals × 40 generations) on the behavioural filter and returns
-// the spec-satisfying front design with the largest stopband margin.
-func Optimize(p *Problem, popSize, generations int, seed int64) (*OptimizeResult, error) {
-	if popSize <= 0 {
-		popSize = 30
+// StageFilterMOO labels the capacitor MOO in Observer event streams.
+const StageFilterMOO core.Stage = "filter-moo"
+
+// OptimizeOptions configures Optimize. Zero budgets select the paper's
+// §5 defaults (30 individuals × 40 generations).
+type OptimizeOptions struct {
+	PopSize     int // 0 → 30
+	Generations int // 0 → 40
+	Seed        int64
+	Workers     int // 0 → GOMAXPROCS
+	// Obs, when non-nil, receives StageStart/GenerationDone/StageEnd
+	// events for the capacitor MOO (Stage = StageFilterMOO).
+	Obs core.Observer
+}
+
+// Optimize runs the paper's §5 capacitor optimisation on the behavioural
+// filter and returns the spec-satisfying front design with the largest
+// stopband margin. Cancelling ctx stops the MOO within one generation,
+// returning ctx.Err().
+func Optimize(ctx context.Context, p *Problem, opts OptimizeOptions) (*OptimizeResult, error) {
+	if opts.PopSize <= 0 {
+		opts.PopSize = 30
 	}
-	if generations <= 0 {
-		generations = 40
+	if opts.Generations <= 0 {
+		opts.Generations = 40
 	}
-	res, err := wbga.Run(p, wbga.Options{
-		PopSize: popSize, Generations: generations, Seed: seed,
+	emit := func(e core.Event) {
+		if opts.Obs != nil {
+			opts.Obs.Observe(e)
+		}
+	}
+	totalEvals := opts.PopSize * opts.Generations
+	emit(core.StageStart{Stage: StageFilterMOO, Total: totalEvals})
+	res, err := wbga.Run(ctx, p, wbga.Options{
+		PopSize: opts.PopSize, Generations: opts.Generations,
+		Seed: opts.Seed, Workers: opts.Workers,
+		OnGeneration: func(gs wbga.GenStats) {
+			emit(core.GenerationDone{
+				Gen:         gs.Gen,
+				Generations: opts.Generations,
+				Evals:       gs.Evals,
+				TotalEvals:  totalEvals,
+				BestFitness: gs.BestFitness,
+				CacheHits:   gs.CacheHits,
+				CacheMisses: gs.CacheMisses,
+			})
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
+	emit(core.StageEnd{Stage: StageFilterMOO})
 	best := -math.MaxFloat64
 	var bestCaps Caps
 	found := false
@@ -130,10 +168,11 @@ type YieldResult struct {
 
 // VerifyYield runs the transistor-level filter Monte Carlo: every OTA
 // transistor and every capacitor receives statistical variation, the
-// response is measured, and the spec pass-rate is the yield.
-func VerifyYield(caps Caps, cfg ota.Config, params ota.Params, spec Spec,
+// response is measured, and the spec pass-rate is the yield. Cancelling
+// ctx stops the sampling with ctx.Err().
+func VerifyYield(ctx context.Context, caps Caps, cfg ota.Config, params ota.Params, spec Spec,
 	proc *process.Process, samples int, seed int64) (*YieldResult, error) {
-	mc, err := montecarlo.Run(montecarlo.Options{
+	mc, err := montecarlo.Run(ctx, montecarlo.Options{
 		Proc:    proc,
 		Samples: samples,
 		Seed:    seed,

@@ -1,0 +1,65 @@
+package ga
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{GenomeLen: 4, PopSize: 10, Generations: 20, Seed: 1}
+	res, err := Run(ctx, cfg, EvaluatorFunc(sphere), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("partial result not returned")
+	}
+	if res.Evaluations != 0 || len(res.Archive) != 0 {
+		t.Errorf("pre-cancelled run evaluated anyway: %d evals", res.Evaluations)
+	}
+}
+
+func TestRunCancelMidRun(t *testing.T) {
+	// Cancel from the generation hook: the run must stop before the next
+	// generation's evaluation (one-generation cancellation latency).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const pop = 10
+	cfg := Config{GenomeLen: 4, PopSize: pop, Generations: 50, Seed: 1}
+	hooks := &Hooks{OnGeneration: func(gen int, _ []Individual) {
+		if gen == 3 {
+			cancel()
+		}
+	}}
+	res, err := Run(ctx, cfg, EvaluatorFunc(sphere), hooks)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Evaluations != 3*pop {
+		t.Errorf("evaluations after cancel at gen 3 = %d, want %d", res.Evaluations, 3*pop)
+	}
+	if len(res.Archive) != 3*pop {
+		t.Errorf("partial archive = %d entries, want %d", len(res.Archive), 3*pop)
+	}
+	if len(res.FinalPop) != pop {
+		t.Errorf("FinalPop not preserved: %d individuals", len(res.FinalPop))
+	}
+	if res.Best.Genome == nil {
+		t.Error("best-so-far lost on cancellation")
+	}
+}
+
+func TestRunNilContext(t *testing.T) {
+	cfg := Config{GenomeLen: 3, PopSize: 8, Generations: 4, Seed: 1}
+	//lint:ignore SA1012 nil ctx tolerated by design for callers predating the ctx API
+	res, err := Run(nil, cfg, EvaluatorFunc(sphere), nil) //nolint:staticcheck
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 32 {
+		t.Errorf("evaluations = %d", res.Evaluations)
+	}
+}

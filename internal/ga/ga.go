@@ -9,6 +9,7 @@
 package ga
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 )
@@ -146,7 +147,14 @@ type Hooks struct {
 
 // Run executes the GA and returns the best individual found along with
 // the archive of all evaluations.
-func Run(cfg Config, eval PopulationEvaluator, hooks *Hooks) (*Result, error) {
+//
+// Cancellation is cooperative with one-generation granularity: ctx is
+// checked before every generation's evaluation, and a cancelled run
+// returns the partial Result accumulated so far alongside ctx.Err().
+func Run(ctx context.Context, cfg Config, eval PopulationEvaluator, hooks *Hooks) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -189,11 +197,19 @@ func Run(cfg Config, eval PopulationEvaluator, hooks *Hooks) (*Result, error) {
 		res.Evaluations += len(p)
 	}
 
+	if err := ctx.Err(); err != nil {
+		res.FinalPop = pop
+		return res, err
+	}
 	evaluate(pop)
 	if hooks != nil && hooks.OnGeneration != nil {
 		hooks.OnGeneration(1, pop)
 	}
 	for gen := 2; gen <= c.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			res.FinalPop = pop
+			return res, err
+		}
 		next := make([]Individual, 0, c.PopSize)
 		// Elitism: carry over the best of the current population.
 		elite := bestK(pop, c.Elitism)

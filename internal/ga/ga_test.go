@@ -1,6 +1,7 @@
 package ga
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -19,7 +20,7 @@ func sphere(g []float64) float64 {
 
 func TestRunOptimisesSphere(t *testing.T) {
 	cfg := Config{GenomeLen: 6, PopSize: 40, Generations: 60, Seed: 1}
-	res, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	res, err := Run(context.Background(), cfg, EvaluatorFunc(sphere), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,11 +36,11 @@ func TestRunOptimisesSphere(t *testing.T) {
 
 func TestRunDeterministicBySeed(t *testing.T) {
 	cfg := Config{GenomeLen: 4, PopSize: 20, Generations: 15, Seed: 7}
-	a, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	a, err := Run(context.Background(), cfg, EvaluatorFunc(sphere), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	b, err := Run(context.Background(), cfg, EvaluatorFunc(sphere), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestRunDeterministicBySeed(t *testing.T) {
 		}
 	}
 	cfg.Seed = 8
-	c, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	c, err := Run(context.Background(), cfg, EvaluatorFunc(sphere), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestRunDeterministicBySeed(t *testing.T) {
 
 func TestArchiveSize(t *testing.T) {
 	cfg := Config{GenomeLen: 3, PopSize: 10, Generations: 5, Seed: 1}
-	res, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	res, err := Run(context.Background(), cfg, EvaluatorFunc(sphere), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestArchiveSize(t *testing.T) {
 
 func TestSkipArchive(t *testing.T) {
 	cfg := Config{GenomeLen: 3, PopSize: 10, Generations: 5, Seed: 1, SkipArchive: true}
-	res, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	res, err := Run(context.Background(), cfg, EvaluatorFunc(sphere), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestElitismMonotoneBest(t *testing.T) {
 		}
 		prevBest = best
 	}}
-	if _, err := Run(cfg, EvaluatorFunc(sphere), hooks); err != nil {
+	if _, err := Run(context.Background(), cfg, EvaluatorFunc(sphere), hooks); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -122,7 +123,7 @@ func TestHooksSeeEveryGeneration(t *testing.T) {
 			t.Errorf("generation %d has %d individuals", gen, len(pop))
 		}
 	}}
-	if _, err := Run(cfg, EvaluatorFunc(sphere), hooks); err != nil {
+	if _, err := Run(context.Background(), cfg, EvaluatorFunc(sphere), hooks); err != nil {
 		t.Fatal(err)
 	}
 	if len(gens) != 12 || gens[0] != 1 || gens[11] != 12 {
@@ -132,7 +133,7 @@ func TestHooksSeeEveryGeneration(t *testing.T) {
 
 func TestBlendCrossoverOptimises(t *testing.T) {
 	cfg := Config{GenomeLen: 6, PopSize: 40, Generations: 60, Seed: 2, Crossover: Blend}
-	res, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	res, err := Run(context.Background(), cfg, EvaluatorFunc(sphere), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,13 +143,13 @@ func TestBlendCrossoverOptimises(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := Run(Config{GenomeLen: 0}, EvaluatorFunc(sphere), nil); err == nil {
+	if _, err := Run(context.Background(), Config{GenomeLen: 0}, EvaluatorFunc(sphere), nil); err == nil {
 		t.Error("GenomeLen 0 accepted")
 	}
-	if _, err := Run(Config{GenomeLen: 3, PopSize: 10, Elitism: 10}, EvaluatorFunc(sphere), nil); err == nil {
+	if _, err := Run(context.Background(), Config{GenomeLen: 3, PopSize: 10, Elitism: 10}, EvaluatorFunc(sphere), nil); err == nil {
 		t.Error("Elitism >= PopSize accepted")
 	}
-	if _, err := Run(Config{GenomeLen: 3}, nil, nil); err == nil {
+	if _, err := Run(context.Background(), Config{GenomeLen: 3}, nil, nil); err == nil {
 		t.Error("nil evaluator accepted")
 	}
 }
@@ -165,7 +166,7 @@ func TestGenomesStayInUnitBox(t *testing.T) {
 			}
 		}
 	}}
-	if _, err := Run(cfg, EvaluatorFunc(sphere), hooks); err != nil {
+	if _, err := Run(context.Background(), cfg, EvaluatorFunc(sphere), hooks); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -219,7 +220,7 @@ func TestBestK(t *testing.T) {
 
 func TestRouletteSelectionOptimises(t *testing.T) {
 	cfg := Config{GenomeLen: 6, PopSize: 40, Generations: 80, Seed: 9, Selection: Roulette}
-	res, err := Run(cfg, EvaluatorFunc(sphere), nil)
+	res, err := Run(context.Background(), cfg, EvaluatorFunc(sphere), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestRouletteFlatPopulation(t *testing.T) {
 	// A constant fitness landscape must not break roulette selection.
 	flat := EvaluatorFunc(func(g []float64) float64 { return 1 })
 	cfg := Config{GenomeLen: 3, PopSize: 10, Generations: 5, Seed: 2, Selection: Roulette}
-	if _, err := Run(cfg, flat, nil); err != nil {
+	if _, err := Run(context.Background(), cfg, flat, nil); err != nil {
 		t.Fatal(err)
 	}
 }

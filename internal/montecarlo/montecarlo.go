@@ -8,6 +8,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -61,11 +62,11 @@ type Result struct {
 
 // Run executes the Monte Carlo analysis with a single shared Evaluator
 // (which must be safe for concurrent use).
-func Run(opts Options, eval Evaluator) (*Result, error) {
+func Run(ctx context.Context, opts Options, eval Evaluator) (*Result, error) {
 	if eval == nil {
 		return nil, fmt.Errorf("montecarlo: nil evaluator")
 	}
-	return RunFactory(opts, func() Evaluator { return eval })
+	return RunFactory(ctx, opts, func() Evaluator { return eval })
 }
 
 // RunFactory executes the Monte Carlo analysis with per-worker
@@ -73,7 +74,14 @@ func Run(opts Options, eval Evaluator) (*Result, error) {
 // its samples through the result, so evaluators can carry long-lived
 // solver workspaces. Sampling stays deterministic — sample i always
 // draws process sample (seed, i) regardless of worker count.
-func RunFactory(opts Options, factory Factory) (*Result, error) {
+//
+// Cancellation is cooperative with one-sample granularity: when ctx is
+// cancelled mid-run, sample dispatch stops, in-flight samples finish,
+// and RunFactory returns (nil, ctx.Err()).
+func RunFactory(ctx context.Context, opts Options, factory Factory) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Proc == nil {
 		return nil, fmt.Errorf("montecarlo: nil process")
 	}
@@ -120,11 +128,19 @@ func RunFactory(opts Options, factory Factory) (*Result, error) {
 			}
 		}()
 	}
+feed:
 	for i := 0; i < opts.Samples; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.Failed = failed
 
 	// Reduce to per-metric statistics.

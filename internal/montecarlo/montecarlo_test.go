@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync/atomic"
@@ -19,7 +20,7 @@ func vthEval(s *process.Sample) ([]float64, error) {
 }
 
 func TestRunBasicStats(t *testing.T) {
-	res, err := Run(Options{Proc: proc(), Samples: 2000, Seed: 1, Metrics: []string{"v"}}, vthEval)
+	res, err := Run(context.Background(), Options{Proc: proc(), Samples: 2000, Seed: 1, Metrics: []string{"v"}}, vthEval)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,11 +52,11 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	opts := func(w int) Options {
 		return Options{Proc: proc(), Samples: 400, Seed: 42, Workers: w}
 	}
-	a, err := Run(opts(1), vthEval)
+	a, err := Run(context.Background(), opts(1), vthEval)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(opts(8), vthEval)
+	b, err := Run(context.Background(), opts(8), vthEval)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,8 +68,8 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 }
 
 func TestRunSeedChangesSamples(t *testing.T) {
-	a, _ := Run(Options{Proc: proc(), Samples: 50, Seed: 1}, vthEval)
-	b, _ := Run(Options{Proc: proc(), Samples: 50, Seed: 2}, vthEval)
+	a, _ := Run(context.Background(), Options{Proc: proc(), Samples: 50, Seed: 1}, vthEval)
+	b, _ := Run(context.Background(), Options{Proc: proc(), Samples: 50, Seed: 2}, vthEval)
 	same := 0
 	for i := range a.Samples {
 		if a.Samples[i][0] == b.Samples[i][0] {
@@ -90,7 +91,7 @@ func TestRunPartialFailures(t *testing.T) {
 		}
 		return []float64{sh.DVth}, nil
 	}
-	res, err := Run(Options{Proc: proc(), Samples: 300, Seed: 3, Workers: 1}, eval)
+	res, err := Run(context.Background(), Options{Proc: proc(), Samples: 300, Seed: 3, Workers: 1}, eval)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,19 +111,19 @@ func TestRunPartialFailures(t *testing.T) {
 
 func TestRunAllFail(t *testing.T) {
 	eval := func(*process.Sample) ([]float64, error) { return nil, errors.New("boom") }
-	if _, err := Run(Options{Proc: proc(), Samples: 10, Seed: 1}, eval); err == nil {
+	if _, err := Run(context.Background(), Options{Proc: proc(), Samples: 10, Seed: 1}, eval); err == nil {
 		t.Fatal("all-fail run should error")
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if _, err := Run(Options{Proc: nil, Samples: 10}, vthEval); err == nil {
+	if _, err := Run(context.Background(), Options{Proc: nil, Samples: 10}, vthEval); err == nil {
 		t.Error("nil process accepted")
 	}
-	if _, err := Run(Options{Proc: proc(), Samples: 0}, vthEval); err == nil {
+	if _, err := Run(context.Background(), Options{Proc: proc(), Samples: 0}, vthEval); err == nil {
 		t.Error("zero samples accepted")
 	}
-	if _, err := Run(Options{Proc: proc(), Samples: 5}, nil); err == nil {
+	if _, err := Run(context.Background(), Options{Proc: proc(), Samples: 5}, nil); err == nil {
 		t.Error("nil evaluator accepted")
 	}
 }
@@ -140,7 +141,7 @@ func TestYield(t *testing.T) {
 }
 
 func TestMetricNamesDefault(t *testing.T) {
-	res, err := Run(Options{Proc: proc(), Samples: 10, Seed: 1}, vthEval)
+	res, err := Run(context.Background(), Options{Proc: proc(), Samples: 10, Seed: 1}, vthEval)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,12 +154,12 @@ func TestMetricNamesDefault(t *testing.T) {
 // identical to the shared-evaluator path, and that each worker receives
 // its own evaluator instance.
 func TestRunFactoryMatchesRun(t *testing.T) {
-	shared, err := Run(Options{Proc: proc(), Samples: 200, Seed: 3, Workers: 4}, vthEval)
+	shared, err := Run(context.Background(), Options{Proc: proc(), Samples: 200, Seed: 3, Workers: 4}, vthEval)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var evaluators atomic.Int64
-	factored, err := RunFactory(Options{Proc: proc(), Samples: 200, Seed: 3, Workers: 4},
+	factored, err := RunFactory(context.Background(), Options{Proc: proc(), Samples: 200, Seed: 3, Workers: 4},
 		func() Evaluator {
 			evaluators.Add(1)
 			scratch := make([]float64, 1) // stands in for a solver workspace
@@ -187,11 +188,11 @@ func TestRunFactoryMatchesRun(t *testing.T) {
 // TestRunFactoryValidation checks nil factories and nil evaluators are
 // handled without deadlock.
 func TestRunFactoryValidation(t *testing.T) {
-	if _, err := RunFactory(Options{Proc: proc(), Samples: 5}, nil); err == nil {
+	if _, err := RunFactory(context.Background(), Options{Proc: proc(), Samples: 5}, nil); err == nil {
 		t.Error("nil factory accepted")
 	}
 	// A factory returning nil evaluators must fail cleanly, not hang.
-	if _, err := RunFactory(Options{Proc: proc(), Samples: 5, Workers: 2},
+	if _, err := RunFactory(context.Background(), Options{Proc: proc(), Samples: 5, Workers: 2},
 		func() Evaluator { return nil }); err == nil {
 		t.Error("all-nil evaluators should error (every sample failed)")
 	}

@@ -1,6 +1,7 @@
 package wbga
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -154,7 +155,7 @@ func TestCacheConcurrent(t *testing.T) {
 // are consistent and that hits appear once the population converges.
 func TestRunReportsCacheCounters(t *testing.T) {
 	p := &countingProblem{}
-	res, err := Run(p, Options{PopSize: 20, Generations: 15, Seed: 7})
+	res, err := Run(context.Background(), p, Options{PopSize: 20, Generations: 15, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestRunReportsCacheCounters(t *testing.T) {
 // TestRunCacheDisabled checks a negative CacheSize turns caching off.
 func TestRunCacheDisabled(t *testing.T) {
 	p := &countingProblem{}
-	res, err := Run(p, Options{PopSize: 10, Generations: 5, Seed: 7, CacheSize: -1})
+	res, err := Run(context.Background(), p, Options{PopSize: 10, Generations: 5, Seed: 7, CacheSize: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,11 +193,11 @@ func TestRunCacheDisabled(t *testing.T) {
 // TestCachedRunMatchesUncachedRun checks caching changes no archived
 // result: fitnesses and objectives are identical with and without it.
 func TestCachedRunMatchesUncachedRun(t *testing.T) {
-	a, err := Run(&countingProblem{}, Options{PopSize: 15, Generations: 10, Seed: 3})
+	a, err := Run(context.Background(), &countingProblem{}, Options{PopSize: 15, Generations: 10, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(&countingProblem{}, Options{PopSize: 15, Generations: 10, Seed: 3, CacheSize: -1})
+	b, err := Run(context.Background(), &countingProblem{}, Options{PopSize: 15, Generations: 10, Seed: 3, CacheSize: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,14 +239,14 @@ func (p *reusableProbe) NewEvaluator() func([]float64) ([]float64, error) {
 // and results match the plain path.
 func TestReusableProblemWorkers(t *testing.T) {
 	p := &reusableProbe{}
-	res, err := Run(p, Options{PopSize: 12, Generations: 4, Seed: 9, Workers: 3, CacheSize: -1})
+	res, err := Run(context.Background(), p, Options{PopSize: 12, Generations: 4, Seed: 9, Workers: 3, CacheSize: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.evaluators.Load() == 0 {
 		t.Fatal("NewEvaluator never called")
 	}
-	plain, err := Run(&countingProblem{}, Options{PopSize: 12, Generations: 4, Seed: 9, Workers: 1, CacheSize: -1})
+	plain, err := Run(context.Background(), &countingProblem{}, Options{PopSize: 12, Generations: 4, Seed: 9, Workers: 1, CacheSize: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package wbga
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -59,8 +60,21 @@ type Options struct {
 	// entirely. 0 selects the default (8192 genomes); negative disables
 	// caching.
 	CacheSize int
-	// OnGeneration, when non-nil, observes progress (gen is 1-based).
-	OnGeneration func(gen, evals int)
+	// OnGeneration, when non-nil, observes progress after each
+	// generation is evaluated.
+	OnGeneration func(GenStats)
+}
+
+// GenStats is the per-generation progress report delivered to
+// Options.OnGeneration: the 1-based generation number, the cumulative
+// evaluation count, the best eq. 5 fitness of the generation just
+// scored, and the cumulative genome-cache counters.
+type GenStats struct {
+	Gen         int
+	Evals       int
+	BestFitness float64
+	CacheHits   int
+	CacheMisses int
 }
 
 // DefaultCacheSize is the genome-cache bound used when Options.CacheSize
@@ -297,7 +311,15 @@ func nanVec(n int) []float64 {
 }
 
 // Run executes the WBGA and extracts the Pareto front from the archive.
-func Run(p Problem, o Options) (*Result, error) {
+//
+// Cancellation is cooperative with one-generation granularity: when ctx
+// is cancelled mid-run, Run returns the partial Result — the archive of
+// every evaluation completed so far, with FrontIdx left nil — together
+// with ctx.Err().
+func Run(ctx context.Context, p Problem, o Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p == nil {
 		return nil, fmt.Errorf("wbga: nil problem")
 	}
@@ -335,17 +357,38 @@ func Run(p Problem, o Options) (*Result, error) {
 	var hooks *ga.Hooks
 	if o.OnGeneration != nil {
 		hooks = &ga.Hooks{OnGeneration: func(gen int, pop []ga.Individual) {
-			o.OnGeneration(gen, gen*o.PopSize)
+			best := math.Inf(-1)
+			for i := range pop {
+				if pop[i].Fitness > best {
+					best = pop[i].Fitness
+				}
+			}
+			hits, misses := ev.cache.stats()
+			o.OnGeneration(GenStats{
+				Gen:         gen,
+				Evals:       gen * o.PopSize,
+				BestFitness: best,
+				CacheHits:   int(hits),
+				CacheMisses: int(misses),
+			})
 		}}
 	}
-	gaRes, err := ga.Run(cfg, ev, hooks)
-	if err != nil {
+	gaRes, err := ga.Run(ctx, cfg, ev, hooks)
+	if err != nil && gaRes == nil {
 		return nil, fmt.Errorf("wbga: %w", err)
 	}
 
-	res := &Result{Evals: ev.archive, Evaluations: gaRes.Evaluations}
+	res := &Result{Evals: ev.archive}
+	if gaRes != nil {
+		res.Evaluations = gaRes.Evaluations
+	}
 	hits, misses := ev.cache.stats()
 	res.CacheHits, res.CacheMisses = int(hits), int(misses)
+	if err != nil {
+		// Cancelled mid-run: preserve the partial archive, skip the
+		// front extraction (the archive is incomplete).
+		return res, err
+	}
 	objs := make([][]float64, len(res.Evals))
 	for i := range res.Evals {
 		objs[i] = res.Evals[i].Objectives

@@ -1,6 +1,7 @@
 package wbga
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -27,7 +28,7 @@ func (b biObjective) Evaluate(g []float64) ([]float64, error) {
 }
 
 func TestRunFindsConflictFront(t *testing.T) {
-	res, err := Run(biObjective{}, Options{PopSize: 40, Generations: 30, Seed: 1})
+	res, err := Run(context.Background(), biObjective{}, Options{PopSize: 40, Generations: 30, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestRunFindsConflictFront(t *testing.T) {
 }
 
 func TestFrontIsValidPareto(t *testing.T) {
-	res, err := Run(biObjective{}, Options{PopSize: 20, Generations: 20, Seed: 2})
+	res, err := Run(context.Background(), biObjective{}, Options{PopSize: 20, Generations: 20, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,11 +77,11 @@ func TestFrontIsValidPareto(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
-	a, err := Run(biObjective{}, Options{PopSize: 15, Generations: 10, Seed: 5, Workers: 1})
+	a, err := Run(context.Background(), biObjective{}, Options{PopSize: 15, Generations: 10, Seed: 5, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(biObjective{}, Options{PopSize: 15, Generations: 10, Seed: 5, Workers: 4})
+	b, err := Run(context.Background(), biObjective{}, Options{PopSize: 15, Generations: 10, Seed: 5, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestFailedEvaluationsExcluded(t *testing.T) {
-	res, err := Run(biObjective{failEvery: 3}, Options{PopSize: 20, Generations: 10, Seed: 3})
+	res, err := Run(context.Background(), biObjective{failEvery: 3}, Options{PopSize: 20, Generations: 10, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestNormalizeWeights(t *testing.T) {
 }
 
 func TestEvaluationStoresNormalizedWeights(t *testing.T) {
-	res, err := Run(biObjective{}, Options{PopSize: 10, Generations: 3, Seed: 1})
+	res, err := Run(context.Background(), biObjective{}, Options{PopSize: 10, Generations: 3, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestEvaluationStoresNormalizedWeights(t *testing.T) {
 func TestFitnessRange(t *testing.T) {
 	// eq 5 with normalised objectives and weights summing to 1 keeps
 	// fitness in [0,1] for successful evaluations.
-	res, err := Run(biObjective{}, Options{PopSize: 20, Generations: 10, Seed: 4})
+	res, err := Run(context.Background(), biObjective{}, Options{PopSize: 20, Generations: 10, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestFitnessRange(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if _, err := Run(nil, Options{}); err == nil {
+	if _, err := Run(context.Background(), nil, Options{}); err == nil {
 		t.Error("nil problem accepted")
 	}
 }
@@ -195,15 +196,15 @@ type badProblem struct{ biObjective }
 func (badProblem) Maximize() []bool { return []bool{true} } // wrong length
 
 func TestRunRejectsBadMaximize(t *testing.T) {
-	if _, err := Run(badProblem{}, Options{}); err == nil {
+	if _, err := Run(context.Background(), badProblem{}, Options{}); err == nil {
 		t.Error("bad Maximize length accepted")
 	}
 }
 
 func TestOnGenerationCallback(t *testing.T) {
 	var gens []int
-	_, err := Run(biObjective{}, Options{PopSize: 10, Generations: 5, Seed: 1,
-		OnGeneration: func(gen, evals int) { gens = append(gens, gen) }})
+	_, err := Run(context.Background(), biObjective{}, Options{PopSize: 10, Generations: 5, Seed: 1,
+		OnGeneration: func(gs GenStats) { gens = append(gens, gs.Gen) }})
 	if err != nil {
 		t.Fatal(err)
 	}
