@@ -8,18 +8,17 @@ build:
 vet:
 	go vet ./...
 
-# go vet + staticcheck (when installed) + the deprecated-API gate
-# (in-repo use of FlowConfig.OnProgress fails the build).
+# go vet + staticcheck (when installed).
 lint:
 	scripts/lint.sh
 
 test:
 	go test ./...
 
-# Concurrency-sensitive packages (worker pools, genome cache) under the
-# race detector.
+# Concurrency-sensitive packages (worker pools, genome cache, HTTP
+# server) under the race detector.
 test-race:
-	go test -race ./internal/wbga/... ./internal/montecarlo/... ./internal/analysis/... ./internal/core/...
+	go test -race ./internal/wbga/... ./internal/montecarlo/... ./internal/analysis/... ./internal/core/... ./internal/server/...
 
 # Everything CI should gate on.
 check: lint test test-race
@@ -42,6 +41,7 @@ examples:
 	go run ./examples/quickstart
 	go run ./examples/filterdesign
 	go run ./examples/slewbuffer
+	go run ./examples/yieldclient
 
 cover:
 	go test -cover ./...

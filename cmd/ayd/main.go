@@ -1,0 +1,86 @@
+// Command ayd serves the analogyield model-as-a-service API: cheap
+// yield queries against saved behavioural models and asynchronous
+// model-building flow jobs with live SSE event streams.
+//
+// Usage:
+//
+//	ayd serve [-addr :8080] [-models DIR] [-data DIR] [-workers N]
+//	          [-max-models N] [-max-inflight N] [-query-timeout D]
+//
+// SIGINT/SIGTERM shut the server down gracefully: in-flight queries
+// drain, running flows checkpoint and stop (resumable on the next
+// submission of the same model), and event streams close.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"analogyield/internal/core"
+	"analogyield/internal/server"
+)
+
+func main() {
+	if len(os.Args) < 2 || os.Args[1] != "serve" {
+		fmt.Fprintln(os.Stderr, "usage: ayd serve [flags]")
+		fmt.Fprintln(os.Stderr, "run 'ayd serve -h' for flags")
+		os.Exit(2)
+	}
+	os.Exit(serve(os.Args[2:]))
+}
+
+func serve(args []string) int {
+	fs := flag.NewFlagSet("ayd serve", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
+		models      = fs.String("models", "ayd-models", "directory of saved models (one subdirectory per model)")
+		data        = fs.String("data", "", "job state directory (checkpoints); defaults to -models")
+		workers     = fs.Int("workers", 2, "flow worker pool size")
+		maxModels   = fs.Int("max-models", 8, "maximum models resident in memory (LRU beyond)")
+		maxInflight = fs.Int("max-inflight", 256, "maximum concurrent HTTP requests before shedding")
+		queryTO     = fs.Duration("query-timeout", 30*time.Second, "per-request timeout on non-streaming routes")
+		drainTO     = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	fs.Parse(args)
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	metrics := &core.Metrics{}
+	metrics.Publish("ayd")
+
+	srv := server.New(server.Config{
+		Addr:         *addr,
+		ModelsDir:    *models,
+		DataDir:      *data,
+		FlowWorkers:  *workers,
+		MaxModels:    *maxModels,
+		MaxInFlight:  *maxInflight,
+		QueryTimeout: *queryTO,
+		Metrics:      metrics,
+		Logger:       log,
+	})
+	if err := srv.Start(); err != nil {
+		log.Error("start", "err", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // a second signal kills immediately
+	log.Info("shutting down", "budget", drainTO.String())
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Error("shutdown", "err", err)
+		return 1
+	}
+	log.Info("bye")
+	return 0
+}

@@ -1,0 +1,144 @@
+// Yieldclient: drive the ayd service end to end from its Go client —
+// boot an in-process server, submit a small OTA model-building flow,
+// follow its live SSE event stream, then answer yield queries (single
+// and batched) against the model the flow produced.
+//
+//	go run ./examples/yieldclient
+//
+// Against a separately started server (`go run ./cmd/ayd serve`), point
+// client.New at its address instead of booting one here.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+
+	"analogyield/internal/core"
+	"analogyield/internal/server"
+	"analogyield/internal/server/api"
+	"analogyield/internal/server/client"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// 1. Boot an ayd server on a random local port. A production
+	//    deployment runs `ayd serve` instead; the API is identical.
+	srv := server.New(server.Config{
+		Addr:      "127.0.0.1:0",
+		ModelsDir: "yieldclient-out",
+		Metrics:   &core.Metrics{},
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Shutdown(ctx)
+	cl := client.New("http://" + srv.Addr())
+	fmt.Printf("ayd serving on %s\n", srv.Addr())
+
+	// 2. Submit a model-building flow for the built-in OTA problem at
+	//    reduced budgets (the paper's are 100x100 / 200).
+	st, err := cl.SubmitFlow(ctx, api.FlowRequest{
+		Problem:     "ota",
+		Model:       "ota-demo",
+		PopSize:     30,
+		Generations: 15,
+		MCSamples:   40,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s (model %q, state %s)\n", st.ID, st.Model, st.State)
+
+	// 3. Follow the job's SSE event stream until it finishes. The same
+	//    stream serves browsers via GET /v1/flows/{id}/events.
+	err = cl.StreamEvents(ctx, st.ID, 0, func(ev api.Event) error {
+		switch ev.Type {
+		case api.EventStageStart:
+			fmt.Printf("  stage %-8s started (%d units)\n", ev.Stage, ev.Total)
+		case api.EventStageEnd:
+			fmt.Printf("  stage %-8s done in %.2fs\n", ev.Stage, ev.ElapsedSecs)
+		case api.EventCheckpointSaved:
+			fmt.Printf("  checkpoint: %d MC points persisted\n", ev.MCDone)
+		case api.EventJobDone:
+			fmt.Printf("  job done: %s\n", ev.State)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fin, err := cl.Flow(ctx, st.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fin.State != api.JobSucceeded {
+		log.Fatalf("flow %s: %s", fin.State, fin.Error)
+	}
+	fmt.Printf("flow: %d evaluations, %d Pareto points\n", fin.Evaluations, fin.ParetoPoints)
+
+	// 4. The finished model is immediately queryable. Pick spec bounds
+	//    inside the modelled gain range.
+	info, err := cl.Model(ctx, "ota-demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model %q: %d points, %s in [%.2f, %.2f], %s in [%.2f, %.2f]\n",
+		info.Name, info.Points,
+		info.ObjectiveNames[0], info.Domain[0], info.Domain[1],
+		info.ObjectiveNames[1], info.Domain1[0], info.Domain1[1])
+	gain := info.Domain[0] + 0.4*(info.Domain[1]-info.Domain[0])
+	pm := info.Domain1[0] + 0.2*(info.Domain1[1]-info.Domain1[0])
+
+	// 5. The paper's Table 3 query: required gain and phase margin in,
+	//    guard-banded targets and interpolated W/L parameters out.
+	out, err := cl.Query(ctx, api.QueryRequest{
+		Model: "ota-demo",
+		Specs: [2]api.Spec{
+			{Name: "gain_db", Sense: ">=", Bound: gain},
+			{Name: "pm_deg", Sense: ">=", Bound: pm},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery: gain ≥ %.2f dB, PM ≥ %.2f°\n", gain, pm)
+	fmt.Printf("  guard-banded targets: gain %.2f dB (Δ %.2f%%), PM %.2f° (Δ %.2f%%)\n",
+		out.Targets[0], out.DeltaPct[0], out.Targets[1], out.DeltaPct[1])
+	fmt.Printf("  predicted yield: %.2f%%\n", 100*out.PredictedYield)
+	for _, p := range out.Params {
+		fmt.Printf("  %-8s = %8.3f %s\n", p.Name, p.Value, p.Unit)
+	}
+
+	// 6. Batched queries coalesce into shared model-lock acquisitions
+	//    server-side — the cheap way to sweep a spec range.
+	var reqs []api.QueryRequest
+	for i := 0; i < 5; i++ {
+		g := info.Domain[0] + (0.2+0.12*float64(i))*(info.Domain[1]-info.Domain[0])
+		reqs = append(reqs, api.QueryRequest{
+			Model: "ota-demo",
+			Specs: [2]api.Spec{
+				{Name: "gain_db", Sense: ">=", Bound: g},
+				{Name: "pm_deg", Sense: ">=", Bound: pm},
+			},
+		})
+	}
+	results, err := cl.QueryBatch(ctx, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nspec sweep (batched):\n")
+	for i, r := range results {
+		if r.Error != "" {
+			fmt.Printf("  gain ≥ %6.2f: %s\n", reqs[i].Specs[0].Bound, r.Error)
+			continue
+		}
+		fmt.Printf("  gain ≥ %6.2f dB → predicted yield %6.2f%%, PM at front %.2f°\n",
+			reqs[i].Specs[0].Bound, 100*r.Response.PredictedYield, r.Response.FrontPerf[1])
+	}
+}

@@ -105,22 +105,30 @@ func TestRunFlowValidation(t *testing.T) {
 	}
 }
 
-func TestRunFlowProgressCallback(t *testing.T) {
-	stages := map[string]int{}
+func TestRunFlowProgressEvents(t *testing.T) {
+	stages := map[Stage]int{}
 	_, err := RunFlow(context.Background(), FlowConfig{
 		Problem: synthProblem{}, Proc: process.C35(),
 		PopSize: 10, Generations: 5, MCSamples: 10, Seed: 2,
-		OnProgress: func(stage string, done, total int) {
-			stages[stage]++
-			if done > total {
-				t.Errorf("stage %s: done %d > total %d", stage, done, total)
+		Obs: ObserverFunc(func(e Event) {
+			switch ev := e.(type) {
+			case GenerationDone:
+				stages[StageMOO]++
+				if ev.Evals > ev.TotalEvals {
+					t.Errorf("moo: done %d > total %d", ev.Evals, ev.TotalEvals)
+				}
+			case MCPointDone:
+				stages[StageMC]++
+				if ev.Index+1 > ev.Total {
+					t.Errorf("mc: done %d > total %d", ev.Index+1, ev.Total)
+				}
 			}
-		},
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stages["moo"] == 0 || stages["mc"] == 0 {
+	if stages[StageMOO] == 0 || stages[StageMC] == 0 {
 		t.Errorf("progress stages seen: %v", stages)
 	}
 }

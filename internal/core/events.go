@@ -132,20 +132,3 @@ func (m multiObserver) Observe(e Event) {
 		o.Observe(e)
 	}
 }
-
-// progressShim adapts the deprecated FlowConfig.OnProgress callback onto
-// the typed event stream, preserving its historical contract: stage
-// "moo" reports cumulative evaluations against the total budget, stage
-// "mc" reports analysed Pareto points against the front size.
-type progressShim struct {
-	fn func(stage string, done, total int)
-}
-
-func (p progressShim) Observe(e Event) {
-	switch ev := e.(type) {
-	case GenerationDone:
-		p.fn("moo", ev.Evals, ev.TotalEvals)
-	case MCPointDone:
-		p.fn("mc", ev.Index+1, ev.Total)
-	}
-}

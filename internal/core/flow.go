@@ -62,15 +62,6 @@ type FlowConfig struct {
 	// expvar) across many flows. A nil Metrics uses a private registry;
 	// either way FlowResult.Metrics carries the end-of-run snapshot.
 	Metrics *Metrics
-
-	// OnProgress reports coarse stage progress: stage is "moo"
-	// (done = evaluations) or "mc" (done = Pareto points analysed).
-	//
-	// Deprecated: use Obs. OnProgress is adapted internally onto the
-	// typed event stream and will be removed one release after the
-	// Observer API; new code should consume GenerationDone/MCPointDone
-	// events instead.
-	OnProgress func(stage string, done, total int)
 }
 
 // Validate checks the configuration for nonsensical values, returning an
@@ -125,25 +116,6 @@ func (c FlowConfig) withDefaults() FlowConfig {
 		c.CheckpointEvery = 16
 	}
 	return c
-}
-
-// observer resolves the configured event sinks: the typed Obs plus the
-// deprecated OnProgress callback adapted through progressShim.
-func (c FlowConfig) observer() Observer {
-	var sinks []Observer
-	if c.Obs != nil {
-		sinks = append(sinks, c.Obs)
-	}
-	if c.OnProgress != nil {
-		sinks = append(sinks, progressShim{c.OnProgress})
-	}
-	switch len(sinks) {
-	case 0:
-		return nil
-	case 1:
-		return sinks[0]
-	}
-	return MultiObserver(sinks...)
 }
 
 // Timing records per-stage wall-clock durations (the paper's Table 5
@@ -280,7 +252,7 @@ func RunFlow(ctx context.Context, cfg FlowConfig) (*FlowResult, error) {
 	}
 	cfg = cfg.withDefaults()
 
-	f := &flowRun{cfg: cfg, obs: cfg.observer(), metrics: cfg.Metrics, res: &FlowResult{}}
+	f := &flowRun{cfg: cfg, obs: cfg.Obs, metrics: cfg.Metrics, res: &FlowResult{}}
 	if f.metrics == nil {
 		f.metrics = &Metrics{}
 	}

@@ -359,25 +359,31 @@ func TestRunFlowEventStream(t *testing.T) {
 	}
 }
 
-func TestRunFlowObserverAndShimTogether(t *testing.T) {
-	// The deprecated OnProgress callback and the typed Observer can
-	// coexist during migration; both must see the run.
-	shim := map[string]int{}
-	typed := 0
+func TestRunFlowMultiObserver(t *testing.T) {
+	// Several sinks can share one flow's event stream via MultiObserver
+	// (a server fans events out to its log, metrics and subscribers).
+	gens, typed := 0, 0
 	_, err := RunFlow(context.Background(), FlowConfig{
 		Problem: synthProblem{}, Proc: process.C35(),
 		PopSize: 10, Generations: 5, MCSamples: 10, Seed: 2,
-		Obs:        ObserverFunc(func(Event) { typed++ }),
-		OnProgress: func(stage string, done, total int) { shim[stage]++ },
+		Obs: MultiObserver(
+			ObserverFunc(func(e Event) {
+				if _, ok := e.(GenerationDone); ok {
+					gens++
+				}
+			}),
+			nil, // nil sinks are skipped, not called
+			ObserverFunc(func(Event) { typed++ }),
+		),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if shim["moo"] != 5 || shim["mc"] == 0 {
-		t.Errorf("OnProgress shim saw %v", shim)
+	if gens != 5 {
+		t.Errorf("first observer saw %d generations, want 5", gens)
 	}
 	if typed == 0 {
-		t.Error("typed observer starved")
+		t.Error("second observer starved")
 	}
 }
 

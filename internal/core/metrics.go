@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/json"
 	"expvar"
+	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -27,6 +29,9 @@ type Metrics struct {
 	mooNanos       atomic.Int64
 	mcNanos        atomic.Int64
 	tablesNanos    atomic.Int64
+
+	histMu sync.Mutex
+	hists  map[string]*Histogram
 }
 
 // MetricsSnapshot is a point-in-time copy of a Metrics registry, as
@@ -44,6 +49,9 @@ type MetricsSnapshot struct {
 	MOOSeconds     float64 `json:"moo_seconds"`
 	MCSeconds      float64 `json:"mc_seconds"`
 	TablesSeconds  float64 `json:"tables_seconds"`
+	// Latencies carries one snapshot per named latency histogram (see
+	// Metrics.Histogram); nil when the registry has none.
+	Latencies map[string]HistogramSnapshot `json:"latencies,omitempty"`
 }
 
 func (m *Metrics) addStage(s Stage, d time.Duration) {
@@ -55,6 +63,24 @@ func (m *Metrics) addStage(s Stage, d time.Duration) {
 	case StageTables:
 		m.tablesNanos.Add(int64(d))
 	}
+}
+
+// Histogram returns the named latency histogram, creating it on first
+// use. Histograms live inside the registry, so a server's per-route
+// latency distributions are exported through the same expvar variable
+// as the flow counters.
+func (m *Metrics) Histogram(name string) *Histogram {
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
+	if m.hists == nil {
+		m.hists = make(map[string]*Histogram)
+	}
+	h, ok := m.hists[name]
+	if !ok {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	return h
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each field
@@ -76,6 +102,14 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
 	}
+	m.histMu.Lock()
+	if len(m.hists) > 0 {
+		s.Latencies = make(map[string]HistogramSnapshot, len(m.hists))
+		for name, h := range m.hists {
+			s.Latencies[name] = h.Snapshot()
+		}
+	}
+	m.histMu.Unlock()
 	return s
 }
 
@@ -98,4 +132,129 @@ func (m *Metrics) Publish(name string) bool {
 	}
 	expvar.Publish(name, m)
 	return true
+}
+
+// histBuckets is the number of exponential latency buckets. Bucket i
+// spans [histBase·histGrowth^(i-1), histBase·histGrowth^i); the ladder
+// runs from 50µs to ~7 minutes, wide enough for a spline lookup and a
+// queued flow submission alike.
+const (
+	histBuckets = 48
+	histBase    = 50e-6
+	histGrowth  = 1.4
+)
+
+// Histogram is a fixed-bucket exponential latency histogram with
+// lock-free recording, designed for hot request paths: Observe is a
+// single atomic increment (plus an atomic max update). Quantiles are
+// estimated by linear interpolation inside the matched bucket, which is
+// accurate to the bucket's ±20% resolution — plenty for p50/p95 alerts.
+// The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sumNano atomic.Int64
+	maxNano atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// HistogramSnapshot is a point-in-time quantile summary, in
+// milliseconds (the unit route latencies are read in).
+type HistogramSnapshot struct {
+	Count      int64   `json:"count"`
+	MeanMillis float64 `json:"mean_ms"`
+	P50Millis  float64 `json:"p50_ms"`
+	P95Millis  float64 `json:"p95_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+	MaxMillis  float64 `json:"max_ms"`
+}
+
+// histBucket maps a duration to its bucket index.
+func histBucket(d time.Duration) int {
+	s := d.Seconds()
+	if s <= histBase {
+		return 0
+	}
+	i := int(math.Ceil(math.Log(s/histBase) / math.Log(histGrowth)))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// histBound returns the upper bound of bucket i in seconds.
+func histBound(i int) float64 {
+	return histBase * math.Pow(histGrowth, float64(i))
+}
+
+// Observe records one measured duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNano.Add(int64(d))
+	h.buckets[histBucket(d)].Add(1)
+	for {
+		cur := h.maxNano.Load()
+		if int64(d) <= cur || h.maxNano.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// Quantile estimates the q-th quantile (0 < q < 1) in seconds; it
+// returns 0 when nothing has been observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := 0; i < histBuckets; i++ {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = histBound(i - 1)
+			}
+			hi := histBound(i)
+			if max := float64(h.maxNano.Load()) / 1e9; hi > max {
+				hi = max // never report beyond the observed maximum
+			}
+			frac := (rank - cum) / n
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return float64(h.maxNano.Load()) / 1e9
+}
+
+// Snapshot summarises the histogram (counts are read atomically; the
+// set is not a single transaction).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:     h.count.Load(),
+		P50Millis: 1e3 * h.Quantile(0.50),
+		P95Millis: 1e3 * h.Quantile(0.95),
+		P99Millis: 1e3 * h.Quantile(0.99),
+		MaxMillis: float64(h.maxNano.Load()) / 1e6,
+	}
+	if s.Count > 0 {
+		s.MeanMillis = float64(h.sumNano.Load()) / 1e6 / float64(s.Count)
+	}
+	return s
+}
+
+// String renders the snapshot as JSON, satisfying expvar.Var so a
+// histogram can also be published standalone.
+func (h *Histogram) String() string {
+	b, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
 }

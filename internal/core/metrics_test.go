@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+
+	// 100 uniform observations 1..100 ms: p50 ≈ 50ms, p95 ≈ 95ms, within
+	// the ±growth-factor bucket resolution.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if math.Abs(s.MeanMillis-50.5) > 0.01 {
+		t.Errorf("MeanMillis = %g, want 50.5", s.MeanMillis)
+	}
+	if s.MaxMillis != 100 {
+		t.Errorf("MaxMillis = %g, want 100", s.MaxMillis)
+	}
+	if s.P50Millis < 30 || s.P50Millis > 70 {
+		t.Errorf("P50Millis = %g, want ≈50 within bucket resolution", s.P50Millis)
+	}
+	if s.P95Millis < 70 || s.P95Millis > 100 {
+		t.Errorf("P95Millis = %g, want ≈95 within bucket resolution", s.P95Millis)
+	}
+	// Quantiles are clamped to the observed maximum and monotone.
+	if s.P99Millis > s.MaxMillis || s.P50Millis > s.P95Millis || s.P95Millis > s.P99Millis {
+		t.Errorf("quantiles not monotone/clamped: %+v", s)
+	}
+	// Negative durations are clamped, not dropped.
+	h.Observe(-time.Second)
+	if got := h.Snapshot().Count; got != 101 {
+		t.Errorf("Count after negative observe = %d", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, each = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(g+1) * time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*each {
+		t.Errorf("Count = %d, want %d", s.Count, goroutines*each)
+	}
+	if s.MaxMillis != float64(goroutines) {
+		t.Errorf("MaxMillis = %g, want %d", s.MaxMillis, goroutines)
+	}
+}
+
+func TestMetricsHistogramRegistry(t *testing.T) {
+	var m Metrics
+	h := m.Histogram("query")
+	if m.Histogram("query") != h {
+		t.Fatal("Histogram not idempotent per name")
+	}
+	h.Observe(2 * time.Millisecond)
+	m.Histogram("other") // untouched histograms still snapshot
+
+	snap := m.Snapshot()
+	if snap.Latencies["query"].Count != 1 {
+		t.Errorf("Latencies[query].Count = %d", snap.Latencies["query"].Count)
+	}
+	if snap.Latencies["other"].Count != 0 {
+		t.Errorf("Latencies[other].Count = %d", snap.Latencies["other"].Count)
+	}
+
+	// The expvar rendering carries the histograms too.
+	var decoded struct {
+		Latencies map[string]HistogramSnapshot `json:"latencies"`
+	}
+	if err := json.Unmarshal([]byte(m.String()), &decoded); err != nil {
+		t.Fatalf("Metrics.String not JSON: %v", err)
+	}
+	if decoded.Latencies["query"].Count != 1 {
+		t.Errorf("expvar rendering lost the histogram: %s", m.String())
+	}
+}

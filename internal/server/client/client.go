@@ -1,0 +1,234 @@
+// Package client is the Go client of the ayd service: yield queries,
+// flow-job submission/polling/cancellation, and consumption of the SSE
+// event stream. It speaks the wire types of internal/server/api
+// against any base URL, so it works equally against cmd/ayd and an
+// in-process httptest server.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"analogyield/internal/server/api"
+)
+
+// Client calls one ayd server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customises a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (tests inject
+// an httptest transport; production callers set pooling/timeouts).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New creates a client for the server at base (e.g.
+// "http://127.0.0.1:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do runs one JSON round trip; out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr api.Error
+		if jerr := json.NewDecoder(resp.Body).Decode(&apiErr); jerr == nil && apiErr.Message != "" {
+			apiErr.Status = resp.StatusCode
+			return &apiErr
+		}
+		return &api.Error{Status: resp.StatusCode, Message: resp.Status}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Query answers one yield query.
+func (c *Client) Query(ctx context.Context, req api.QueryRequest) (*api.QueryResponse, error) {
+	var out api.QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/yield/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryBatch answers several queries in one round trip; Results[i]
+// answers reqs[i].
+func (c *Client) QueryBatch(ctx context.Context, reqs []api.QueryRequest) ([]api.QueryResult, error) {
+	var out api.BatchQueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/yield/query", api.BatchQueryRequest{Queries: reqs}, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Models lists the server's models.
+func (c *Client) Models(ctx context.Context) ([]api.ModelInfo, error) {
+	var out []api.ModelInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/models", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Model describes one model.
+func (c *Client) Model(ctx context.Context, name string) (*api.ModelInfo, error) {
+	var out api.ModelInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/models/"+name, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitFlow submits a model-building flow job.
+func (c *Client) SubmitFlow(ctx context.Context, req api.FlowRequest) (*api.JobStatus, error) {
+	var out api.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/flows", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Flows lists submitted jobs.
+func (c *Client) Flows(ctx context.Context) ([]api.JobStatus, error) {
+	var out []api.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/flows", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Flow polls one job's status.
+func (c *Client) Flow(ctx context.Context, id string) (*api.JobStatus, error) {
+	var out api.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/flows/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CancelFlow cancels a queued or running job.
+func (c *Client) CancelFlow(ctx context.Context, id string) (*api.JobStatus, error) {
+	var out api.JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/flows/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// StreamEvents consumes a job's SSE event stream, invoking fn for each
+// event in order until the stream ends (the job's terminal job_done
+// event, server shutdown, or ctx cancellation) or fn returns an error,
+// which is propagated. fromSeq resumes after a previously seen event
+// (0 = from the beginning of the replay window).
+func (c *Client) StreamEvents(ctx context.Context, id string, fromSeq int, fn func(api.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/flows/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if fromSeq > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprint(fromSeq))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr api.Error
+		if jerr := json.NewDecoder(resp.Body).Decode(&apiErr); jerr == nil && apiErr.Message != "" {
+			apiErr.Status = resp.StatusCode
+			return &apiErr
+		}
+		return &api.Error{Status: resp.StatusCode, Message: resp.Status}
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, line[len("data: "):]...)
+		case line == "" && len(data) > 0:
+			var ev api.Event
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return fmt.Errorf("client: bad event payload: %w", err)
+			}
+			data = data[:0]
+			if err := fn(ev); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// WaitFlow polls a job until it reaches a terminal state, at cadence
+// poll (0 → 200ms).
+func (c *Client) WaitFlow(ctx context.Context, id string, poll time.Duration) (*api.JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Flow(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if api.Terminal(st.State) {
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}

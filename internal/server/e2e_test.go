@@ -1,0 +1,189 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"analogyield/internal/core"
+	"analogyield/internal/process"
+	"analogyield/internal/server/api"
+	"analogyield/internal/server/client"
+)
+
+// startServer boots a real ayd server on a random port with the given
+// problems registered, and returns a client pointed at it over TCP.
+func startServer(t *testing.T, dir string, problems map[string]ProblemFactory) (*Server, *client.Client) {
+	t.Helper()
+	srv := New(Config{
+		Addr:        "127.0.0.1:0",
+		ModelsDir:   dir,
+		FlowWorkers: 1,
+		Problems:    problems,
+		Processes:   map[string]ProcessFactory{"c35": process.C35},
+		Metrics:     &core.Metrics{},
+		Logger:      quietLog(),
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return srv, client.New("http://" + srv.Addr())
+}
+
+// TestEndToEnd is the acceptance path: boot ayd on a random port,
+// submit a small flow, follow its SSE event stream through
+// StageStart → CheckpointSaved → StageEnd to completion, then answer a
+// yield query against the model the flow produced.
+func TestEndToEnd(t *testing.T) {
+	srv, cl := startServer(t, t.TempDir(), synthFactory())
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	st, err := cl.SubmitFlow(ctx, api.FlowRequest{
+		Problem:         "synth",
+		Model:           "e2e",
+		PopSize:         24,
+		Generations:     10,
+		MCSamples:       20,
+		Seed:            1,
+		CheckpointEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Follow the SSE stream until the terminal job_done event.
+	var evs []api.Event
+	if err := cl.StreamEvents(ctx, st.ID, 0, func(ev api.Event) error {
+		evs = append(evs, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("StreamEvents: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("no events received")
+	}
+	firstOf := func(typ string) int {
+		for i, ev := range evs {
+			if ev.Type == typ {
+				return i
+			}
+		}
+		return -1
+	}
+	lastOf := func(typ string) int {
+		last := -1
+		for i, ev := range evs {
+			if ev.Type == typ {
+				last = i
+			}
+		}
+		return last
+	}
+	start := firstOf(api.EventStageStart)
+	ckpt := firstOf(api.EventCheckpointSaved)
+	end := lastOf(api.EventStageEnd)
+	if start < 0 || ckpt < 0 || end < 0 {
+		t.Fatalf("missing lifecycle events: stage_start %d, checkpoint_saved %d, stage_end %d", start, ckpt, end)
+	}
+	if !(start < ckpt && ckpt < end) {
+		t.Fatalf("event order: stage_start@%d, checkpoint_saved@%d, stage_end@%d", start, ckpt, end)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("Seq not increasing at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	last := evs[len(evs)-1]
+	if last.Type != api.EventJobDone || last.State != api.JobSucceeded {
+		t.Fatalf("stream ended with %s/%s (%s), want job_done/succeeded", last.Type, last.State, last.Error)
+	}
+
+	// The stream replays: reconnecting from mid-stream returns only the
+	// tail, starting right after the requested sequence number.
+	mid := evs[len(evs)/2].Seq
+	var tail []api.Event
+	if err := cl.StreamEvents(ctx, st.ID, mid, func(ev api.Event) error {
+		tail = append(tail, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay StreamEvents: %v", err)
+	}
+	if len(tail) == 0 || tail[0].Seq != mid+1 {
+		t.Fatalf("replay from %d started at %v", mid, tail)
+	}
+
+	// Status agrees with the stream.
+	fin, err := cl.Flow(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != api.JobSucceeded || fin.Evaluations != 240 || fin.ParetoPoints < 4 {
+		t.Fatalf("final status %+v", fin)
+	}
+
+	// The produced model is listed and queryable. The synthetic front
+	// follows perf1 = 85 − 1.2·(perf0 − 45), so a feasible spec pair can
+	// be derived from the model's reported perf0 domain.
+	info, err := cl.Model(ctx, "e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Points < 4 || info.Domain[0] >= info.Domain[1] {
+		t.Fatalf("model info %+v", info)
+	}
+	g := info.Domain[0] + 0.3*(info.Domain[1]-info.Domain[0])
+	pm := 85 - 1.2*(g-45) - 2
+	q := api.QueryRequest{
+		Model: "e2e",
+		Specs: [2]api.Spec{
+			{Name: "gain_db", Sense: ">=", Bound: g},
+			{Name: "pm_deg", Sense: ">=", Bound: pm},
+		},
+	}
+	out, err := cl.Query(ctx, q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if out.Targets[0] <= g || out.Targets[1] <= pm {
+		t.Errorf("targets %v not guard-banded above bounds (%g, %g)", out.Targets, g, pm)
+	}
+	if len(out.Params) != 3 {
+		t.Errorf("Params = %+v", out.Params)
+	}
+	if out.PredictedYield <= 0.5 || out.PredictedYield > 1 {
+		t.Errorf("PredictedYield = %g", out.PredictedYield)
+	}
+
+	// Batch round trip answers per-query, including failures.
+	res, err := cl.QueryBatch(ctx, []api.QueryRequest{q, {Model: "nope", Specs: q.Specs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Response == nil || res[0].Error != "" {
+		t.Fatalf("batch[0] = %+v", res)
+	}
+	if res[1].Response != nil || res[1].Error == "" {
+		t.Fatalf("batch[1] = %+v", res[1])
+	}
+
+	// Unknown jobs surface as typed 404 errors through the client.
+	var apiErr *api.Error
+	if _, err := cl.Flow(ctx, "job-999999"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Errorf("unknown job error = %v", err)
+	}
+
+	// Route latencies reached the shared metrics registry.
+	snap := srv.Metrics().Snapshot()
+	if snap.Latencies["query"].Count < 1 || snap.Latencies["flow_submit"].Count < 1 {
+		t.Errorf("latency histograms not populated: %+v", snap.Latencies)
+	}
+}

@@ -1,0 +1,459 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"analogyield/internal/core"
+	"analogyield/internal/process"
+	"analogyield/internal/server/api"
+)
+
+// ProblemFactory builds a fresh CircuitProblem for one flow job.
+// Factories run once per submission, so problems need not be reusable
+// across jobs.
+type ProblemFactory func() core.CircuitProblem
+
+// ProcessFactory builds the statistical process model for one job.
+type ProcessFactory func() *process.Process
+
+// eventBuffer bounds the per-job event replay window: SSE subscribers
+// replay at most the last eventBuffer events (the generation stream of
+// a paper-budget run would otherwise grow without bound).
+const eventBuffer = 4096
+
+// ErrUnknownJob reports a status/events request for an id never issued.
+var ErrUnknownJob = errors.New("server: unknown job")
+
+// ErrQueueFull reports a submission against a saturated job queue.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// job is one flow submission and its full lifecycle state.
+type job struct {
+	id  string
+	cfg core.FlowConfig
+
+	mu       sync.Mutex
+	status   api.JobStatus
+	events   []api.Event // tail of the stream; seqs are contiguous
+	firstSeq int         // seq preceding events[0]: events[i].Seq == firstSeq+1+i
+	nextSeq  int
+	notify   map[chan struct{}]struct{}
+	cancel   context.CancelFunc
+
+	done chan struct{} // closed when the job reaches a terminal state
+}
+
+// JobManager runs submitted flows on a bounded worker pool. Jobs queue
+// FIFO; each runs core.RunFlow with a checkpoint under the data
+// directory, buffers its Observer events for SSE subscribers, and
+// installs the finished model into the registry. Shutdown cancels
+// running flows — cooperatively, so each writes a resumable checkpoint
+// — and waits for the workers to drain.
+type JobManager struct {
+	dataDir  string
+	registry *Registry
+	problems map[string]ProblemFactory
+	procs    map[string]ProcessFactory
+	metrics  *core.Metrics
+	log      *slog.Logger
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	queue   chan *job
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for listing
+	seq   int
+}
+
+// NewJobManager starts workers goroutines consuming a job queue of the
+// given depth (<=0 selects 1 worker / depth 64).
+func NewJobManager(dataDir string, workers, queueDepth int, reg *Registry,
+	problems map[string]ProblemFactory, procs map[string]ProcessFactory,
+	metrics *core.Metrics, log *slog.Logger) *JobManager {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	if log == nil {
+		log = slog.Default()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &JobManager{
+		dataDir:  dataDir,
+		registry: reg,
+		problems: problems,
+		procs:    procs,
+		metrics:  metrics,
+		log:      log,
+		baseCtx:  ctx,
+		stop:     cancel,
+		queue:    make(chan *job, queueDepth),
+		jobs:     make(map[string]*job),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Shutdown cancels running flows (each checkpoints and stops at its
+// next generation / MC-point boundary) and waits for the pool to drain,
+// or for ctx to expire.
+func (m *JobManager) Shutdown(ctx context.Context) error {
+	m.stop()
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: job pool did not drain: %w", ctx.Err())
+	}
+}
+
+// Submit validates and enqueues a flow request.
+func (m *JobManager) Submit(req api.FlowRequest) (*api.JobStatus, error) {
+	pf, ok := m.problems[req.Problem]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown problem %q", req.Problem)
+	}
+	procName := req.Process
+	if procName == "" {
+		procName = "c35"
+	}
+	prf, ok := m.procs[procName]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown process %q", procName)
+	}
+	cfg := core.FlowConfig{
+		Problem:         pf(),
+		Proc:            prf(),
+		PopSize:         req.PopSize,
+		Generations:     req.Generations,
+		MCSamples:       req.MCSamples,
+		Seed:            req.Seed,
+		Workers:         req.Workers,
+		CacheSize:       req.CacheSize,
+		Model:           core.ModelOptions{MaxTablePoints: req.MaxTablePoints},
+		CheckpointEvery: req.CheckpointEvery,
+		Metrics:         m.metrics,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	m.seq++
+	id := fmt.Sprintf("job-%06d", m.seq)
+	modelName := req.Model
+	if modelName == "" {
+		modelName = id
+	}
+	if err := validName(modelName); err != nil {
+		m.seq--
+		m.mu.Unlock()
+		return nil, err
+	}
+	// The checkpoint is keyed by model name, not job id, so cancelling a
+	// job (or losing it to a shutdown) and resubmitting the same request
+	// resumes from the saved state instead of restarting.
+	cfg.Checkpoint = filepath.Join(m.dataDir, "checkpoints", modelName+".ckpt")
+	j := &job{
+		id:  id,
+		cfg: cfg,
+		status: api.JobStatus{
+			ID:         id,
+			State:      api.JobQueued,
+			Model:      modelName,
+			Request:    req,
+			Created:    time.Now(),
+			Checkpoint: cfg.Checkpoint,
+		},
+		notify: make(map[chan struct{}]struct{}),
+		done:   make(chan struct{}),
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Lock()
+		delete(m.jobs, id)
+		m.order = m.order[:len(m.order)-1]
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	j.emit(api.Event{Type: api.EventJobQueued})
+	st := j.snapshot()
+	return &st, nil
+}
+
+// worker consumes the queue until shutdown.
+func (m *JobManager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case j := <-m.queue:
+			m.run(j)
+		}
+	}
+}
+
+// run executes one job to a terminal state.
+func (m *JobManager) run(j *job) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.status.State != api.JobQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.status.State = api.JobRunning
+	j.status.Started = time.Now()
+	j.cancel = cancel
+	cfg := j.cfg
+	j.mu.Unlock()
+
+	j.emit(api.Event{Type: api.EventJobStarted})
+	m.log.Info("job started", "job", j.id, "problem", cfg.Problem.ObjectiveNames(), "model", j.status.Model)
+
+	cfg.Obs = core.ObserverFunc(func(e core.Event) { j.observe(e) })
+	res, err := core.RunFlow(ctx, cfg)
+
+	final := api.Event{Type: api.EventJobDone}
+	j.mu.Lock()
+	if res != nil {
+		j.status.Evaluations = res.Evaluations
+		j.status.MCSimulations = res.MCSimulations
+		j.status.ParetoPoints = len(res.Points)
+		j.status.DroppedPoints = res.DroppedPoints
+		j.status.Resumed = res.Resumed
+	}
+	switch {
+	case err == nil:
+		j.status.State = api.JobSucceeded
+	case errors.Is(err, context.Canceled):
+		j.status.State = api.JobCancelled
+	default:
+		j.status.State = api.JobFailed
+		j.status.Error = err.Error()
+	}
+	j.status.Finished = time.Now()
+	state := j.status.State
+	modelName := j.status.Model
+	j.mu.Unlock()
+
+	if state == api.JobSucceeded {
+		if ierr := m.registry.Install(modelName, res.Model); ierr != nil {
+			j.mu.Lock()
+			j.status.State = api.JobFailed
+			j.status.Error = ierr.Error()
+			state = api.JobFailed
+			err = ierr
+			j.mu.Unlock()
+		}
+	}
+
+	final.State = state
+	if err != nil {
+		final.Error = err.Error()
+	}
+	j.emit(final)
+	close(j.done)
+	m.log.Info("job finished", "job", j.id, "state", state, "err", err)
+}
+
+// observe translates one core event into the job's wire stream and
+// progress counters.
+func (j *job) observe(e core.Event) {
+	var ev api.Event
+	switch t := e.(type) {
+	case core.StageStart:
+		ev = api.Event{Type: api.EventStageStart, Stage: string(t.Stage), Total: t.Total}
+	case core.StageEnd:
+		ev = api.Event{Type: api.EventStageEnd, Stage: string(t.Stage), ElapsedSecs: t.Elapsed.Seconds()}
+	case core.GenerationDone:
+		ev = api.Event{Type: api.EventGeneration, Gen: t.Gen, Generations: t.Generations,
+			Evals: t.Evals, TotalEvals: t.TotalEvals, BestFitness: t.BestFitness}
+		j.mu.Lock()
+		j.status.Evaluations = t.Evals
+		j.mu.Unlock()
+	case core.MCPointDone:
+		perf, delta := t.Perf, t.DeltaPct
+		ev = api.Event{Type: api.EventMCPoint, Index: t.Index, Total: t.Total,
+			Perf: &perf, DeltaPct: &delta, Failures: t.Failures, Resumed: t.Resumed}
+		j.mu.Lock()
+		j.status.ParetoPoints++
+		j.mu.Unlock()
+	case core.PointDropped:
+		ev = api.Event{Type: api.EventPointDropped, Index: t.Index}
+		if t.Err != nil {
+			ev.Error = t.Err.Error()
+		}
+		j.mu.Lock()
+		j.status.DroppedPoints++
+		j.mu.Unlock()
+	case core.CheckpointSaved:
+		ev = api.Event{Type: api.EventCheckpointSaved, Checkpoint: t.Path, MCDone: t.MCDone}
+	case core.FlowResumed:
+		ev = api.Event{Type: api.EventFlowResumed, Checkpoint: t.Path, MCDone: t.MCDone, Resumed: true}
+		j.mu.Lock()
+		j.status.Resumed = true
+		j.mu.Unlock()
+	default:
+		return
+	}
+	j.emit(ev)
+}
+
+// emit appends an event to the replay buffer and wakes subscribers.
+func (j *job) emit(ev api.Event) {
+	j.mu.Lock()
+	j.nextSeq++
+	ev.Seq = j.nextSeq
+	ev.Time = time.Now()
+	j.events = append(j.events, ev)
+	if len(j.events) > eventBuffer {
+		drop := len(j.events) - eventBuffer
+		j.events = j.events[drop:]
+		j.firstSeq += drop
+	}
+	for ch := range j.notify {
+		select {
+		case ch <- struct{}{}:
+		default: // already signalled
+		}
+	}
+	j.mu.Unlock()
+}
+
+// subscribe registers a wake-up channel; the caller must unsubscribe.
+func (j *job) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	j.notify[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch
+}
+
+func (j *job) unsubscribe(ch chan struct{}) {
+	j.mu.Lock()
+	delete(j.notify, ch)
+	j.mu.Unlock()
+}
+
+// eventsSince copies the buffered events with Seq > seq.
+func (j *job) eventsSince(seq int) []api.Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq < j.firstSeq {
+		seq = j.firstSeq
+	}
+	idx := seq - j.firstSeq // events[idx].Seq == seq+1
+	if idx >= len(j.events) {
+		return nil
+	}
+	out := make([]api.Event, len(j.events)-idx)
+	copy(out, j.events[idx:])
+	return out
+}
+
+// snapshot copies the current status.
+func (j *job) snapshot() api.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// get looks a job up by id.
+func (m *JobManager) get(id string) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Status reports one job.
+func (m *JobManager) Status(id string) (*api.JobStatus, error) {
+	j, err := m.get(id)
+	if err != nil {
+		return nil, err
+	}
+	st := j.snapshot()
+	return &st, nil
+}
+
+// List reports every job in submission order.
+func (m *JobManager) List() []api.JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]api.JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, err := m.get(id); err == nil {
+			out = append(out, j.snapshot())
+		}
+	}
+	return out
+}
+
+// Cancel stops a queued or running job. Cancelling a running flow is
+// cooperative: the job transitions to cancelled once the flow has
+// checkpointed and unwound. Cancelling a terminal job is a no-op.
+func (m *JobManager) Cancel(id string) (*api.JobStatus, error) {
+	j, err := m.get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	switch j.status.State {
+	case api.JobQueued:
+		// The worker skips jobs that left the queued state.
+		j.status.State = api.JobCancelled
+		j.status.Finished = time.Now()
+		j.mu.Unlock()
+		j.emit(api.Event{Type: api.EventJobDone, State: api.JobCancelled})
+		close(j.done)
+	case api.JobRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel()
+	default:
+		j.mu.Unlock()
+	}
+	st := j.snapshot()
+	return &st, nil
+}
+
+// Done exposes the job's terminal-state channel (tests and the SSE
+// handler wait on it).
+func (m *JobManager) Done(id string) (<-chan struct{}, error) {
+	j, err := m.get(id)
+	if err != nil {
+		return nil, err
+	}
+	return j.done, nil
+}

@@ -1,0 +1,416 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"analogyield/internal/core"
+	"analogyield/internal/server/api"
+	"analogyield/internal/yield"
+)
+
+// ErrUnknownModel reports a query against a name that is neither
+// resident nor present in the models directory.
+var ErrUnknownModel = errors.New("server: unknown model")
+
+// maxQueryBatch bounds how many queued queries one lock acquisition
+// answers; pendingQueries bounds each model's queue depth before
+// senders block.
+const (
+	maxQueryBatch  = 64
+	pendingQueries = 256
+)
+
+// Registry is the LRU-bounded model store behind the query path. Models
+// load lazily from a directory of core.Model artefacts (one
+// subdirectory per model, as written by Model.Save) or are installed
+// directly by finished flow jobs; at most cap models stay resident, the
+// least recently queried evicted first (a later Get reloads them from
+// disk).
+//
+// Each resident model owns a read-write lock and a single batcher
+// goroutine: queries funnel through a queue and are answered in batches
+// under one RLock acquisition, so a model swap (Install over a hot
+// name) waits for at most one batch rather than one lock hand-off per
+// query, and lock traffic stays O(batches) under load.
+type Registry struct {
+	dir string
+	cap int
+
+	mu      sync.Mutex
+	entries map[string]*modelEntry
+	lru     *list.List // front = most recently used; values are *modelEntry
+
+	// batches and batched count lock acquisitions and the queries they
+	// served, so the batching win (batched/batches ≥ 1) is observable.
+	batches atomic.Int64
+	batched atomic.Int64
+}
+
+// modelEntry is one resident model.
+type modelEntry struct {
+	name string
+	elem *list.Element
+
+	mu    sync.RWMutex // write-held while the model is swapped
+	model *core.Model
+
+	queue chan batchReq
+	stop  chan struct{}
+}
+
+// batchReq is one queued query awaiting its batch.
+type batchReq struct {
+	req  api.QueryRequest
+	resp chan api.QueryResult
+}
+
+// NewRegistry creates a registry over an optional models directory
+// (empty = memory-only) keeping at most cap models resident (cap <= 0
+// means 8).
+func NewRegistry(dir string, cap int) *Registry {
+	if cap <= 0 {
+		cap = 8
+	}
+	return &Registry{
+		dir:     dir,
+		cap:     cap,
+		entries: make(map[string]*modelEntry),
+		lru:     list.New(),
+	}
+}
+
+// Close stops every resident model's batcher.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		close(e.stop)
+	}
+	r.entries = make(map[string]*modelEntry)
+	r.lru.Init()
+}
+
+// modelDir returns the on-disk directory of a named model.
+func (r *Registry) modelDir(name string) string {
+	return filepath.Join(r.dir, name)
+}
+
+// validName rejects names that would escape the models directory.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("server: empty model name")
+	}
+	if name != filepath.Base(name) || name == "." || name == ".." {
+		return fmt.Errorf("server: bad model name %q", name)
+	}
+	return nil
+}
+
+// get returns the resident entry, loading (and possibly evicting) as
+// needed.
+func (r *Registry) get(name string) (*modelEntry, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if e, ok := r.entries[name]; ok {
+		r.lru.MoveToFront(e.elem)
+		r.mu.Unlock()
+		return e, nil
+	}
+	r.mu.Unlock()
+
+	// Load outside the registry lock: disk reads must not stall queries
+	// against other (resident) models.
+	if r.dir == "" {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	if _, err := os.Stat(r.modelDir(name)); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	m, err := core.LoadModel(r.modelDir(name))
+	if err != nil {
+		return nil, fmt.Errorf("server: loading model %q: %w", name, err)
+	}
+	return r.install(name, m), nil
+}
+
+// Install makes a model resident under name, replacing any previous
+// model of that name (the swap waits for in-flight query batches).
+// When the registry has a models directory the artefacts are saved
+// there first, so an evicted model can be reloaded.
+func (r *Registry) Install(name string, m *core.Model) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if r.dir != "" {
+		if err := m.Save(r.modelDir(name)); err != nil {
+			return fmt.Errorf("server: saving model %q: %w", name, err)
+		}
+	}
+	r.install(name, m)
+	return nil
+}
+
+// install inserts or swaps the entry and applies the LRU bound.
+func (r *Registry) install(name string, m *core.Model) *modelEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		// Another goroutine may have loaded it concurrently, or a job is
+		// replacing a served model: swap under the write lock. Batch
+		// readers never take r.mu, so waiting here cannot deadlock.
+		r.lru.MoveToFront(e.elem)
+		e.mu.Lock()
+		e.model = m
+		e.mu.Unlock()
+		return e
+	}
+	e := &modelEntry{
+		name:  name,
+		model: m,
+		queue: make(chan batchReq, pendingQueries),
+		stop:  make(chan struct{}),
+	}
+	e.elem = r.lru.PushFront(e)
+	r.entries[name] = e
+	go r.batchLoop(e)
+	for r.lru.Len() > r.cap {
+		oldest := r.lru.Back()
+		ev := oldest.Value.(*modelEntry)
+		r.lru.Remove(oldest)
+		delete(r.entries, ev.name)
+		close(ev.stop) // queued queries on the evicted entry still drain
+	}
+	return e
+}
+
+// Evict drops a model from residency (queries reload it from disk).
+// It reports whether the model was resident.
+func (r *Registry) Evict(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return false
+	}
+	r.lru.Remove(e.elem)
+	delete(r.entries, name)
+	close(e.stop)
+	return true
+}
+
+// batchLoop answers a model's queries in batches: one RLock acquisition
+// serves up to maxQueryBatch queued requests. After stop, remaining
+// queued requests drain so no sender is left waiting.
+func (r *Registry) batchLoop(e *modelEntry) {
+	for {
+		var first batchReq
+		select {
+		case <-e.stop:
+			for {
+				select {
+				case req := <-e.queue:
+					r.answerBatch(e, []batchReq{req})
+				default:
+					return
+				}
+			}
+		case first = <-e.queue:
+		}
+		batch := []batchReq{first}
+	fill:
+		for len(batch) < maxQueryBatch {
+			select {
+			case req := <-e.queue:
+				batch = append(batch, req)
+			default:
+				break fill
+			}
+		}
+		r.answerBatch(e, batch)
+	}
+}
+
+// answerBatch evaluates a batch under one read-lock acquisition.
+func (r *Registry) answerBatch(e *modelEntry, batch []batchReq) {
+	r.batches.Add(1)
+	r.batched.Add(int64(len(batch)))
+	e.mu.RLock()
+	m := e.model
+	for _, b := range batch {
+		b.resp <- solveQuery(m, b.req)
+	}
+	e.mu.RUnlock()
+}
+
+// Query answers one yield query, waiting its turn in the model's batch
+// queue. Cancelling ctx abandons the wait (an already-queued query is
+// still answered into a buffered channel, so the batcher never blocks
+// on a departed caller).
+func (r *Registry) Query(ctx context.Context, req api.QueryRequest) (*api.QueryResponse, error) {
+	e, err := r.get(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	b := batchReq{req: req, resp: make(chan api.QueryResult, 1)}
+	select {
+	case e.queue <- b:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case res := <-b.resp:
+		if res.Error != "" {
+			return nil, errors.New(res.Error)
+		}
+		return res.Response, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// BatchStats reports the cumulative (lock acquisitions, queries served)
+// of the batching layer.
+func (r *Registry) BatchStats() (batches, queries int64) {
+	return r.batches.Load(), r.batched.Load()
+}
+
+// solveQuery runs the Table 3 arithmetic against a model.
+func solveQuery(m *core.Model, req api.QueryRequest) api.QueryResult {
+	fail := func(err error) api.QueryResult { return api.QueryResult{Error: err.Error()} }
+	spec0, err := req.Specs[0].ToYield()
+	if err != nil {
+		return fail(err)
+	}
+	spec1, err := req.Specs[1].ToYield()
+	if err != nil {
+		return fail(err)
+	}
+	scale := req.GuardScale
+	if scale == 0 {
+		scale = 1
+	}
+	d, err := m.DesignForScaled(spec0, spec1, scale)
+	if err != nil {
+		return fail(err)
+	}
+	resp := &api.QueryResponse{
+		Model:      req.Model,
+		Targets:    d.Target,
+		DeltaPct:   d.DeltaPct,
+		FrontPerf:  d.FrontPerf,
+		CurveParam: d.CurveParam,
+		Params:     make([]api.Param, len(d.Params)),
+	}
+	for i, v := range d.Params {
+		p := api.Param{Name: m.ParamNames[i], Value: v}
+		if i < len(m.ParamUnits) {
+			p.Unit = m.ParamUnits[i]
+		}
+		resp.Params[i] = p
+	}
+	// Model-only yield estimate at the selected front point: the
+	// variation tables give Δ% at the design's nominal performance.
+	var deltas [2]float64
+	for k := 0; k < 2; k++ {
+		dp, derr := m.VariationAt(k, d.FrontPerf[k])
+		if derr != nil {
+			// The front point can sit at the very edge of the k=1 axis;
+			// fall back to the spec-bound interpolation already computed.
+			dp = d.DeltaPct[k]
+		}
+		deltas[k] = dp
+	}
+	resp.PredictedYield, err = yield.PredictJoint(
+		[]yield.Spec{spec0, spec1}, d.FrontPerf[:], deltas[:])
+	if err != nil {
+		return fail(err)
+	}
+	return api.QueryResult{Response: resp}
+}
+
+// List enumerates resident models plus (when a models directory exists)
+// every loadable model on disk, sorted by name.
+func (r *Registry) List() []api.ModelInfo {
+	names := map[string]bool{}
+	r.mu.Lock()
+	for name := range r.entries {
+		names[name] = true
+	}
+	r.mu.Unlock()
+	if r.dir != "" {
+		if dirs, err := os.ReadDir(r.dir); err == nil {
+			for _, d := range dirs {
+				if d.IsDir() && !names[d.Name()] {
+					names[d.Name()] = false
+				}
+			}
+		}
+	}
+	out := make([]api.ModelInfo, 0, len(names))
+	for name := range names {
+		info, err := r.Info(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, *info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Info describes one model. A non-resident model is read from disk
+// without installing it, so listing the registry never evicts models
+// that live queries are using.
+func (r *Registry) Info(name string) (*api.ModelInfo, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	e, resident := r.entries[name]
+	r.mu.Unlock()
+	var m *core.Model
+	if resident {
+		e.mu.RLock()
+		m = e.model
+		e.mu.RUnlock()
+	} else {
+		if r.dir == "" {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+		}
+		if _, err := os.Stat(r.modelDir(name)); err != nil {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+		}
+		var err error
+		if m, err = core.LoadModel(r.modelDir(name)); err != nil {
+			return nil, fmt.Errorf("server: loading model %q: %w", name, err)
+		}
+	}
+	lo, hi := m.Domain()
+	lo1, hi1 := m.Delta[1].Domain()
+	return &api.ModelInfo{
+		Name:           name,
+		ObjectiveNames: m.ObjectiveNames,
+		ParamNames:     m.ParamNames,
+		Points:         len(m.Points),
+		Domain:         [2]float64{lo, hi},
+		Domain1:        [2]float64{lo1, hi1},
+		Resident:       resident,
+	}, nil
+}
+
+// Resident reports how many models are currently loaded.
+func (r *Registry) Resident() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"analogyield/internal/server/api"
+)
+
+func testQuery(model string) api.QueryRequest {
+	return api.QueryRequest{
+		Model: model,
+		Specs: [2]api.Spec{
+			{Name: "gain_db", Sense: ">=", Bound: 50},
+			{Name: "pm_deg", Sense: ">=", Bound: 76},
+		},
+	}
+}
+
+func TestRegistryQuery(t *testing.T) {
+	r := NewRegistry(t.TempDir(), 4)
+	defer r.Close()
+	if err := r.Install("m1", synthModel(t, 12)); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := r.Query(context.Background(), testQuery("m1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Model != "m1" {
+		t.Errorf("Model = %q", out.Model)
+	}
+	// Guard-banding must make AtLeast targets stricter than the bounds.
+	if out.Targets[0] <= 50 || out.Targets[1] <= 76 {
+		t.Errorf("targets %v not guard-banded above bounds", out.Targets)
+	}
+	if out.DeltaPct[0] <= 0 || out.DeltaPct[1] <= 0 {
+		t.Errorf("DeltaPct = %v, want positive", out.DeltaPct)
+	}
+	if len(out.Params) != 3 || out.Params[0].Name != "P1" || out.Params[0].Unit != "um" {
+		t.Errorf("Params = %+v", out.Params)
+	}
+	// The selected front point sits a full guard band past each bound, so
+	// the predicted joint yield must be near Φ(3)² ≈ 0.997.
+	if out.PredictedYield <= 0.98 || out.PredictedYield > 1 {
+		t.Errorf("PredictedYield = %g, want ≈0.997", out.PredictedYield)
+	}
+	if out.CurveParam < 0 || out.CurveParam > 1 {
+		t.Errorf("CurveParam = %g outside [0,1]", out.CurveParam)
+	}
+}
+
+func TestRegistryUnknownAndBadNames(t *testing.T) {
+	r := NewRegistry(t.TempDir(), 4)
+	defer r.Close()
+	if _, err := r.Query(context.Background(), testQuery("nope")); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("unknown model: err = %v, want ErrUnknownModel", err)
+	}
+	for _, name := range []string{"", ".", "..", "a/b", "../escape"} {
+		if _, err := r.Query(context.Background(), testQuery(name)); err == nil {
+			t.Errorf("name %q accepted", name)
+		}
+	}
+}
+
+func TestRegistryLRUEvictionAndReload(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry(dir, 2)
+	defer r.Close()
+
+	for _, name := range []string{"m1", "m2", "m3"} {
+		if err := r.Install(name, synthModel(t, 12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Resident(); got != 2 {
+		t.Fatalf("Resident = %d, want 2 (LRU cap)", got)
+	}
+
+	// m1 was evicted (least recently used) but persists on disk; a query
+	// reloads it transparently and evicts another entry to stay at cap.
+	if _, err := r.Query(context.Background(), testQuery("m1")); err != nil {
+		t.Fatalf("query after eviction: %v", err)
+	}
+	if got := r.Resident(); got != 2 {
+		t.Errorf("Resident = %d after reload, want 2", got)
+	}
+
+	// All three remain visible in the listing, resident or not.
+	infos := r.List()
+	if len(infos) != 3 {
+		t.Fatalf("List: %d models, want 3", len(infos))
+	}
+	resident := 0
+	for _, in := range infos {
+		if in.Points != 12 {
+			t.Errorf("%s: Points = %d, want 12", in.Name, in.Points)
+		}
+		if in.Domain[0] >= in.Domain[1] {
+			t.Errorf("%s: Domain = %v", in.Name, in.Domain)
+		}
+		if in.Resident {
+			resident++
+		}
+	}
+	if resident != 2 {
+		t.Errorf("%d resident models in List, want 2", resident)
+	}
+}
+
+func TestRegistryEvict(t *testing.T) {
+	r := NewRegistry("", 4) // no directory: models live only in memory
+	defer r.Close()
+	if err := r.Install("m1", synthModel(t, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Evict("m1") {
+		t.Fatal("Evict reported no entry")
+	}
+	if _, err := r.Query(context.Background(), testQuery("m1")); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("after eviction with no backing dir: err = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestRegistryQueryBatching(t *testing.T) {
+	r := NewRegistry(t.TempDir(), 4)
+	defer r.Close()
+	if err := r.Install("m1", synthModel(t, 12)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := r.get("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the model's write lock so concurrent queries pile up in the
+	// batcher's queue, then release: the backlog must drain in a small
+	// number of shared lock acquisitions, not one per query.
+	const n = 16
+	b0, q0 := r.BatchStats()
+	e.mu.Lock()
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, qerr := r.Query(context.Background(), testQuery("m1"))
+			errs <- qerr
+		}()
+	}
+	time.Sleep(100 * time.Millisecond) // let all n reach the queue
+	e.mu.Unlock()
+	wg.Wait()
+	close(errs)
+	for qerr := range errs {
+		if qerr != nil {
+			t.Fatalf("batched query failed: %v", qerr)
+		}
+	}
+
+	b1, q1 := r.BatchStats()
+	if q1-q0 != n {
+		t.Errorf("batched queries = %d, want %d", q1-q0, n)
+	}
+	// One batch may slip in before the lock is held; the backlog itself
+	// must coalesce, so far fewer batches than queries.
+	if got := b1 - b0; got > 3 {
+		t.Errorf("lock acquisitions = %d for %d queries, want ≤ 3", got, n)
+	}
+}
+
+func TestRegistryQueryCancelled(t *testing.T) {
+	r := NewRegistry(t.TempDir(), 4)
+	defer r.Close()
+	if err := r.Install("m1", synthModel(t, 12)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := r.get("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := r.Query(ctx, testQuery("m1")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded while model locked", err)
+	}
+}

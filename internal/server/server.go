@@ -1,0 +1,341 @@
+// Package server implements the ayd service layer: the repo's two
+// workloads — cheap yield queries against built behavioural models and
+// expensive model-building flow jobs — exposed over HTTP/JSON.
+//
+// Query path: POST /v1/yield/query answers the paper's Table 3 spec
+// query (guard-banded targets, interpolated parameters, predicted
+// yield) from an LRU-bounded model registry, with per-model
+// read-write locking and request batching (registry.go).
+//
+// Job path: POST /v1/flows submits a core.RunFlow job onto a bounded
+// worker pool; GET /v1/flows/{id} polls status and GET
+// /v1/flows/{id}/events streams the typed core.Observer event stream
+// as Server-Sent Events (jobs.go, sse.go). Finished models are
+// installed into the registry, so a submitted flow's model is
+// immediately queryable.
+//
+// Shutdown is graceful: in-flight queries drain, running flows are
+// cancelled cooperatively and leave resumable checkpoints, and SSE
+// streams close.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+
+	"analogyield/internal/core"
+	"analogyield/internal/process"
+	"analogyield/internal/server/api"
+)
+
+// Config assembles a Server. Zero values select the documented
+// defaults.
+type Config struct {
+	// Addr is the listen address for Start ("127.0.0.1:0" in tests).
+	Addr string
+	// ModelsDir persists model artefacts (empty = models live only in
+	// memory and die with residency).
+	ModelsDir string
+	// DataDir holds job state (checkpoints). Empty = ModelsDir.
+	DataDir string
+	// MaxModels bounds the registry's resident models (0 → 8).
+	MaxModels int
+	// FlowWorkers sizes the job pool (0 → 2); FlowQueue its backlog
+	// (0 → 64).
+	FlowWorkers int
+	FlowQueue   int
+	// MaxInFlight caps concurrent HTTP requests (0 → 256).
+	MaxInFlight int
+	// QueryTimeout bounds non-streaming routes (0 → 30s).
+	QueryTimeout time.Duration
+	// Problems and Processes name what flows may be submitted against.
+	// Nil selects the built-ins: problem "ota", process "c35".
+	Problems  map[string]ProblemFactory
+	Processes map[string]ProcessFactory
+	// Metrics is the shared counter registry (nil = private). The
+	// server adds per-route latency histograms to it.
+	Metrics *core.Metrics
+	// Logger receives the structured request/job log (nil = slog
+	// default).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.DataDir == "" {
+		c.DataDir = c.ModelsDir
+	}
+	if c.MaxModels <= 0 {
+		c.MaxModels = 8
+	}
+	if c.FlowWorkers <= 0 {
+		c.FlowWorkers = 2
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.Problems == nil {
+		c.Problems = map[string]ProblemFactory{
+			"ota": func() core.CircuitProblem { return core.NewOTAProblem() },
+		}
+	}
+	if c.Processes == nil {
+		c.Processes = map[string]ProcessFactory{"c35": process.C35}
+	}
+	if c.Metrics == nil {
+		c.Metrics = &core.Metrics{}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server ties the registry, job manager and HTTP front-end together.
+type Server struct {
+	cfg  Config
+	reg  *Registry
+	jobs *JobManager
+	log  *slog.Logger
+
+	httpSrv *http.Server
+	ln      net.Listener
+
+	shutdownCh chan struct{} // closed when Shutdown begins; ends SSE streams
+}
+
+// New builds a Server (not yet listening; Handler serves in-process,
+// Start binds Config.Addr).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := NewRegistry(cfg.ModelsDir, cfg.MaxModels)
+	s := &Server{
+		cfg:        cfg,
+		reg:        reg,
+		log:        cfg.Logger,
+		shutdownCh: make(chan struct{}),
+	}
+	s.jobs = NewJobManager(cfg.DataDir, cfg.FlowWorkers, cfg.FlowQueue, reg,
+		cfg.Problems, cfg.Processes, cfg.Metrics, cfg.Logger)
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	return s
+}
+
+// Registry exposes the model store (tests and embedding callers
+// pre-install models).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Jobs exposes the job manager.
+func (s *Server) Jobs() *JobManager { return s.jobs }
+
+// Metrics exposes the shared counter registry.
+func (s *Server) Metrics() *core.Metrics { return s.cfg.Metrics }
+
+// Handler builds the routed, middleware-wrapped HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	m := s.cfg.Metrics
+
+	timed := func(name string, h http.HandlerFunc) http.Handler {
+		return observeLatency(m.Histogram(name), withTimeout(s.cfg.QueryTimeout, h))
+	}
+	mux.Handle("POST /v1/yield/query", timed("query", s.handleQuery))
+	mux.Handle("GET /v1/models", timed("models", s.handleModels))
+	mux.Handle("GET /v1/models/{name}", timed("models", s.handleModel))
+	mux.Handle("POST /v1/flows", timed("flow_submit", s.handleSubmit))
+	mux.Handle("GET /v1/flows", timed("flow_status", s.handleJobs))
+	mux.Handle("GET /v1/flows/{id}", timed("flow_status", s.handleJob))
+	mux.Handle("DELETE /v1/flows/{id}", timed("flow_status", s.handleCancel))
+	// SSE: latency histogram would only measure stream lifetime, and
+	// TimeoutHandler breaks flushing — the events route is wrapped by
+	// neither.
+	mux.Handle("GET /v1/flows/{id}/events", http.HandlerFunc(s.handleEvents))
+	mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealth))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	return logRequests(s.log, limitConcurrency(s.cfg.MaxInFlight, mux))
+}
+
+// Start binds Config.Addr and serves until Shutdown. It returns once
+// the listener is bound; serving continues in the background.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.log.Error("serve", "err", err)
+		}
+	}()
+	s.log.Info("listening", "addr", ln.Addr().String())
+	return nil
+}
+
+// Addr reports the bound listen address (valid after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the server gracefully: new connections stop, SSE
+// streams close, in-flight requests finish, running flows checkpoint
+// and cancel, and the model registry's batchers stop. The ctx bounds
+// the whole drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	select {
+	case <-s.shutdownCh:
+		return nil // already shut down
+	default:
+		close(s.shutdownCh)
+	}
+	var firstErr error
+	if s.ln != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := s.jobs.Shutdown(ctx); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.reg.Close()
+	return firstErr
+}
+
+// --- handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, &api.Error{Status: status, Message: fmt.Sprintf(format, args...)})
+}
+
+// errStatus maps a service error to an HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownModel), errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// queryBody accepts both the single and the batch shape on one route.
+type queryBody struct {
+	api.QueryRequest
+	Queries []api.QueryRequest `json:"queries"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var body queryBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(body.Queries) > 0 {
+		resp := api.BatchQueryResponse{Results: make([]api.QueryResult, len(body.Queries))}
+		type idxRes struct {
+			i   int
+			res api.QueryResult
+		}
+		ch := make(chan idxRes, len(body.Queries))
+		for i, q := range body.Queries {
+			go func(i int, q api.QueryRequest) {
+				out, err := s.reg.Query(r.Context(), q)
+				if err != nil {
+					ch <- idxRes{i, api.QueryResult{Error: err.Error()}}
+					return
+				}
+				ch <- idxRes{i, api.QueryResult{Response: out}}
+			}(i, q)
+		}
+		for range body.Queries {
+			ir := <-ch
+			resp.Results[ir.i] = ir.res
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	out, err := s.reg.Query(r.Context(), body.QueryRequest)
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	info, err := s.reg.Info(r.PathValue("name"))
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.FlowRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	st, err := s.jobs.Submit(req)
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.List())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.jobs.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"resident_models": s.reg.Resident(),
+	})
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"analogyield/internal/server/api"
+)
+
+// handleEvents streams a job's event history and live tail as
+// Server-Sent Events. Buffered events replay first (from Last-Event-ID
+// when the client reconnects), then the stream follows the job until
+// its terminal job_done event, the client departs, or the server shuts
+// down. Each SSE message's id is the event Seq and its data one
+// api.Event JSON object.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+
+	lastSeq := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, perr := strconv.Atoi(v); perr == nil && n > 0 {
+			lastSeq = n
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	notify := j.subscribe()
+	defer j.unsubscribe(notify)
+
+	for {
+		evs := j.eventsSince(lastSeq)
+		for _, ev := range evs {
+			b, merr := json.Marshal(ev)
+			if merr != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, b)
+			lastSeq = ev.Seq
+			if ev.Type == api.EventJobDone {
+				flusher.Flush()
+				return
+			}
+		}
+		flusher.Flush()
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-s.shutdownCh:
+			return
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseControlString drives the Verilog-A control-string parser
+// with arbitrary input. Two properties must hold for every accepted
+// string: one control per comma-separated field, and rendering the
+// parsed controls back through Control.String round-trips to an
+// identical parse (the canonical form is a fixed point).
+func FuzzParseControlString(f *testing.F) {
+	for _, seed := range []string{
+		"3E", // the paper's control string
+		"1L", "2C", "3", "I", "i",
+		"3E,3E",     // 2-D tables
+		"1l, 2c ,I", // whitespace and case folding
+		"",
+		",",
+		"4E", "3X", "E3", "3EE", "-1E", "3E,3E,3E,3E",
+		"\t3e\n", "³E", "1,2,3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ctrls, err := ParseControlString(s)
+		if err != nil {
+			return // rejected input only needs to not panic
+		}
+		if want := strings.Count(s, ",") + 1; len(ctrls) != want {
+			t.Fatalf("%q: %d controls for %d fields", s, len(ctrls), want)
+		}
+
+		// Canonicalise and reparse: must accept and agree exactly.
+		parts := make([]string, len(ctrls))
+		for i, c := range ctrls {
+			parts[i] = c.String()
+		}
+		canon := strings.Join(parts, ",")
+		again, err := ParseControlString(canon)
+		if err != nil {
+			t.Fatalf("%q: canonical form %q rejected: %v", s, canon, err)
+		}
+		for i := range ctrls {
+			if again[i] != ctrls[i] {
+				t.Fatalf("%q: control %d changed across round trip: %+v vs %+v",
+					s, i, ctrls[i], again[i])
+			}
+		}
+		// The canonical form itself is stable.
+		parts2 := make([]string, len(again))
+		for i, c := range again {
+			parts2[i] = c.String()
+		}
+		if got := strings.Join(parts2, ","); got != canon {
+			t.Fatalf("%q: canonical form not a fixed point: %q vs %q", s, got, canon)
+		}
+	})
+}

@@ -80,6 +80,49 @@ func Range(nominal, deltaPct float64) (lo, hi float64) {
 	return a, b
 }
 
+// PredictNormal estimates the probability that a single performance
+// meets its spec without running Monte Carlo, from the quantities the
+// behavioural model already stores: the nominal performance at the
+// selected design and its variation figure deltaPct = 100·3σ/|µ|.
+// Inverting that definition gives σ = |nominal|·deltaPct/300; under the
+// variation model's normal assumption the pass probability is the
+// Gaussian tail on the passing side of the bound. A zero-width
+// distribution degenerates to 1 or 0 according to Spec.Pass.
+func PredictNormal(spec Spec, nominal, deltaPct float64) float64 {
+	sigma := math.Abs(nominal) * math.Abs(deltaPct) / 300
+	if sigma == 0 {
+		if spec.Pass(nominal) {
+			return 1
+		}
+		return 0
+	}
+	z := (nominal - spec.Bound) / sigma
+	if spec.Sense == AtMost {
+		z = -z
+	}
+	return normCDF(z)
+}
+
+// PredictJoint multiplies per-spec PredictNormal probabilities — the
+// independence approximation the guard-banding flow already makes when
+// it treats each performance's Δ% separately. specs[k] is evaluated
+// against nominal[k]/deltaPct[k].
+func PredictJoint(specs []Spec, nominal, deltaPct []float64) (float64, error) {
+	if len(specs) != len(nominal) || len(specs) != len(deltaPct) {
+		return 0, fmt.Errorf("yield: %d specs, %d nominals, %d deltas", len(specs), len(nominal), len(deltaPct))
+	}
+	p := 1.0
+	for k, s := range specs {
+		p *= PredictNormal(s, nominal[k], deltaPct[k])
+	}
+	return p, nil
+}
+
+// normCDF is the standard normal CDF Φ(z).
+func normCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
 // FromSamples estimates yield from Monte Carlo metric vectors: the
 // fraction of samples whose cols[k]-th metric passes specs[k] for all k.
 // Nil (failed) samples count as failing.

@@ -170,3 +170,55 @@ func TestWilsonIntervalValidation(t *testing.T) {
 		t.Error("negative passes accepted")
 	}
 }
+
+func TestPredictNormal(t *testing.T) {
+	spec := Spec{Name: "gain", Sense: AtLeast, Bound: 50}
+	// Nominal exactly at the bound: half the population passes.
+	if p := PredictNormal(spec, 50, 0.51); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("at-bound probability = %g, want 0.5", p)
+	}
+	// Guard-banded nominal (Table 3: 50.26 dB at Δ=0.51%) sits 3σ above
+	// the bound, so the predicted yield is Φ(3) ≈ 0.99865.
+	target := GuardBand(spec, 0.51)
+	p := PredictNormal(spec, target, 0.51)
+	wantSigma := target * 0.51 / 300
+	wantZ := (target - 50) / wantSigma
+	if math.Abs(wantZ-3) > 0.02 {
+		t.Fatalf("guard band should land ~3σ out, z = %g", wantZ)
+	}
+	if math.Abs(p-0.99865) > 1e-3 {
+		t.Errorf("guard-banded predicted yield = %g, want ≈0.99865", p)
+	}
+	// AtMost mirrors: nominal below the bound passes.
+	le := Spec{Name: "power", Sense: AtMost, Bound: 1.0}
+	if p := PredictNormal(le, 0.9, 1); p < 0.99 {
+		t.Errorf("comfortable AtMost nominal scored %g", p)
+	}
+	if p := PredictNormal(le, 1.1, 1); p > 0.01 {
+		t.Errorf("violating AtMost nominal scored %g", p)
+	}
+	// Zero variation degenerates to the deterministic pass/fail.
+	if p := PredictNormal(spec, 51, 0); p != 1 {
+		t.Errorf("zero-sigma pass = %g", p)
+	}
+	if p := PredictNormal(spec, 49, 0); p != 0 {
+		t.Errorf("zero-sigma fail = %g", p)
+	}
+}
+
+func TestPredictJoint(t *testing.T) {
+	specs := []Spec{
+		{Name: "gain", Sense: AtLeast, Bound: 50},
+		{Name: "pm", Sense: AtLeast, Bound: 74},
+	}
+	p, err := PredictJoint(specs, []float64{50, 74}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.25) > 1e-12 {
+		t.Errorf("two at-bound specs = %g, want 0.25", p)
+	}
+	if _, err := PredictJoint(specs, []float64{50}, []float64{1, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

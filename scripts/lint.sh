@@ -4,10 +4,6 @@
 #   1. go vet across the module.
 #   2. staticcheck, when installed (the CI image has it; it is optional
 #      locally so a plain Go toolchain can still run `make check`).
-#   3. A deprecation gate: FlowConfig.OnProgress is kept one release for
-#      external callers, but in-repo code must use the typed Observer
-#      API. Only its definition, the progressShim adapter, and tests
-#      (which pin the compat behaviour) may mention it.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,18 +13,6 @@ if command -v staticcheck >/dev/null 2>&1; then
     staticcheck ./...
 else
     echo "lint: staticcheck not installed, skipping (go vet only)"
-fi
-
-# The deprecated OnProgress callback must not spread inside the repo.
-offenders=$(grep -rn --include='*.go' 'OnProgress' cmd examples internal \
-    | grep -v '_test\.go:' \
-    | grep -v '^internal/core/flow\.go:' \
-    | grep -v '^internal/core/events\.go:' \
-    || true)
-if [ -n "$offenders" ]; then
-    echo "lint: deprecated FlowConfig.OnProgress used in-repo; migrate to core.Observer:" >&2
-    echo "$offenders" >&2
-    exit 1
 fi
 
 echo "lint: ok"
