@@ -3,6 +3,8 @@ package analysis
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"analogyield/internal/circuit"
 	"analogyield/internal/num"
@@ -39,40 +41,146 @@ func AC(n *circuit.Netlist, op *OPResult, freqs []float64) (*ACResult, error) {
 	return ACWith(n, op, freqs, nil)
 }
 
+// stampAC assembles the small-signal system of n at frequency f into
+// cw.A and cw.B, linearised about op. Device stamps only write into the
+// supplied buffers, so concurrent stamping into distinct workspaces is
+// safe.
+func stampAC(n *circuit.Netlist, op *OPResult, f float64, cw *num.CWorkspace) {
+	cw.A.Zero()
+	for i := range cw.B {
+		cw.B[i] = 0
+	}
+	ctx := &circuit.ACCtx{A: cw.A, B: cw.B, Omega: 2 * math.Pi * f, DC: op.X}
+	for di, d := range n.Devices() {
+		d.StampAC(ctx, n.BranchBase(di))
+	}
+	// A tiny conductance to ground keeps floating small-signal nodes
+	// (e.g. isolated gates) solvable without affecting results.
+	for i := 0; i < n.NumNodes(); i++ {
+		cw.A.Add(i, i, complex(1e-12, 0))
+	}
+}
+
+// acReference factors the sweep's reference system — the first
+// frequency, under full partial pivoting — into ref. Matrix values
+// change smoothly with frequency while the structure is fixed, so every
+// sweep point can reuse the reference pivot order (with a deterministic
+// per-point fallback when the values drift too far; see
+// num.RefactorInto). Because each point's solve depends only on (f,
+// ref), never on which point was solved before it, a sweep computes
+// bit-identical results for any worker count.
+func acReference(n *circuit.Netlist, op *OPResult, f0 float64, cw *num.CWorkspace, ref *num.CLU) error {
+	stampAC(n, op, f0, cw)
+	if err := ref.FactorInto(cw.A); err != nil {
+		return fmt.Errorf("analysis: AC solve at %g Hz: %w", f0, err)
+	}
+	return nil
+}
+
+// acSolve computes the solution at one frequency into res.X[i], reusing
+// the reference pivot order.
+func acSolve(n *circuit.Netlist, op *OPResult, f float64, cw *num.CWorkspace, ref *num.CLU, res *ACResult, i int) error {
+	stampAC(n, op, f, cw)
+	if _, err := cw.LU.RefactorInto(cw.A, ref); err != nil {
+		return fmt.Errorf("analysis: AC solve at %g Hz: %w", f, err)
+	}
+	cw.LU.Solve(cw.B, cw.X)
+	res.X[i] = append([]complex128(nil), cw.X...)
+	return nil
+}
+
+func validateFreqs(freqs []float64) error {
+	if len(freqs) == 0 {
+		return fmt.Errorf("analysis: empty frequency list")
+	}
+	for _, f := range freqs {
+		if f <= 0 {
+			return fmt.Errorf("analysis: non-positive AC frequency %g", f)
+		}
+	}
+	return nil
+}
+
 // ACWith is AC with reusable solver buffers: each frequency point
-// stamps, factors and solves through ws instead of allocating a fresh
+// stamps, refactors and solves through ws instead of allocating a fresh
 // complex system. A nil ws allocates internally once per call.
 func ACWith(n *circuit.Netlist, op *OPResult, freqs []float64, ws *Workspace) (*ACResult, error) {
-	if len(freqs) == 0 {
-		return nil, fmt.Errorf("analysis: empty frequency list")
+	if err := validateFreqs(freqs); err != nil {
+		return nil, err
 	}
 	nu := n.NumUnknowns()
 	res := &ACResult{Freqs: append([]float64(nil), freqs...), net: n}
-	res.X = make([][]complex128, 0, len(freqs))
+	res.X = make([][]complex128, len(freqs))
 	cw := ws.cplx(nu)
-	A, B := cw.A, cw.B
-	for _, f := range freqs {
-		if f <= 0 {
-			return nil, fmt.Errorf("analysis: non-positive AC frequency %g", f)
+	ref := ws.acReference(nu)
+	if err := acReference(n, op, freqs[0], cw, ref); err != nil {
+		return nil, err
+	}
+	for i, f := range freqs {
+		if err := acSolve(n, op, f, cw, ref, res, i); err != nil {
+			return nil, err
 		}
-		A.Zero()
-		for i := range B {
-			B[i] = 0
+	}
+	return res, nil
+}
+
+// ACWithWorkers is ACWith fanned out over a pool of goroutines, each
+// with its own solver buffers, claiming frequency points off a shared
+// atomic counter. Every point reuses the pivot order of the shared
+// read-only reference factorisation (first frequency, full pivoting),
+// so the result is bit-identical to ACWith — and to itself — for any
+// workers value. workers <= 1, or a sweep of one point, runs serially.
+func ACWithWorkers(n *circuit.Netlist, op *OPResult, freqs []float64, workers int, ws *Workspace) (*ACResult, error) {
+	if workers > len(freqs) {
+		workers = len(freqs)
+	}
+	if workers <= 1 {
+		return ACWith(n, op, freqs, ws)
+	}
+	if err := validateFreqs(freqs); err != nil {
+		return nil, err
+	}
+	nu := n.NumUnknowns()
+	res := &ACResult{Freqs: append([]float64(nil), freqs...), net: n}
+	res.X = make([][]complex128, len(freqs))
+	cw := ws.cplx(nu)
+	ref := ws.acReference(nu)
+	if err := acReference(n, op, freqs[0], cw, ref); err != nil {
+		return nil, err
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for w := 0; w < workers; w++ {
+		wcw := cw // worker 0 reuses the caller's buffers
+		if w > 0 {
+			wcw = num.NewCWorkspace(nu)
 		}
-		ctx := &circuit.ACCtx{A: A, B: B, Omega: 2 * math.Pi * f, DC: op.X}
-		for di, d := range n.Devices() {
-			d.StampAC(ctx, n.BranchBase(di))
-		}
-		// A tiny conductance to ground keeps floating small-signal nodes
-		// (e.g. isolated gates) solvable without affecting results.
-		for i := 0; i < n.NumNodes(); i++ {
-			A.Add(i, i, complex(1e-12, 0))
-		}
-		if err := cw.LU.FactorInto(A); err != nil {
-			return nil, fmt.Errorf("analysis: AC solve at %g Hz: %w", f, err)
-		}
-		cw.LU.Solve(B, cw.X)
-		res.X = append(res.X, append([]complex128(nil), cw.X...))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(freqs) {
+					return
+				}
+				if err := acSolve(n, op, freqs[i], wcw, ref, res, i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
 	}
 	return res, nil
 }
@@ -85,6 +193,12 @@ func ACDecade(n *circuit.Netlist, op *OPResult, fStart, fStop float64, pointsPer
 
 // ACDecadeWith is ACDecade with reusable solver buffers (see ACWith).
 func ACDecadeWith(n *circuit.Netlist, op *OPResult, fStart, fStop float64, pointsPerDecade int, ws *Workspace) (*ACResult, error) {
+	return ACDecadeWorkers(n, op, fStart, fStop, pointsPerDecade, 1, ws)
+}
+
+// ACDecadeWorkers is ACDecadeWith fanned out over a worker pool (see
+// ACWithWorkers); the result is bit-identical for any workers value.
+func ACDecadeWorkers(n *circuit.Netlist, op *OPResult, fStart, fStop float64, pointsPerDecade, workers int, ws *Workspace) (*ACResult, error) {
 	if fStart <= 0 || fStop <= fStart {
 		return nil, fmt.Errorf("analysis: bad AC range [%g, %g]", fStart, fStop)
 	}
@@ -96,5 +210,5 @@ func ACDecadeWith(n *circuit.Netlist, op *OPResult, fStart, fStop float64, point
 	if npts < 2 {
 		npts = 2
 	}
-	return ACWith(n, op, num.Logspace(fStart, fStop, npts), ws)
+	return ACWithWorkers(n, op, num.Logspace(fStart, fStop, npts), workers, ws)
 }

@@ -101,7 +101,20 @@ func newton(n *circuit.Netlist, x []float64, opts OPOptions, gmin, srcScale floa
 		for i := 0; i < nn; i++ {
 			J.Add(i, i, gmin)
 		}
-		if err := ws.LU.FactorInto(J); err != nil {
+		// The Jacobian's structure is fixed across the iteration, so
+		// after the first full partial-pivot factorisation the later
+		// iterates reuse its pivot order (with a deterministic
+		// stability fallback). The chain is seeded fresh at iteration 1
+		// of every call, so the result never depends on what the
+		// workspace solved before — a Monte Carlo or GA worker pool
+		// stays bit-identical for any scheduling.
+		var ferr error
+		if iter == 1 {
+			ferr = ws.LU.FactorInto(J)
+		} else {
+			_, ferr = ws.LU.RefactorInto(J, ws.LU)
+		}
+		if ferr != nil {
 			return iter, false
 		}
 		ws.LU.Solve(B, xn)

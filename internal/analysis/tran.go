@@ -112,8 +112,17 @@ func tranStep(n *circuit.Netlist, xPrev []float64, state map[string][]float64,
 		for i := 0; i < nn; i++ {
 			J.Add(i, i, 1e-12)
 		}
-		if err := ws.LU.FactorInto(J); err != nil {
-			return nil, nil, fmt.Errorf("analysis: transient t=%g: %w", t, err)
+		// Full partial pivoting on the step's first iteration, pivot
+		// reuse (with deterministic fallback) on the rest — see the
+		// matching comment in op.go's newton.
+		var ferr error
+		if iter == 0 {
+			ferr = ws.LU.FactorInto(J)
+		} else {
+			_, ferr = ws.LU.RefactorInto(J, ws.LU)
+		}
+		if ferr != nil {
+			return nil, nil, fmt.Errorf("analysis: transient t=%g: %w", t, ferr)
 		}
 		ws.LU.Solve(B, xn)
 		worst := 0.0

@@ -13,8 +13,9 @@ import "analogyield/internal/num"
 // A Workspace serves one goroutine at a time: never share one between
 // concurrently running analyses.
 type Workspace struct {
-	re *num.Workspace
-	cx *num.CWorkspace
+	re    *num.Workspace
+	cx    *num.CWorkspace
+	acRef *num.CLU // AC sweep reference factorisation (see ac.go)
 }
 
 // NewWorkspace returns an empty workspace; buffers are sized lazily by
@@ -33,6 +34,19 @@ func (w *Workspace) real(n int) *num.Workspace {
 		w.re.Resize(n)
 	}
 	return w.re
+}
+
+// acReference returns the buffer holding the AC sweep's reference
+// factorisation (its order is set by FactorInto). On a nil receiver it
+// allocates fresh buffers.
+func (w *Workspace) acReference(n int) *num.CLU {
+	if w == nil {
+		return num.NewCLU(n)
+	}
+	if w.acRef == nil {
+		w.acRef = num.NewCLU(n)
+	}
+	return w.acRef
 }
 
 // cplx returns the complex solver workspace sized for order-n systems.

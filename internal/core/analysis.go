@@ -47,12 +47,16 @@ func VerifyDesignYield(ctx context.Context, prob CircuitProblem, proc *process.P
 	if samples <= 0 {
 		return nil, fmt.Errorf("core: non-positive sample count %d", samples)
 	}
+	bf := mcBatchFactory(prob, [][]float64{genes})
 	mc, err := montecarlo.RunFactory(ctx, montecarlo.Options{
 		Proc:    proc,
 		Samples: samples,
 		Seed:    seed,
 		Metrics: prob.ObjectiveNames(),
-	}, mcFactory(prob, genes))
+	}, func() montecarlo.Evaluator {
+		pe := bf()
+		return func(s *process.Sample) ([]float64, error) { return pe(0, s) }
+	})
 	if err != nil {
 		return nil, err
 	}

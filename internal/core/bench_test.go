@@ -1,0 +1,50 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"analogyield/internal/process"
+)
+
+// benchFlowConfig is a small but complete flow: WBGA, Pareto
+// extraction, per-point Monte Carlo on the batch scheduler, and table
+// construction over the synthetic problem.
+func benchFlowConfig(workers int) FlowConfig {
+	return FlowConfig{
+		Problem:     synthProblem{},
+		Proc:        process.C35(),
+		PopSize:     24,
+		Generations: 12,
+		MCSamples:   60,
+		Seed:        1,
+		Workers:     workers,
+	}
+}
+
+// BenchmarkFlowSerial pins the single-worker flow cost; compare with
+// BenchmarkFlowWorkers for the scheduler's speedup on multi-core hosts
+// (results are bit-identical between the two — see
+// TestRunFlowDeterministicAcrossWorkers).
+func BenchmarkFlowSerial(b *testing.B) {
+	cfg := benchFlowConfig(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFlow(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlowWorkers runs the same flow with GOMAXPROCS workers
+// through the point-level MC batch scheduler.
+func BenchmarkFlowWorkers(b *testing.B) {
+	cfg := benchFlowConfig(runtime.GOMAXPROCS(0))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFlow(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

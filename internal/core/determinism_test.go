@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"analogyield/internal/process"
+)
+
+// mcEventTrace is the worker-count-invariant projection of the MC event
+// stream: every MCPointDone and PointDropped in emission order.
+type mcEventTrace struct {
+	Kind     string
+	Index    int
+	Perf     [2]float64
+	DeltaPct [2]float64
+	Failures int
+}
+
+func runFlowTraced(t *testing.T, workers int) (*FlowResult, []mcEventTrace) {
+	t.Helper()
+	var trace []mcEventTrace
+	res, err := RunFlow(context.Background(), FlowConfig{
+		Problem:     synthProblem{},
+		Proc:        process.C35(),
+		PopSize:     24,
+		Generations: 12,
+		MCSamples:   30,
+		Seed:        7,
+		Workers:     workers,
+		Obs: ObserverFunc(func(e Event) {
+			switch ev := e.(type) {
+			case MCPointDone:
+				trace = append(trace, mcEventTrace{Kind: "done", Index: ev.Index,
+					Perf: ev.Perf, DeltaPct: ev.DeltaPct, Failures: ev.Failures})
+			case PointDropped:
+				trace = append(trace, mcEventTrace{Kind: "dropped", Index: ev.Index})
+			}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, trace
+}
+
+// TestRunFlowDeterministicAcrossWorkers pins the scheduler's central
+// contract: the same seed produces a bit-identical FlowResult and MC
+// event stream whether the flow runs serially or on 8 workers. Only
+// wall-clock timings and scheduling tallies (cache hit/miss counts,
+// occupancy gauges) may differ, so those fields are blanked before the
+// comparison.
+func TestRunFlowDeterministicAcrossWorkers(t *testing.T) {
+	want, wantTrace := runFlowTraced(t, 1)
+	got, gotTrace := runFlowTraced(t, 8)
+
+	norm := func(r *FlowResult) FlowResult {
+		c := *r
+		c.Timing = Timing{}
+		c.Metrics = MetricsSnapshot{}
+		c.CacheHits, c.CacheMisses = 0, 0
+		return c
+	}
+	a, b := norm(want), norm(got)
+	if !reflect.DeepEqual(a.Archive, b.Archive) {
+		t.Error("archives differ between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(a.FrontIdx, b.FrontIdx) {
+		t.Error("front indices differ between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(a.Points, b.Points) {
+		t.Error("MC points differ between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(a.Model, b.Model) {
+		t.Error("models differ between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("FlowResult differs between 1 and 8 workers:\n1: %+v\n8: %+v", a, b)
+	}
+	if !reflect.DeepEqual(wantTrace, gotTrace) {
+		t.Errorf("MC event streams differ between 1 and 8 workers:\n1: %+v\n8: %+v", wantTrace, gotTrace)
+	}
+}
+
+// TestFlowSchedulerGauges checks the occupancy gauges the MC batch
+// scheduler drives through the registry: levels settle back to zero when
+// the flow finishes, peaks record that work actually flowed through.
+func TestFlowSchedulerGauges(t *testing.T) {
+	m := &Metrics{}
+	_, err := RunFlow(context.Background(), FlowConfig{
+		Problem: synthProblem{}, Proc: process.C35(),
+		PopSize: 24, Generations: 12, MCSamples: 30, Seed: 1,
+		Workers: 4, Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.MCBusyWorkers != 0 || s.MCQueueDepth != 0 || s.MCPointsInFlight != 0 {
+		t.Errorf("gauges did not settle: busy=%d queue=%d inflight=%d",
+			s.MCBusyWorkers, s.MCQueueDepth, s.MCPointsInFlight)
+	}
+	if s.MCBusyWorkersPeak < 1 {
+		t.Errorf("busy workers peak = %d, want >= 1", s.MCBusyWorkersPeak)
+	}
+	if s.MCPointsInFlightPeak < 1 {
+		t.Errorf("points in flight peak = %d, want >= 1", s.MCPointsInFlightPeak)
+	}
+}

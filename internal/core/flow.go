@@ -183,21 +183,23 @@ func (a wbgaAdapter) NewEvaluator() func([]float64) ([]float64, error) {
 	}
 }
 
-// mcFactory builds the per-worker Monte Carlo evaluator for one design
-// point: workspace-backed when the problem supports it.
-func mcFactory(p CircuitProblem, genes []float64) montecarlo.Factory {
+// mcBatchFactory builds the per-worker Monte Carlo evaluator for the
+// whole MC stage: each worker owns one long-lived solver workspace
+// (when the problem supports it) and evaluates any point's genes
+// through it as the batch scheduler moves the worker across points.
+func mcBatchFactory(p CircuitProblem, genes [][]float64) montecarlo.BatchFactory {
 	we, ok := p.(WorkspaceEvaluator)
 	if !ok {
-		return func() montecarlo.Evaluator {
-			return func(s *process.Sample) ([]float64, error) {
-				return p.Evaluate(genes, s)
+		return func() montecarlo.PointEvaluator {
+			return func(point int, s *process.Sample) ([]float64, error) {
+				return p.Evaluate(genes[point], s)
 			}
 		}
 	}
-	return func() montecarlo.Evaluator {
+	return func() montecarlo.PointEvaluator {
 		ws := analysis.NewWorkspace()
-		return func(s *process.Sample) ([]float64, error) {
-			return we.EvaluateWS(genes, s, ws)
+		return func(point int, s *process.Sample) ([]float64, error) {
+			return we.EvaluateWS(genes[point], s, ws)
 		}
 	}
 }
@@ -401,39 +403,42 @@ func (f *flowRun) runMC(ctx context.Context) error {
 		apply(rec, true)
 	}
 
-	for pos := len(f.ck.Done); pos < total; pos++ {
-		if err := ctx.Err(); err != nil {
-			if serr := f.save(); serr != nil {
-				return serr
-			}
-			return err
-		}
-		ev := res.Archive[res.FrontIdx[pos]]
-		genes := ev.ParamGenes
-		rec := mcPointRecord{FrontPos: pos}
-		mcRes, err := montecarlo.RunFactory(ctx, montecarlo.Options{
-			Proc:    cfg.Proc,
-			Samples: cfg.MCSamples,
+	// The remaining points run as ONE batch on a persistent worker pool:
+	// workers stream (point, sample-chunk) items across point boundaries
+	// instead of draining at each one, and the scheduler's in-order
+	// delivery hands finished points back in front position order — so
+	// events, checkpoints and results are bit-identical to the serial
+	// per-point loop for any Workers value.
+	start := len(f.ck.Done)
+	specs := make([]montecarlo.PointSpec, total-start)
+	genes := make([][]float64, total-start)
+	for i := range specs {
+		pos := start + i
+		specs[i] = montecarlo.PointSpec{
 			Seed:    cfg.Seed + int64(pos)*1000003,
-			Workers: cfg.Workers,
-			Metrics: objNames,
-		}, mcFactory(cfg.Problem, genes))
-		if err != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				if serr := f.save(); serr != nil {
-					return serr
-				}
-				return cerr
-			}
+			Samples: cfg.MCSamples,
+		}
+		genes[i] = res.Archive[res.FrontIdx[pos]].ParamGenes
+	}
+	err := montecarlo.RunBatch(ctx, montecarlo.BatchOptions{
+		Proc:    cfg.Proc,
+		Workers: cfg.Workers,
+		Metrics: objNames,
+		Gauges:  f.metrics,
+	}, specs, mcBatchFactory(cfg.Problem, genes), func(point int, mcRes *montecarlo.Result, merr error) error {
+		pos := start + point
+		rec := mcPointRecord{FrontPos: pos}
+		if merr != nil {
 			// The point's MC failed outright: record the drop rather
 			// than silently thinning the front.
 			rec.Dropped = true
-			rec.DropMsg = err.Error()
+			rec.DropMsg = merr.Error()
 			f.metrics.droppedPoints.Add(1)
 			f.metrics.mcSimulations.Add(int64(cfg.MCSamples))
 			f.metrics.solverFailures.Add(int64(cfg.MCSamples))
 		} else {
-			phys, derr := cfg.Problem.Denormalize(genes)
+			ev := res.Archive[res.FrontIdx[pos]]
+			phys, derr := cfg.Problem.Denormalize(genes[point])
 			if derr != nil {
 				return derr
 			}
@@ -450,10 +455,21 @@ func (f *flowRun) runMC(ctx context.Context) error {
 		f.ck.Done = append(f.ck.Done, rec)
 		apply(rec, false)
 		if cfg.CheckpointEvery > 0 && len(f.ck.Done)%cfg.CheckpointEvery == 0 && pos != total-1 {
-			if err := f.save(); err != nil {
-				return err
-			}
+			return f.save()
 		}
+		return nil
+	})
+	if err != nil {
+		// On cancellation the scheduler has delivered a prefix of completed
+		// points, so the checkpoint written here resumes exactly where
+		// delivery stopped.
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			if serr := f.save(); serr != nil {
+				return serr
+			}
+			return cerr
+		}
+		return err
 	}
 
 	if res.DroppedPoints > 0 {

@@ -30,6 +30,13 @@ type Metrics struct {
 	mcNanos        atomic.Int64
 	tablesNanos    atomic.Int64
 
+	// MC scheduler occupancy gauges (see montecarlo.Gauges) plus their
+	// observed peaks — the peaks survive the run, so a post-hoc scrape
+	// still shows how parallel the stage actually was.
+	mcBusyWorkers    gauge
+	mcQueueDepth     gauge
+	mcPointsInFlight gauge
+
 	histMu sync.Mutex
 	hists  map[string]*Histogram
 }
@@ -49,10 +56,41 @@ type MetricsSnapshot struct {
 	MOOSeconds     float64 `json:"moo_seconds"`
 	MCSeconds      float64 `json:"mc_seconds"`
 	TablesSeconds  float64 `json:"tables_seconds"`
+	// MC scheduler occupancy: current values are live gauges (zero
+	// between runs); peaks are high-water marks across the registry's
+	// lifetime.
+	MCBusyWorkers        int64 `json:"mc_busy_workers"`
+	MCBusyWorkersPeak    int64 `json:"mc_busy_workers_peak"`
+	MCQueueDepth         int64 `json:"mc_queue_depth"`
+	MCQueueDepthPeak     int64 `json:"mc_queue_depth_peak"`
+	MCPointsInFlight     int64 `json:"mc_points_in_flight"`
+	MCPointsInFlightPeak int64 `json:"mc_points_in_flight_peak"`
 	// Latencies carries one snapshot per named latency histogram (see
 	// Metrics.Histogram); nil when the registry has none.
 	Latencies map[string]HistogramSnapshot `json:"latencies,omitempty"`
 }
+
+// gauge is an atomic level indicator with a high-water mark.
+type gauge struct {
+	cur, peak atomic.Int64
+}
+
+func (g *gauge) add(delta int64) {
+	v := g.cur.Add(delta)
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// AddBusyWorkers, AddQueueDepth and AddPointsInFlight implement
+// montecarlo.Gauges, so a Metrics registry can be handed to the MC batch
+// scheduler as its occupancy sink.
+func (m *Metrics) AddBusyWorkers(delta int64)    { m.mcBusyWorkers.add(delta) }
+func (m *Metrics) AddQueueDepth(delta int64)     { m.mcQueueDepth.add(delta) }
+func (m *Metrics) AddPointsInFlight(delta int64) { m.mcPointsInFlight.add(delta) }
 
 func (m *Metrics) addStage(s Stage, d time.Duration) {
 	switch s {
@@ -98,6 +136,13 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		MOOSeconds:     time.Duration(m.mooNanos.Load()).Seconds(),
 		MCSeconds:      time.Duration(m.mcNanos.Load()).Seconds(),
 		TablesSeconds:  time.Duration(m.tablesNanos.Load()).Seconds(),
+
+		MCBusyWorkers:        m.mcBusyWorkers.cur.Load(),
+		MCBusyWorkersPeak:    m.mcBusyWorkers.peak.Load(),
+		MCQueueDepth:         m.mcQueueDepth.cur.Load(),
+		MCQueueDepthPeak:     m.mcQueueDepth.peak.Load(),
+		MCPointsInFlight:     m.mcPointsInFlight.cur.Load(),
+		MCPointsInFlightPeak: m.mcPointsInFlight.peak.Load(),
 	}
 	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)

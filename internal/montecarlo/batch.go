@@ -1,0 +1,239 @@
+// Point-level batch scheduling. A yield flow runs one Monte Carlo
+// analysis per Pareto point; launching RunFactory per point serialises
+// the points and tears the worker pool down between them, so the pool
+// drains at every point boundary and short points never overlap long
+// ones. RunBatch instead runs ONE persistent pool for the whole batch,
+// fed (point, sample-chunk) work items, so workers stream across point
+// boundaries without ever going idle.
+//
+// Determinism: sample i of point p always draws process sample
+// (points[p].Seed, i) — the same derivation RunFactory uses — and each
+// sample slot is written by exactly one worker, so a point's Result is
+// bit-identical to a standalone RunFactory run with the same seed, for
+// any Workers and ChunkSize. Completion is delivered in point order
+// through an in-order buffer, so observer events and checkpoints built
+// in the done callback are reproducible too.
+package montecarlo
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"analogyield/internal/process"
+)
+
+// PointSpec describes one point's Monte Carlo run within a batch.
+type PointSpec struct {
+	Seed    int64 // RNG stream identifier for this point
+	Samples int   // number of MC samples (required, > 0)
+}
+
+// PointEvaluator evaluates one process sample of the point at batch
+// position point. It is called from a single goroutine only, so it may
+// own reusable scratch state (typically a solver workspace); point
+// varies call to call as the worker moves across the batch.
+type PointEvaluator func(point int, s *process.Sample) ([]float64, error)
+
+// BatchFactory supplies each worker goroutine with its own
+// PointEvaluator.
+type BatchFactory func() PointEvaluator
+
+// Gauges receives scheduler occupancy deltas: how many workers are
+// evaluating (vs starved), how many work items are queued, and how many
+// points have started but not yet been delivered. core.Metrics
+// implements it; a nil Gauges is valid and drops the updates.
+type Gauges interface {
+	AddBusyWorkers(delta int64)
+	AddQueueDepth(delta int64)
+	AddPointsInFlight(delta int64)
+}
+
+type nopGauges struct{}
+
+func (nopGauges) AddBusyWorkers(int64)    {}
+func (nopGauges) AddQueueDepth(int64)     {}
+func (nopGauges) AddPointsInFlight(int64) {}
+
+// BatchOptions configures a batch run.
+type BatchOptions struct {
+	Proc    *process.Process // required
+	Workers int              // parallel workers (default: GOMAXPROCS)
+	// ChunkSize is the number of samples per work item (default 32).
+	// Smaller chunks spread a single slow point across more workers at
+	// the cost of more scheduling traffic.
+	ChunkSize int
+	// Metrics optionally names the metric columns for reporting.
+	Metrics []string
+	Gauges  Gauges // optional scheduler occupancy sink
+}
+
+// batchPoint accumulates one point's samples as its chunks complete.
+type batchPoint struct {
+	res       *Result
+	failed    atomic.Int64
+	remaining atomic.Int64 // samples not yet evaluated
+}
+
+// RunBatch evaluates every point's Monte Carlo analysis on one shared
+// worker pool and calls done once per point, in point order, with
+// either the point's Result or its error (e.g. every sample failed —
+// the caller decides whether that drops the point or aborts). A non-nil
+// error from done aborts the batch and is returned.
+//
+// Cancellation is cooperative: when ctx is cancelled, dispatch and
+// delivery stop, already-queued chunks finish (bounding latency to a
+// few chunks), and RunBatch returns ctx.Err(). done is never called
+// after the cancellation is observed and never sees a partial point, so
+// a checkpoint built in done records exactly the delivered prefix.
+func RunBatch(ctx context.Context, opts BatchOptions, points []PointSpec, factory BatchFactory, done func(point int, res *Result, err error) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Proc == nil {
+		return fmt.Errorf("montecarlo: nil process")
+	}
+	if factory == nil {
+		return fmt.Errorf("montecarlo: nil evaluator factory")
+	}
+	if done == nil {
+		return fmt.Errorf("montecarlo: nil done callback")
+	}
+	for p, spec := range points {
+		if spec.Samples <= 0 {
+			return fmt.Errorf("montecarlo: point %d: Samples must be positive, got %d", p, spec.Samples)
+		}
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunk := opts.ChunkSize
+	if chunk <= 0 {
+		chunk = 32
+	}
+	gauges := opts.Gauges
+	if gauges == nil {
+		gauges = nopGauges{}
+	}
+
+	// ictx lets a done-callback error stop dispatch without cancelling
+	// the caller's context.
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	state := make([]batchPoint, len(points))
+	for p := range state {
+		state[p].res = &Result{Samples: make([][]float64, points[p].Samples)}
+		state[p].remaining.Store(int64(points[p].Samples))
+	}
+
+	type item struct{ p, lo, hi int }
+	work := make(chan item, 2*workers)
+	completed := make(chan int, len(points))
+
+	// started counts points whose first chunk was dispatched; delivered
+	// counts points handed to done. Their difference settles the
+	// points-in-flight gauge on early exit.
+	var started atomic.Int64
+	delivered := 0
+	defer func() {
+		gauges.AddPointsInFlight(int64(delivered) - started.Load())
+	}()
+
+	// Dispatcher: stream (point, chunk) items. On cancellation it stops
+	// mid-point; that point can then never complete, which is what keeps
+	// partially-evaluated points out of the delivered prefix.
+	go func() {
+		defer close(work)
+		for p, spec := range points {
+			started.Add(1)
+			gauges.AddPointsInFlight(1)
+			for lo := 0; lo < spec.Samples; lo += chunk {
+				hi := lo + chunk
+				if hi > spec.Samples {
+					hi = spec.Samples
+				}
+				select {
+				case work <- item{p, lo, hi}:
+					gauges.AddQueueDepth(1)
+				case <-ictx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eval := factory()
+			for it := range work {
+				gauges.AddQueueDepth(-1)
+				gauges.AddBusyWorkers(1)
+				st := &state[it.p]
+				for i := it.lo; i < it.hi; i++ {
+					if eval == nil {
+						st.failed.Add(1)
+						continue
+					}
+					s := opts.Proc.NewSample(points[it.p].Seed, i)
+					m, err := eval(it.p, s)
+					if err != nil {
+						st.failed.Add(1)
+						continue
+					}
+					st.res.Samples[i] = m
+				}
+				gauges.AddBusyWorkers(-1)
+				if st.remaining.Add(int64(it.lo-it.hi)) == 0 {
+					completed <- it.p
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(completed)
+	}()
+
+	// In-order delivery: advance a frontier over the completion set so
+	// done sees points 0, 1, 2, … regardless of finish order. completed
+	// is buffered for every point, so workers never block on it even
+	// after delivery stops.
+	isDone := make([]bool, len(points))
+	frontier := 0
+	var firstErr error
+	for p := range completed {
+		isDone[p] = true
+		for firstErr == nil && ctx.Err() == nil && frontier < len(points) && isDone[frontier] {
+			st := &state[frontier]
+			st.res.Failed = int(st.failed.Load())
+			err := finishStats(st.res, opts.Metrics)
+			var derr error
+			if err != nil {
+				derr = done(frontier, nil, err)
+			} else {
+				derr = done(frontier, st.res, nil)
+			}
+			delivered++
+			gauges.AddPointsInFlight(-1)
+			frontier++
+			if derr != nil {
+				firstErr = derr
+				cancel()
+			}
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

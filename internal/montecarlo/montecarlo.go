@@ -142,8 +142,17 @@ feed:
 		return nil, err
 	}
 	res.Failed = failed
+	if err := finishStats(res, opts.Metrics); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
 
-	// Reduce to per-metric statistics.
+// finishStats reduces res.Samples to per-metric statistics in res.Stats.
+// It is the shared tail of RunFactory and RunBatch, so a batched point
+// reports bit-identical statistics to a standalone run. An all-failed
+// result is an error.
+func finishStats(res *Result, metrics []string) error {
 	var width int
 	for _, s := range res.Samples {
 		if s != nil {
@@ -152,7 +161,7 @@ feed:
 		}
 	}
 	if width == 0 {
-		return nil, fmt.Errorf("montecarlo: every sample failed (%d of %d)", failed, opts.Samples)
+		return fmt.Errorf("montecarlo: every sample failed (%d of %d)", res.Failed, len(res.Samples))
 	}
 	res.Stats = make([]Stats, width)
 	for k := 0; k < width; k++ {
@@ -163,14 +172,14 @@ feed:
 			}
 		}
 		st := reduce(xs)
-		if k < len(opts.Metrics) {
-			st.Name = opts.Metrics[k]
+		if k < len(metrics) {
+			st.Name = metrics[k]
 		} else {
 			st.Name = fmt.Sprintf("metric%d", k)
 		}
 		res.Stats[k] = st
 	}
-	return res, nil
+	return nil
 }
 
 func reduce(xs []float64) Stats {

@@ -36,6 +36,44 @@ func BenchmarkFactorSolve16(b *testing.B) {
 	}
 }
 
+// BenchmarkFactorInto16 is the zero-allocation full-pivot baseline for
+// BenchmarkRefactorInto16.
+func BenchmarkFactorInto16(b *testing.B) {
+	a, rhs := benchMatrix(16)
+	f := NewLU(16)
+	x := make([]float64, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := f.FactorInto(a); err != nil {
+			b.Fatal(err)
+		}
+		f.Solve(rhs, x)
+	}
+}
+
+// BenchmarkRefactorInto16 times the pivot-reuse refactorisation the
+// Newton iteration and the AC sweep run on their non-first solves.
+func BenchmarkRefactorInto16(b *testing.B) {
+	a, rhs := benchMatrix(16)
+	ref, err := Factor(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := NewLU(16)
+	x := make([]float64, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reused, err := f.RefactorInto(a, ref)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !reused {
+			b.Fatal("pivot order not reused")
+		}
+		f.Solve(rhs, x)
+	}
+}
+
 func BenchmarkCFactorSolve16(b *testing.B) {
 	a, _ := benchMatrix(16)
 	ca := NewCMatrix(16)

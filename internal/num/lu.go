@@ -97,6 +97,7 @@ type LU struct {
 	piv  []int
 	y    []float64 // Solve scratch
 	sign int
+	ok   bool // a successful factorisation is present (pivots valid)
 }
 
 // NewLU returns an LU buffer pre-sized for order-n systems, ready for
@@ -119,11 +120,9 @@ func Factor(a *Matrix) (*LU, error) {
 	return f, nil
 }
 
-// FactorInto refactors a into f's buffers without allocating (buffers
-// grow only when the order increases). The contents of a are not
-// modified. On ErrSingular the receiver stays usable for further calls.
-func (f *LU) FactorInto(a *Matrix) error {
-	n := a.N
+// resize (re)sizes the factorisation buffers for order-n systems,
+// keeping existing allocations whenever they are large enough.
+func (f *LU) resize(n int) {
 	if cap(f.lu) < n*n {
 		f.lu = make([]float64, n*n)
 		f.piv = make([]int, n)
@@ -134,6 +133,15 @@ func (f *LU) FactorInto(a *Matrix) error {
 		f.y = f.y[:n]
 	}
 	f.n = n
+}
+
+// FactorInto refactors a into f's buffers without allocating (buffers
+// grow only when the order increases). The contents of a are not
+// modified. On ErrSingular the receiver stays usable for further calls.
+func (f *LU) FactorInto(a *Matrix) error {
+	n := a.N
+	f.resize(n)
+	f.ok = false
 	f.sign = 1
 	copy(f.lu, a.Data)
 	for i := range f.piv {
@@ -176,6 +184,7 @@ func (f *LU) FactorInto(a *Matrix) error {
 			}
 		}
 	}
+	f.ok = true
 	return nil
 }
 
@@ -275,6 +284,7 @@ type CLU struct {
 	lu  []complex128
 	piv []int
 	y   []complex128 // Solve scratch
+	ok  bool         // a successful factorisation is present (pivots valid)
 }
 
 // NewCLU returns a CLU buffer pre-sized for order-n systems, ready for
@@ -296,11 +306,9 @@ func CFactor(a *CMatrix) (*CLU, error) {
 	return f, nil
 }
 
-// FactorInto refactors a into f's buffers without allocating (buffers
-// grow only when the order increases). The contents of a are not
-// modified.
-func (f *CLU) FactorInto(a *CMatrix) error {
-	n := a.N
+// resize (re)sizes the factorisation buffers for order-n systems,
+// keeping existing allocations whenever they are large enough.
+func (f *CLU) resize(n int) {
 	if cap(f.lu) < n*n {
 		f.lu = make([]complex128, n*n)
 		f.piv = make([]int, n)
@@ -311,6 +319,15 @@ func (f *CLU) FactorInto(a *CMatrix) error {
 		f.y = f.y[:n]
 	}
 	f.n = n
+}
+
+// FactorInto refactors a into f's buffers without allocating (buffers
+// grow only when the order increases). The contents of a are not
+// modified.
+func (f *CLU) FactorInto(a *CMatrix) error {
+	n := a.N
+	f.resize(n)
+	f.ok = false
 	copy(f.lu, a.Data)
 	for i := range f.piv {
 		f.piv[i] = i
@@ -350,6 +367,7 @@ func (f *CLU) FactorInto(a *CMatrix) error {
 			}
 		}
 	}
+	f.ok = true
 	return nil
 }
 

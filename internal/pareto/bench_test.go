@@ -5,13 +5,32 @@ import (
 	"testing"
 )
 
-// BenchmarkFront10000 times front extraction over a paper-sized archive.
-func BenchmarkFront10000(b *testing.B) {
+func benchArchive(n int) [][]float64 {
 	rng := rand.New(rand.NewSource(1))
-	pts := make([][]float64, 10000)
+	pts := make([][]float64, n)
 	for i := range pts {
 		pts[i] = []float64{rng.Float64() * 50, rng.Float64() * 90}
 	}
+	return pts
+}
+
+// BenchmarkFront10000 times the all-pairs front extraction over a
+// paper-sized archive — the d≠2 fallback, kept as the baseline the
+// planar-maxima path is compared against.
+func BenchmarkFront10000(b *testing.B) {
+	pts := benchArchive(10000)
+	max := []bool{true, true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frontNaive(pts, max)
+	}
+}
+
+// BenchmarkFrontKung10000 times the O(n log n) planar-maxima path Front
+// now dispatches two-objective archives to.
+func BenchmarkFrontKung10000(b *testing.B) {
+	pts := benchArchive(10000)
 	max := []bool{true, true}
 	b.ReportAllocs()
 	b.ResetTimer()

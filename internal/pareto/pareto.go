@@ -39,7 +39,19 @@ func Dominates(a, b []float64, maximize []bool) bool {
 
 // Front returns the indices of the non-dominated points, in input order.
 // Points with any NaN objective are treated as dominated (excluded).
+// Two-objective archives take the O(n log n) planar-maxima path (see
+// kung.go); other dimensions use the all-pairs test.
 func Front(points [][]float64, maximize []bool) []int {
+	if len(maximize) == 2 {
+		return front2(points, maximize)
+	}
+	return frontNaive(points, maximize)
+}
+
+// frontNaive is the all-pairs front extraction, kept as the d≠2 path
+// and as the reference implementation the fast path is property-tested
+// against.
+func frontNaive(points [][]float64, maximize []bool) []int {
 	var out []int
 	for i, p := range points {
 		if hasNaN(p) {
@@ -71,10 +83,22 @@ func hasNaN(p []float64) bool {
 	return false
 }
 
-// Sort performs fast non-dominated sorting (Deb's NSGA-II scheme) and
-// returns ranked fronts: result[0] is the Pareto front, result[1] the
-// front after removing result[0], and so on. NaN points are omitted.
+// Sort performs non-dominated sorting and returns ranked fronts:
+// result[0] is the Pareto front, result[1] the front after removing
+// result[0], and so on, each front in input order. NaN points are
+// omitted. Two-objective archives use repeated planar-maxima sweeps
+// over one pre-sorted list (see kung.go); other dimensions use Deb's
+// NSGA-II all-pairs scheme.
 func Sort(points [][]float64, maximize []bool) [][]int {
+	if len(maximize) == 2 {
+		return sort2(points, maximize)
+	}
+	return sortDeb(points, maximize)
+}
+
+// sortDeb is Deb's fast non-dominated sorting, kept as the d≠2 path and
+// as the reference implementation for property tests.
+func sortDeb(points [][]float64, maximize []bool) [][]int {
 	n := len(points)
 	dominatedBy := make([][]int, n) // dominatedBy[i]: points i dominates
 	domCount := make([]int, n)      // number of points dominating i
@@ -108,6 +132,7 @@ func Sort(points [][]float64, maximize []bool) [][]int {
 		}
 	}
 	for len(current) > 0 {
+		sort.Ints(current) // input order, matching the d==2 path
 		fronts = append(fronts, current)
 		var next []int
 		for _, i := range current {

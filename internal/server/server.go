@@ -334,8 +334,20 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// The MC scheduler gauges make a bare health poll show whether a
+	// running flow's Monte Carlo stage is actually parallel (busy
+	// workers vs queue) without scraping the full expvar export.
+	ms := s.cfg.Metrics.Snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":          "ok",
 		"resident_models": s.reg.Resident(),
+		"mc_scheduler": map[string]int64{
+			"busy_workers":          ms.MCBusyWorkers,
+			"busy_workers_peak":     ms.MCBusyWorkersPeak,
+			"queue_depth":           ms.MCQueueDepth,
+			"queue_depth_peak":      ms.MCQueueDepthPeak,
+			"points_in_flight":      ms.MCPointsInFlight,
+			"points_in_flight_peak": ms.MCPointsInFlightPeak,
+		},
 	})
 }

@@ -155,6 +155,12 @@ type evaluator struct {
 	archive []Evaluation
 	// Running min/max per objective over all successful evaluations.
 	min, max []float64
+
+	// evalFns holds one long-lived evaluation function per worker slot,
+	// reused across generations so workspace-owning evaluators keep
+	// their solver buffers hot for the whole run instead of
+	// reallocating them at every generation boundary.
+	evalFns []func([]float64) ([]float64, error)
 }
 
 func newEvaluator(p Problem, workers int, cache *genomeCache) *evaluator {
@@ -177,6 +183,19 @@ func (e *evaluator) evalFunc() func([]float64) ([]float64, error) {
 		return rp.NewEvaluator()
 	}
 	return e.prob.Evaluate
+}
+
+// evalFn returns worker slot w's persistent evaluation function,
+// creating it on first use. Called from the coordinating goroutine only
+// (before the worker goroutines start), so no locking is needed.
+func (e *evaluator) evalFn(w int) func([]float64) ([]float64, error) {
+	for len(e.evalFns) <= w {
+		e.evalFns = append(e.evalFns, nil)
+	}
+	if e.evalFns[w] == nil {
+		e.evalFns[w] = e.evalFunc()
+	}
+	return e.evalFns[w]
 }
 
 // evaluateOne scores one parameter-gene vector through the cache: a hit
@@ -235,9 +254,9 @@ func (e *evaluator) EvaluatePopulation(genomes [][]float64) []float64 {
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		eval := e.evalFn(w)
 		go func() {
 			defer wg.Done()
-			eval := e.evalFunc()
 			for i := range idxCh {
 				g := genomes[i]
 				params := append([]float64(nil), g[:np]...)

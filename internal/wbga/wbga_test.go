@@ -222,3 +222,36 @@ func TestGAStringLayout(t *testing.T) {
 		t.Error("layout should separate params from weights")
 	}
 }
+
+// reusableBiObjective counts how many per-worker evaluators are built,
+// so tests can assert they persist across generations.
+type reusableBiObjective struct {
+	biObjective
+	evaluators *int // incremented per NewEvaluator call (single-threaded: see evalFn)
+}
+
+func (r reusableBiObjective) NewEvaluator() func([]float64) ([]float64, error) {
+	*r.evaluators++
+	return r.biObjective.Evaluate
+}
+
+// TestReusableEvaluatorsPersistAcrossGenerations pins the worker-pool
+// contract: NewEvaluator runs once per worker slot for the whole GA run,
+// not once per worker per generation — the point of carrying solver
+// workspaces in the evaluator closures.
+func TestReusableEvaluatorsPersistAcrossGenerations(t *testing.T) {
+	built := 0
+	prob := reusableBiObjective{evaluators: &built}
+	res, err := Run(context.Background(), prob, Options{
+		PopSize: 20, Generations: 25, Seed: 3, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 20*25 {
+		t.Errorf("Evaluations = %d, want 500", res.Evaluations)
+	}
+	if built != 4 {
+		t.Errorf("NewEvaluator ran %d times over 25 generations, want once per worker (4)", built)
+	}
+}

@@ -5,22 +5,51 @@
 #   scripts/bench.sh            run + compare (fails on >5% regression)
 #   BENCH_COUNT=5 scripts/bench.sh   more repetitions for stable numbers
 #
-# Results land in benchmarks/latest.txt; promote a run to the baseline
-# with `cp benchmarks/latest.txt benchmarks/baseline.txt` once the
-# numbers are intentional.
+# Results land in benchmarks/latest.txt (raw `go test -bench` output)
+# and benchmarks/BENCH_flow.json (machine-readable: benchmark name to
+# ns/op, B/op, allocs/op — what the CI smoke job uploads). Promote a run
+# to the baseline with `cp benchmarks/latest.txt benchmarks/baseline.txt`
+# once the numbers are intentional.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 COUNT="${BENCH_COUNT:-1}"
-PKGS="./internal/num ./internal/analysis ./internal/wbga"
+PKGS="./internal/num ./internal/analysis ./internal/wbga ./internal/pareto ./internal/montecarlo ./internal/core"
 OUT=benchmarks/latest.txt
+JSON=benchmarks/BENCH_flow.json
 
 mkdir -p benchmarks
 
 echo "== benchmarking (count=$COUNT): $PKGS"
 # -run '^$' skips tests so only benchmarks execute.
 go test -run '^$' -bench . -benchmem -count "$COUNT" $PKGS | tee "$OUT"
+
+# Reduce the raw output to name -> {ns_per_op, bytes_per_op, allocs_per_op},
+# averaged across -count repetitions, with the -N GOMAXPROCS suffix
+# stripped so runs from different machines share keys.
+awk '
+function bench_name(s) { sub(/-[0-9]+$/, "", s); return s }
+/^Benchmark/ {
+    name = bench_name($1)
+    if (!(name in seen)) { order[++k] = name; seen[name] = 1 }
+    cnt[name]++
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns[name] += $(i-1)
+        if ($i == "B/op")      by[name] += $(i-1)
+        if ($i == "allocs/op") al[name] += $(i-1)
+    }
+}
+END {
+    print "{"
+    for (j = 1; j <= k; j++) {
+        name = order[j]; c = cnt[name]
+        printf "  \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.1f}%s\n",
+            name, ns[name]/c, by[name]/c, al[name]/c, (j < k) ? "," : ""
+    }
+    print "}"
+}' "$OUT" > "$JSON"
+echo "== wrote $JSON"
 
 echo
 scripts/bench-compare.sh benchmarks/baseline.txt "$OUT"
