@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race vet lint check bench bench-paper bench-perf examples cover
+.PHONY: build test test-race vet lint check bench bench-paper bench-perf loadtest examples cover
 
 build:
 	go build ./...
@@ -27,6 +27,11 @@ check: lint test test-race
 # ns/op regression when benchmarks/baseline.txt exists).
 bench-perf:
 	scripts/bench.sh
+
+# Open-loop load test of the yield-query serving path (in-process server
+# unless URL is set); writes benchmarks/BENCH_serve.json.
+loadtest:
+	scripts/loadtest.sh
 
 # Regenerate every paper table/figure at scaled-down budgets (~1 min).
 bench:

@@ -6,6 +6,7 @@
 //
 //	ayd serve [-addr :8080] [-models DIR] [-data DIR] [-workers N]
 //	          [-max-models N] [-max-inflight N] [-query-timeout D]
+//	          [-pprof 127.0.0.1:6060]
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight queries
 // drain, running flows checkpoint and stop (resumable on the next
@@ -17,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
+	_ "net/http/pprof" // registered on the opt-in -pprof listener only
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,10 +49,23 @@ func serve(args []string) int {
 		maxInflight = fs.Int("max-inflight", 256, "maximum concurrent HTTP requests before shedding")
 		queryTO     = fs.Duration("query-timeout", 30*time.Second, "per-request timeout on non-streaming routes")
 		drainTO     = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; default off)")
 	)
 	fs.Parse(args)
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	if *pprofAddr != "" {
+		// The profiling endpoints live on their own listener, never on the
+		// service address: bind them to localhost in production.
+		go func() {
+			log.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Error("pprof", "err", err)
+			}
+		}()
+	}
+
 	metrics := &core.Metrics{}
 	metrics.Publish("ayd")
 

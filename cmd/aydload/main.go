@@ -1,0 +1,268 @@
+// Command aydload is an open-loop load generator for the ayd yield-query
+// service. It fires POST /v1/yield/query requests at a fixed target rate
+// — arrivals are scheduled by the clock, not by completions, so a slow
+// server faces a growing backlog exactly as it would in production — and
+// reports the latency distribution (p50/p95/p99 via the same
+// fixed-bucket histogram the server uses for its own route metrics)
+// together with the achieved throughput.
+//
+// Usage:
+//
+//	aydload [-url http://127.0.0.1:8080] [-qps 2000] [-duration 10s]
+//	        [-inflight 256] [-model loadtest] [-o result.json]
+//
+// With no -url, aydload starts an in-process server on a loopback port,
+// installs a synthetic behavioural model and drives that — a
+// self-contained smoke mode used by scripts/loadtest.sh and CI.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"analogyield/internal/core"
+	"analogyield/internal/server"
+	"analogyield/internal/server/api"
+)
+
+// result is the machine-readable report (benchmarks/BENCH_serve.json).
+type result struct {
+	URL         string                 `json:"url"`
+	Model       string                 `json:"model"`
+	TargetQPS   float64                `json:"target_qps"`
+	DurationSec float64                `json:"duration_s"`
+	Requests    int64                  `json:"requests"`
+	Errors      int64                  `json:"errors"`
+	Shed        int64                  `json:"shed"` // arrivals dropped at the in-flight cap
+	AchievedQPS float64                `json:"achieved_qps"`
+	Latency     core.HistogramSnapshot `json:"latency"`
+	InProcess   bool                   `json:"in_process,omitempty"`
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "", "target server base URL (empty: start an in-process server)")
+		qps      = flag.Float64("qps", 2000, "target arrival rate (open loop)")
+		duration = flag.Duration("duration", 10*time.Second, "test length")
+		inflight = flag.Int("inflight", 256, "max concurrent requests; arrivals beyond it are shed and counted")
+		model    = flag.String("model", "loadtest", "model name to query")
+		out      = flag.String("o", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*url, *qps, *duration, *inflight, *model, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "aydload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url string, qps float64, duration time.Duration, inflight int, model, out string) error {
+	if qps <= 0 {
+		return fmt.Errorf("non-positive -qps %g", qps)
+	}
+	res := result{Model: model, TargetQPS: qps, DurationSec: duration.Seconds()}
+
+	if url == "" {
+		srv, err := inProcessServer(model)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort drain on exit
+		}()
+		url = "http://" + srv.Addr()
+		res.InProcess = true
+	}
+	res.URL = url
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        inflight,
+		MaxIdleConnsPerHost: inflight,
+	}}
+	endpoint := url + "/v1/yield/query"
+	bodies, err := queryBodies(client, url, model)
+	if err != nil {
+		return err
+	}
+
+	var (
+		hist     core.Histogram
+		requests atomic.Int64
+		errs     atomic.Int64
+		shed     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, inflight)
+	interval := time.Duration(float64(time.Second) / qps)
+	start := time.Now()
+	next := start
+	for i := 0; time.Since(start) < duration; i++ {
+		// Open loop: the i-th arrival happens at start+i·interval no
+		// matter how the previous requests are doing.
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			shed.Add(1)
+			continue
+		}
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			resp, err := client.Post(endpoint, "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs.Add(1)
+				requests.Add(1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+			resp.Body.Close()
+			hist.Observe(time.Since(t0))
+			requests.Add(1)
+			if resp.StatusCode != http.StatusOK {
+				errs.Add(1)
+			}
+		}(bodies[i%len(bodies)])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res.Requests = requests.Load()
+	res.Errors = errs.Load()
+	res.Shed = shed.Load()
+	res.AchievedQPS = float64(res.Requests-res.Errors) / elapsed.Seconds()
+	res.Latency = hist.Snapshot()
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "aydload: %d requests (%d errors, %d shed) in %.1fs — %.0f qps, p50 %.3fms p95 %.3fms p99 %.3fms\n",
+		res.Requests, res.Errors, res.Shed, elapsed.Seconds(), res.AchievedQPS,
+		res.Latency.P50Millis, res.Latency.P95Millis, res.Latency.P99Millis)
+	if res.Errors > res.Requests/2 {
+		return fmt.Errorf("more than half the requests failed")
+	}
+	return nil
+}
+
+// queryBodies pre-encodes a rotating set of queries so the load isn't a
+// single cache line's worth of identical requests. Bounds are drawn
+// from the target model's own modelled domains (via /v1/models): the
+// first objective sweeps the lower half of its range and the second
+// stays near the bottom of its range, which is feasible on any
+// trade-off front with the usual guard-band margins.
+func queryBodies(client *http.Client, url, model string) ([][]byte, error) {
+	info, err := fetchModelInfo(client, url, model)
+	if err != nil {
+		return nil, err
+	}
+	if len(info.ObjectiveNames) < 2 {
+		return nil, fmt.Errorf("model %q reports %d objectives, need 2", model, len(info.ObjectiveNames))
+	}
+	span0 := info.Domain[1] - info.Domain[0]
+	span1 := info.Domain1[1] - info.Domain1[0]
+	rng := rand.New(rand.NewSource(1))
+	bodies := make([][]byte, 64)
+	for i := range bodies {
+		req := api.QueryRequest{
+			Model: model,
+			Specs: [2]api.Spec{
+				{Name: info.ObjectiveNames[0], Sense: ">=",
+					Bound: info.Domain[0] + (0.10+0.40*rng.Float64())*span0},
+				{Name: info.ObjectiveNames[1], Sense: ">=",
+					Bound: info.Domain1[0] + (0.02+0.10*rng.Float64())*span1},
+			},
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			panic(err)
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}
+
+// fetchModelInfo asks the target server what it is about to load-test.
+func fetchModelInfo(client *http.Client, url, model string) (*api.ModelInfo, error) {
+	resp, err := client.Get(url + "/v1/models")
+	if err != nil {
+		return nil, fmt.Errorf("listing models: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("listing models: %s", resp.Status)
+	}
+	var infos []api.ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, fmt.Errorf("listing models: %w", err)
+	}
+	for i := range infos {
+		if infos[i].Name == model {
+			return &infos[i], nil
+		}
+	}
+	return nil, fmt.Errorf("model %q not served at %s (have %d models)", model, url, len(infos))
+}
+
+// inProcessServer starts a loopback server with a synthetic 64-point
+// model installed under the given name — the same analytic front the
+// server package's tests and benchmarks use.
+func inProcessServer(model string) (*server.Server, error) {
+	const n = 64
+	pts := make([]core.ParetoPoint, n)
+	for i := range pts {
+		x := float64(i) / float64(n-1)
+		pts[i] = core.ParetoPoint{
+			Params:   []float64{10 + 50*x, 10, 10},
+			Perf:     [2]float64{45 + 10*x, 85 - 12*x},
+			DeltaPct: [2]float64{1.0 + 0.2*x, 0.5 + 0.1*x},
+		}
+	}
+	m, err := core.BuildModel(pts,
+		[]string{"gain_db", "pm_deg"},
+		[]string{"P1", "P2", "P3"},
+		[]string{"um", "um", "um"},
+		core.ModelOptions{})
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(server.Config{
+		Addr:   "127.0.0.1:0",
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err := srv.Registry().Install(model, m); err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}

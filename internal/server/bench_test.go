@@ -1,0 +1,150 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"analogyield/internal/core"
+	"analogyield/internal/server/api"
+)
+
+// benchPoints mirrors synthModel's analytic front without a *testing.T,
+// so benchmarks can build models too.
+func benchPoints(n int) []core.ParetoPoint {
+	pts := make([]core.ParetoPoint, n)
+	for i := range pts {
+		x := float64(i) / float64(n-1)
+		pts[i] = core.ParetoPoint{
+			Params:   []float64{10 + 50*x, 10, 10},
+			Perf:     [2]float64{45 + 10*x, 85 - 12*x},
+			DeltaPct: [2]float64{1.0 + 0.2*x, 0.5 + 0.1*x},
+		}
+	}
+	return pts
+}
+
+func buildBenchModel(pts []core.ParetoPoint) (*core.Model, error) {
+	return core.BuildModel(pts,
+		[]string{"gain_db", "pm_deg"},
+		[]string{"P1", "P2", "P3"},
+		[]string{"um", "um", "um"},
+		core.ModelOptions{})
+}
+
+func benchModel(b *testing.B) *Registry {
+	b.Helper()
+	r := NewRegistry("", 4)
+	pts := benchPoints(64)
+	m, err := buildBenchModel(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := r.Install("m1", m); err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+func benchQuery() api.QueryRequest {
+	return api.QueryRequest{
+		Model: "m1",
+		Specs: [2]api.Spec{
+			{Name: "gain_db", Sense: ">=", Bound: 50},
+			{Name: "pm_deg", Sense: ">=", Bound: 76},
+		},
+	}
+}
+
+// BenchmarkYieldQuery measures the serving hot path: compiled engine,
+// pooled scratch, pre-rendered JSON. Steady state is 0 allocs/op.
+func BenchmarkYieldQuery(b *testing.B) {
+	r := benchModel(b)
+	defer r.Close()
+	req := benchQuery()
+	ctx := context.Background()
+	sc := getScratch()
+	defer putScratch(sc)
+	if _, _, err := r.QueryRendered(ctx, req, sc); err != nil {
+		b.Fatal(err)
+	}
+	c, i := r.QueryStats()
+	if c == 0 || i != 0 {
+		b.Fatalf("warm-up ran on the interpreted path (compiled %d, interpreted %d)", c, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		body, _, err := r.QueryRendered(ctx, req, sc)
+		if err != nil || body == nil {
+			b.Fatalf("body %v err %v", body != nil, err)
+		}
+	}
+}
+
+// BenchmarkYieldQueryInterpreted is the pre-compilation reference: the
+// interpreted Table 3 arithmetic plus generic JSON encoding, exactly
+// what each query cost before models were compiled at install time.
+func BenchmarkYieldQueryInterpreted(b *testing.B) {
+	r := benchModel(b)
+	defer r.Close()
+	req := benchQuery()
+	e, err := r.get("m1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		res := solveQuery(e.model, req)
+		if res.Error != "" {
+			b.Fatal(res.Error)
+		}
+		jb := jsonBufPool.Get().(*jsonBuf)
+		jb.buf.Reset()
+		if err := jb.enc.Encode(res.Response); err != nil {
+			b.Fatal(err)
+		}
+		jsonBufPool.Put(jb)
+	}
+}
+
+// BenchmarkYieldQueryBatch measures the grouped batch path (16 queries
+// per op, amortising spec staging through EvalBatch).
+func BenchmarkYieldQueryBatch(b *testing.B) {
+	r := benchModel(b)
+	defer r.Close()
+	reqs := make([]api.QueryRequest, 16)
+	for i := range reqs {
+		reqs[i] = benchQuery()
+		// Stay feasible across the spread: the front offers pm ≈ 74.4 at
+		// the highest guard-banded gain target here.
+		reqs[i].Specs[0].Bound = 46 + float64(i)*0.4
+		reqs[i].Specs[1].Bound = 74
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for _, res := range r.QueryBatch(ctx, reqs) {
+			if res.Error != "" {
+				b.Fatal(res.Error)
+			}
+		}
+	}
+}
+
+// BenchmarkCompileModel measures install-time compilation (the cost
+// moved off the query path).
+func BenchmarkCompileModel(b *testing.B) {
+	m, err := buildBenchModel(benchPoints(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := CompileModel("m1", m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

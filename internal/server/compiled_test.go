@@ -1,0 +1,333 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"analogyield/internal/server/api"
+	"analogyield/internal/spline"
+)
+
+// sweepRequests spans the synthetic model's behaviour space: in-domain,
+// boundary, out-of-range and infeasible spec pairs, both senses, and
+// guard-band scales around 1. The golden tests drive both engines over
+// this set.
+func sweepRequests(model string) []api.QueryRequest {
+	var reqs []api.QueryRequest
+	rng := rand.New(rand.NewSource(41))
+	add := func(b0, b1, scale float64, sense1 string) {
+		reqs = append(reqs, api.QueryRequest{
+			Model: model,
+			Specs: [2]api.Spec{
+				{Name: "gain_db", Sense: ">=", Bound: b0},
+				{Name: "pm_deg", Sense: sense1, Bound: b1},
+			},
+			GuardScale: scale,
+		})
+	}
+	for i := 0; i < 160; i++ {
+		// Mostly-feasible region: domain is perf0 ∈ [45, 55] and the front
+		// offers perf1 = 85 − 1.2·(perf0 − 45) ∈ [73, 85].
+		b0 := 45.5 + 7*rng.Float64()
+		b1 := 71 + 4*rng.Float64()
+		scale := 0.0
+		switch i % 4 {
+		case 1:
+			scale = 0.5 + rng.Float64()
+		case 2:
+			scale = 3 // often pushes the target out of the front
+		case 3:
+			b0 = 44 + 13*rng.Float64() // spills outside the domain
+			b1 = 60 + 40*rng.Float64() // frequently infeasible
+		}
+		sense1 := ">="
+		if i%7 == 0 {
+			sense1 = "<=" // AtMost guard-bands downward: usually feasible
+		}
+		add(b0, b1, scale, sense1)
+	}
+	// Exact knots and domain edges.
+	add(45, 73, 0, ">=")
+	add(55, 73, 0, ">=")
+	add(50, 79, 0, ">=")
+	add(46, 74, 0, ">=")
+	// Error shapes: parse failure, negative scale, far out of range.
+	reqs = append(reqs, api.QueryRequest{
+		Model: model,
+		Specs: [2]api.Spec{{Name: "g", Sense: "bogus", Bound: 50}, {Name: "p", Bound: 76}},
+	})
+	add(50, 76, -1, ">=")
+	add(1e6, 76, 0, ">=")
+	add(50, -1e6, 0, "<=")
+	return reqs
+}
+
+// TestCompiledGoldenBitIdentical drives the compiled engine and the
+// interpreted reference over the sweep and demands byte-for-byte float
+// agreement on every answered query, and agreement on which queries are
+// answerable at all.
+func TestCompiledGoldenBitIdentical(t *testing.T) {
+	m := synthModel(t, 12)
+	cm, err := CompileModel("m1", m)
+	if err != nil {
+		t.Fatalf("CompileModel: %v", err)
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	answered := 0
+	for i, req := range sweepRequests("m1") {
+		ref := solveQuery(m, req)
+		s, ok := cm.solve(req, sc)
+		if ok != (ref.Error == "") {
+			t.Fatalf("req %d: compiled ok=%v, interpreted error=%q", i, ok, ref.Error)
+		}
+		if !ok {
+			continue
+		}
+		answered++
+		got := cm.response("m1", &s)
+		want := ref.Response
+		eq := func(field string, g, w float64) {
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Errorf("req %d %s: compiled %v (%x), interpreted %v (%x)",
+					i, field, g, math.Float64bits(g), w, math.Float64bits(w))
+			}
+		}
+		for k := 0; k < 2; k++ {
+			eq("Targets["+strconv.Itoa(k)+"]", got.Targets[k], want.Targets[k])
+			eq("DeltaPct["+strconv.Itoa(k)+"]", got.DeltaPct[k], want.DeltaPct[k])
+			eq("FrontPerf["+strconv.Itoa(k)+"]", got.FrontPerf[k], want.FrontPerf[k])
+		}
+		eq("CurveParam", got.CurveParam, want.CurveParam)
+		eq("PredictedYield", got.PredictedYield, want.PredictedYield)
+		if len(got.Params) != len(want.Params) {
+			t.Fatalf("req %d: %d params, want %d", i, len(got.Params), len(want.Params))
+		}
+		for k := range got.Params {
+			if got.Params[k].Name != want.Params[k].Name || got.Params[k].Unit != want.Params[k].Unit {
+				t.Errorf("req %d param %d: label %+v, want %+v", i, k, got.Params[k], want.Params[k])
+			}
+			eq("Params["+strconv.Itoa(k)+"]", got.Params[k].Value, want.Params[k].Value)
+		}
+	}
+	if answered < 40 {
+		t.Fatalf("only %d sweep queries answered on the compiled path — sweep too narrow to prove identity", answered)
+	}
+}
+
+// TestCompiledGoldenJSON renders every answerable sweep query from the
+// pre-rendered fragments and compares the bytes against encoding/json on
+// the interpreted response — the HTTP fast path must be byte-identical,
+// trailing newline included.
+func TestCompiledGoldenJSON(t *testing.T) {
+	m := synthModel(t, 12)
+	cm, err := CompileModel("m1", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	for i, req := range sweepRequests("m1") {
+		ref := solveQuery(m, req)
+		if ref.Error != "" {
+			continue
+		}
+		s, ok := cm.solve(req, sc)
+		if !ok {
+			t.Fatalf("req %d: interpreted answered but compiled refused", i)
+		}
+		got, ok := cm.appendJSON(nil, &s)
+		if !ok {
+			t.Fatalf("req %d: appendJSON refused", i)
+		}
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(ref.Response); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("req %d: rendered JSON differs\ncompiled:    %s\ninterpreted: %s", i, got, want.Bytes())
+		}
+	}
+}
+
+// TestCompiledGoldenErrors routes error-producing queries through the
+// registry and checks the message is exactly the interpreted path's.
+func TestCompiledGoldenErrors(t *testing.T) {
+	r := NewRegistry("", 4)
+	defer r.Close()
+	m := synthModel(t, 12)
+	if err := r.Install("m1", m); err != nil {
+		t.Fatal(err)
+	}
+	for i, req := range sweepRequests("m1") {
+		ref := solveQuery(m, req)
+		if ref.Error == "" {
+			continue
+		}
+		_, err := r.Query(t.Context(), req)
+		if err == nil {
+			t.Fatalf("req %d: registry answered, interpreted failed with %q", i, ref.Error)
+		}
+		if err.Error() != ref.Error {
+			t.Errorf("req %d: registry error %q, interpreted %q", i, err.Error(), ref.Error)
+		}
+	}
+}
+
+// TestCompiledPathIsUsed guards the benchmark claim: a plain in-domain
+// query against a freshly built model must be answered by the compiled
+// engine, not silently fall back.
+func TestCompiledPathIsUsed(t *testing.T) {
+	r := NewRegistry("", 4)
+	defer r.Close()
+	if err := r.Install("m1", synthModel(t, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Query(t.Context(), testQuery("m1")); err != nil {
+		t.Fatal(err)
+	}
+	c, i := r.QueryStats()
+	if c != 1 || i != 0 {
+		t.Fatalf("QueryStats = (%d compiled, %d interpreted), want (1, 0)", c, i)
+	}
+}
+
+// TestAppendJSONFloat pins the hand renderer to encoding/json across
+// the representation boundaries (1e-6, 1e21, exponent cleanup).
+func TestAppendJSONFloat(t *testing.T) {
+	vals := []float64{
+		0, 1, -1, 0.5, 50.255, 1e-6, 9.9e-7, 1e-7, 1e21, 9.99e20, -2.5e-9,
+		1e300, 5e-324, math.MaxFloat64, 0.1, 1.0 / 3.0, 76.38,
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		vals = append(vals, math.Ldexp(rng.Float64()*2-1, rng.Intn(200)-100))
+	}
+	for _, v := range vals {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := appendJSONFloat(nil, v)
+		if !ok {
+			t.Fatalf("appendJSONFloat refused %v", v)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%v: rendered %s, encoding/json %s", v, got, want)
+		}
+	}
+	if _, ok := appendJSONFloat(nil, math.NaN()); ok {
+		t.Error("NaN accepted")
+	}
+	if _, ok := appendJSONFloat(nil, math.Inf(1)); ok {
+		t.Error("+Inf accepted")
+	}
+}
+
+// monotoneSpline builds a strictly increasing (or decreasing) natural
+// cubic from fuzz-derived data.
+func monotoneSpline(t *testing.T, seed int64, n int, decreasing bool) *spline.Compiled {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	if n < 4 {
+		n = 4
+	}
+	if n > 64 {
+		n = 64
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	x, y := rng.Float64()*10-5, rng.Float64()*100-50
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = x, y
+		x += 0.1 + rng.Float64()*2
+		dy := 0.01 + rng.Float64()*5
+		if decreasing {
+			dy = -dy
+		}
+		y += dy
+	}
+	itp, err := spline.New(spline.DegreeCubic, xs, ys)
+	if err != nil {
+		t.Fatalf("spline.New: %v", err)
+	}
+	c, err := spline.Compile(itp)
+	if err != nil {
+		t.Fatalf("spline.Compile: %v", err)
+	}
+	return c
+}
+
+// checkInverseTable asserts the fuzz properties: a non-nil table is
+// monotone in x, and round-trips its grid outputs through the forward
+// spline within bisection tolerance.
+func checkInverseTable(t *testing.T, c *spline.Compiled, tab *inverseTable) {
+	t.Helper()
+	if tab == nil {
+		return // natural-cubic overshoot between monotone knots: allowed
+	}
+	// Entries are stored in ascending-y order, so x ascends for an
+	// increasing forward curve and descends for a decreasing one.
+	for i := 1; i < len(tab.xs); i++ {
+		if tab.inc && tab.xs[i] < tab.xs[i-1] {
+			t.Fatalf("inverse table regresses at %d: %g < %g", i, tab.xs[i], tab.xs[i-1])
+		}
+		if !tab.inc && tab.xs[i] > tab.xs[i-1] {
+			t.Fatalf("inverse table regresses at %d: %g > %g", i, tab.xs[i], tab.xs[i-1])
+		}
+	}
+	lo, hi := c.Domain()
+	span := tab.yhi - tab.ylo
+	tol := 1e-9 * (math.Abs(tab.ylo) + math.Abs(tab.yhi) + 1)
+	for j := 0; j < len(tab.xs); j++ {
+		y := tab.ylo + span*float64(j)/float64(len(tab.xs)-1)
+		x := tab.invert(y)
+		if x < lo || x > hi {
+			t.Fatalf("invert(%g) = %g outside domain [%g, %g]", y, x, lo, hi)
+		}
+		if got := c.Eval(x); math.Abs(got-y) > tol {
+			t.Fatalf("round trip: f(invert(%g)) = %g (|err| %g > %g)", y, got, math.Abs(got-y), tol)
+		}
+		// The hint must name a real segment.
+		if seg := int(tab.segs[j]); seg < 0 || seg >= c.Segments() {
+			t.Fatalf("entry %d: segment hint %d outside [0, %d)", j, seg, c.Segments())
+		}
+	}
+}
+
+func TestInverseTableMonotonic(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		c := monotoneSpline(t, seed, 8+int(seed)%20, seed%2 == 1)
+		checkInverseTable(t, c, buildInverseTable(c, 4*c.Segments()+1))
+	}
+	// Non-monotone knots must yield no table.
+	itp, err := spline.New(spline.DegreeCubic, []float64{0, 1, 2, 3}, []float64{0, 5, 2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := spline.Compile(itp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buildInverseTable(c, 9) != nil {
+		t.Fatal("non-monotone spline produced an inverse table")
+	}
+}
+
+// FuzzInverseTableMonotonic fuzzes the inverse-table builder over random
+// monotone splines: whenever a table is built it must be monotone and
+// round-trip within tolerance of the compiled cubic.
+func FuzzInverseTableMonotonic(f *testing.F) {
+	f.Add(int64(1), uint8(12), false, uint8(3))
+	f.Add(int64(99), uint8(40), true, uint8(1))
+	f.Add(int64(-7), uint8(5), false, uint8(9))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, decreasing bool, density uint8) {
+		c := monotoneSpline(t, seed, int(n), decreasing)
+		points := int(density)*c.Segments() + 2
+		checkInverseTable(t, c, buildInverseTable(c, points))
+	})
+}

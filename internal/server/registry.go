@@ -1,7 +1,6 @@
 package server
 
 import (
-	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -20,56 +19,48 @@ import (
 // resident nor present in the models directory.
 var ErrUnknownModel = errors.New("server: unknown model")
 
-// maxQueryBatch bounds how many queued queries one lock acquisition
-// answers; pendingQueries bounds each model's queue depth before
-// senders block.
-const (
-	maxQueryBatch  = 64
-	pendingQueries = 256
-)
-
-// Registry is the LRU-bounded model store behind the query path. Models
+// Registry is the read-mostly model store behind the query path. Models
 // load lazily from a directory of core.Model artefacts (one
 // subdirectory per model, as written by Model.Save) or are installed
 // directly by finished flow jobs; at most cap models stay resident, the
 // least recently queried evicted first (a later Get reloads them from
 // disk).
 //
-// Each resident model owns a read-write lock and a single batcher
-// goroutine: queries funnel through a queue and are answered in batches
-// under one RLock acquisition, so a model swap (Install over a hot
-// name) waits for at most one batch rather than one lock hand-off per
-// query, and lock traffic stays O(batches) under load.
+// The resident set is published as an immutable snapshot behind an
+// atomic.Pointer: queries load the snapshot and answer without taking
+// any lock, writers (install, evict, close) serialise on a mutex and
+// swap in a copied map. Each entry is compiled once at install time
+// (CompileModel) into the struct-of-arrays form the hot path evaluates;
+// recency for LRU eviction is a per-entry atomic counter fed by a
+// global clock, so reads stay lock-free.
 type Registry struct {
 	dir string
 	cap int
 
-	mu      sync.Mutex
+	mu    sync.Mutex // serialises snapshot writers
+	snap  atomic.Pointer[snapshot]
+	clock atomic.Int64 // LRU recency source
+
+	// compiled and interpreted count queries by the engine that answered
+	// them, so the compiled-path hit rate is observable (healthz).
+	compiled    atomic.Int64
+	interpreted atomic.Int64
+}
+
+// snapshot is one immutable published generation of the resident set.
+type snapshot struct {
 	entries map[string]*modelEntry
-	lru     *list.List // front = most recently used; values are *modelEntry
-
-	// batches and batched count lock acquisitions and the queries they
-	// served, so the batching win (batched/batches ≥ 1) is observable.
-	batches atomic.Int64
-	batched atomic.Int64
 }
 
-// modelEntry is one resident model.
+// modelEntry is one resident model. All fields except lastUsed are
+// immutable after install; entries are shared between snapshot
+// generations, so a recency bump is visible regardless of which
+// generation the reader loaded.
 type modelEntry struct {
-	name string
-	elem *list.Element
-
-	mu    sync.RWMutex // write-held while the model is swapped
-	model *core.Model
-
-	queue chan batchReq
-	stop  chan struct{}
-}
-
-// batchReq is one queued query awaiting its batch.
-type batchReq struct {
-	req  api.QueryRequest
-	resp chan api.QueryResult
+	name     string
+	model    *core.Model
+	compiled *CompiledModel // nil when the model has no compiled form
+	lastUsed atomic.Int64
 }
 
 // NewRegistry creates a registry over an optional models directory
@@ -79,23 +70,18 @@ func NewRegistry(dir string, cap int) *Registry {
 	if cap <= 0 {
 		cap = 8
 	}
-	return &Registry{
-		dir:     dir,
-		cap:     cap,
-		entries: make(map[string]*modelEntry),
-		lru:     list.New(),
-	}
+	r := &Registry{dir: dir, cap: cap}
+	r.snap.Store(&snapshot{entries: map[string]*modelEntry{}})
+	return r
 }
 
-// Close stops every resident model's batcher.
+// Close empties the resident set. (The registry has no background
+// goroutines; queries racing Close finish against the snapshot they
+// already loaded.)
 func (r *Registry) Close() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, e := range r.entries {
-		close(e.stop)
-	}
-	r.entries = make(map[string]*modelEntry)
-	r.lru.Init()
+	r.snap.Store(&snapshot{entries: map[string]*modelEntry{}})
 }
 
 // modelDir returns the on-disk directory of a named model.
@@ -115,21 +101,19 @@ func validName(name string) error {
 }
 
 // get returns the resident entry, loading (and possibly evicting) as
-// needed.
+// needed. The resident fast path is a single atomic load plus a recency
+// bump — no lock.
 func (r *Registry) get(name string) (*modelEntry, error) {
 	if err := validName(name); err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	if e, ok := r.entries[name]; ok {
-		r.lru.MoveToFront(e.elem)
-		r.mu.Unlock()
+	if e, ok := r.snap.Load().entries[name]; ok {
+		e.lastUsed.Store(r.clock.Add(1))
 		return e, nil
 	}
-	r.mu.Unlock()
 
-	// Load outside the registry lock: disk reads must not stall queries
-	// against other (resident) models.
+	// Load outside the writer lock: disk reads must not stall installs
+	// of other models.
 	if r.dir == "" {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
 	}
@@ -144,9 +128,10 @@ func (r *Registry) get(name string) (*modelEntry, error) {
 }
 
 // Install makes a model resident under name, replacing any previous
-// model of that name (the swap waits for in-flight query batches).
-// When the registry has a models directory the artefacts are saved
-// there first, so an evicted model can be reloaded.
+// model of that name (in-flight queries finish against the entry they
+// already hold; the swap never waits for them). When the registry has a
+// models directory the artefacts are saved there first, so an evicted
+// model can be reloaded.
 func (r *Registry) Install(name string, m *core.Model) error {
 	if err := validName(name); err != nil {
 		return err
@@ -160,36 +145,42 @@ func (r *Registry) Install(name string, m *core.Model) error {
 	return nil
 }
 
-// install inserts or swaps the entry and applies the LRU bound.
+// install compiles the model, then publishes a new snapshot generation
+// containing it, evicting the least recently used entries down to cap.
+// Compilation runs before the writer lock so installs of large models
+// do not serialise on each other's compile time.
 func (r *Registry) install(name string, m *core.Model) *modelEntry {
+	// A model the engine cannot compile (e.g. quadratic tables) serves on
+	// the interpreted path; compiled == nil is a supported state.
+	cm, _ := CompileModel(name, m)
+
+	e := &modelEntry{name: name, model: m, compiled: cm}
+	e.lastUsed.Store(r.clock.Add(1))
+
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if e, ok := r.entries[name]; ok {
-		// Another goroutine may have loaded it concurrently, or a job is
-		// replacing a served model: swap under the write lock. Batch
-		// readers never take r.mu, so waiting here cannot deadlock.
-		r.lru.MoveToFront(e.elem)
-		e.mu.Lock()
-		e.model = m
-		e.mu.Unlock()
-		return e
+	old := r.snap.Load().entries
+	entries := make(map[string]*modelEntry, len(old)+1)
+	for k, v := range old {
+		entries[k] = v
 	}
-	e := &modelEntry{
-		name:  name,
-		model: m,
-		queue: make(chan batchReq, pendingQueries),
-		stop:  make(chan struct{}),
+	entries[name] = e
+	for len(entries) > r.cap {
+		var victim *modelEntry
+		for _, v := range entries {
+			if v == e {
+				continue // never evict the entry being installed
+			}
+			if victim == nil || v.lastUsed.Load() < victim.lastUsed.Load() {
+				victim = v
+			}
+		}
+		if victim == nil {
+			break
+		}
+		delete(entries, victim.name)
 	}
-	e.elem = r.lru.PushFront(e)
-	r.entries[name] = e
-	go r.batchLoop(e)
-	for r.lru.Len() > r.cap {
-		oldest := r.lru.Back()
-		ev := oldest.Value.(*modelEntry)
-		r.lru.Remove(oldest)
-		delete(r.entries, ev.name)
-		close(ev.stop) // queued queries on the evicted entry still drain
-	}
+	r.snap.Store(&snapshot{entries: entries})
 	return e
 }
 
@@ -198,93 +189,195 @@ func (r *Registry) install(name string, m *core.Model) *modelEntry {
 func (r *Registry) Evict(name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	e, ok := r.entries[name]
-	if !ok {
+	old := r.snap.Load().entries
+	if _, ok := old[name]; !ok {
 		return false
 	}
-	r.lru.Remove(e.elem)
-	delete(r.entries, name)
-	close(e.stop)
+	entries := make(map[string]*modelEntry, len(old)-1)
+	for k, v := range old {
+		if k != name {
+			entries[k] = v
+		}
+	}
+	r.snap.Store(&snapshot{entries: entries})
 	return true
 }
 
-// batchLoop answers a model's queries in batches: one RLock acquisition
-// serves up to maxQueryBatch queued requests. After stop, remaining
-// queued requests drain so no sender is left waiting.
-func (r *Registry) batchLoop(e *modelEntry) {
-	for {
-		var first batchReq
-		select {
-		case <-e.stop:
-			for {
-				select {
-				case req := <-e.queue:
-					r.answerBatch(e, []batchReq{req})
-				default:
-					return
-				}
-			}
-		case first = <-e.queue:
-		}
-		batch := []batchReq{first}
-	fill:
-		for len(batch) < maxQueryBatch {
-			select {
-			case req := <-e.queue:
-				batch = append(batch, req)
-			default:
-				break fill
-			}
-		}
-		r.answerBatch(e, batch)
-	}
-}
-
-// answerBatch evaluates a batch under one read-lock acquisition.
-func (r *Registry) answerBatch(e *modelEntry, batch []batchReq) {
-	r.batches.Add(1)
-	r.batched.Add(int64(len(batch)))
-	e.mu.RLock()
-	m := e.model
-	for _, b := range batch {
-		b.resp <- solveQuery(m, b.req)
-	}
-	e.mu.RUnlock()
-}
-
-// Query answers one yield query, waiting its turn in the model's batch
-// queue. Cancelling ctx abandons the wait (an already-queued query is
-// still answered into a buffered channel, so the batcher never blocks
-// on a departed caller).
+// Query answers one yield query. The hot path — resident model with a
+// compiled form — runs lock-free against the snapshot with pooled
+// scratch; anything the compiled engine cannot answer re-runs on the
+// interpreted path for the bit-identical result or error.
 func (r *Registry) Query(ctx context.Context, req api.QueryRequest) (*api.QueryResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	e, err := r.get(req.Model)
 	if err != nil {
 		return nil, err
 	}
-	b := batchReq{req: req, resp: make(chan api.QueryResult, 1)}
-	select {
-	case e.queue <- b:
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-	select {
-	case res := <-b.resp:
-		if res.Error != "" {
-			return nil, errors.New(res.Error)
+	if cm := e.compiled; cm != nil {
+		sc := getScratch()
+		if s, ok := cm.solve(req, sc); ok {
+			resp := cm.response(e.name, &s)
+			putScratch(sc)
+			r.compiled.Add(1)
+			return resp, nil
 		}
-		return res.Response, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
+		putScratch(sc)
+	}
+	r.interpreted.Add(1)
+	res := solveQuery(e.model, req)
+	if res.Error != "" {
+		return nil, errors.New(res.Error)
+	}
+	return res.Response, nil
+}
+
+// QueryRendered answers one query and, when the compiled engine
+// produced the answer, renders it straight into sc.buf from the model's
+// pre-rendered JSON fragments — the zero-allocation HTTP path. body is
+// nil when the caller must encode resp itself (interpreted fallback).
+// The returned body aliases sc.buf: write it out before releasing sc.
+func (r *Registry) QueryRendered(ctx context.Context, req api.QueryRequest, sc *queryScratch) (body []byte, resp *api.QueryResponse, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	e, err := r.get(req.Model)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cm := e.compiled; cm != nil {
+		if s, ok := cm.solve(req, sc); ok {
+			r.compiled.Add(1)
+			if b, ok := cm.appendJSON(sc.buf[:0], &s); ok {
+				sc.buf = b
+				return b, nil, nil
+			}
+			// A value JSON cannot represent (NaN/Inf): hand the struct to
+			// the generic encoder for the stock error behaviour.
+			return nil, cm.response(e.name, &s), nil
+		}
+	}
+	r.interpreted.Add(1)
+	res := solveQuery(e.model, req)
+	if res.Error != "" {
+		return nil, nil, errors.New(res.Error)
+	}
+	return nil, res.Response, nil
+}
+
+// QueryBatch answers a batch of queries, grouping them by model so each
+// group's variation-table interpolations stage through
+// table.Model1D.EvalBatch (segment-hint reuse across the whole group)
+// and the remaining per-query arithmetic reuses one warm scratch.
+// Results line up with reqs; per-query failures land in
+// Results[i].Error, exactly as the per-query path would report them.
+func (r *Registry) QueryBatch(ctx context.Context, reqs []api.QueryRequest) []api.QueryResult {
+	out := make([]api.QueryResult, len(reqs))
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			out[i] = api.QueryResult{Error: err.Error()}
+		}
+		return out
+	}
+	// Group request indexes by model name, preserving order within each
+	// group.
+	groups := make(map[string][]int, 2)
+	order := make([]string, 0, 2)
+	for i, q := range reqs {
+		if _, ok := groups[q.Model]; !ok {
+			order = append(order, q.Model)
+		}
+		groups[q.Model] = append(groups[q.Model], i)
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	for _, name := range order {
+		idxs := groups[name]
+		e, err := r.get(name)
+		if err != nil {
+			for _, i := range idxs {
+				out[i] = api.QueryResult{Error: err.Error()}
+			}
+			continue
+		}
+		r.queryGroup(e, reqs, idxs, out, sc)
+	}
+	return out
+}
+
+// queryGroup answers one model's share of a batch. Spec bounds that
+// parse and fall inside the variation tables' domains are evaluated in
+// one EvalBatch per axis; each query then finishes through the compiled
+// solveFrom. Everything else (parse errors, out-of-range bounds, models
+// with no compiled form, infeasible spec pairs) re-runs the interpreted
+// path for the bit-identical error.
+func (r *Registry) queryGroup(e *modelEntry, reqs []api.QueryRequest, idxs []int, out []api.QueryResult, sc *queryScratch) {
+	cm := e.compiled
+	if cm == nil {
+		for _, i := range idxs {
+			r.interpreted.Add(1)
+			out[i] = solveQuery(e.model, reqs[i])
+		}
+		return
+	}
+	sc.stage = sc.stage[:0]
+	sc.sq = sc.sq[:0]
+	sc.scales = sc.scales[:0]
+	sc.bounds0 = sc.bounds0[:0]
+	sc.bounds1 = sc.bounds1[:0]
+	for _, i := range idxs {
+		req := reqs[i]
+		spec0, err0 := req.Specs[0].ToYield()
+		spec1, err1 := req.Specs[1].ToYield()
+		scale := req.GuardScale
+		if scale == 0 {
+			scale = 1
+		}
+		if err0 != nil || err1 != nil || scale <= 0 ||
+			spec0.Bound < cm.delta0.lo || spec0.Bound > cm.delta0.hi ||
+			spec1.Bound < cm.delta1.lo || spec1.Bound > cm.delta1.hi {
+			r.interpreted.Add(1)
+			out[i] = solveQuery(e.model, req)
+			continue
+		}
+		sc.stage = append(sc.stage, i)
+		sc.sq = append(sc.sq, solvedQuery{spec0: spec0, spec1: spec1})
+		sc.scales = append(sc.scales, scale)
+		sc.bounds0 = append(sc.bounds0, spec0.Bound)
+		sc.bounds1 = append(sc.bounds1, spec1.Bound)
+	}
+	if len(sc.stage) == 0 {
+		return
+	}
+	// The bounds were range-checked with Model1D.Eval's exact comparison,
+	// so Error-mode extrapolation cannot fire and the batch cannot fail.
+	sc.d0s, _ = cm.delta0Tbl.EvalBatch(sc.d0s[:0], sc.bounds0)
+	sc.d1s, _ = cm.delta1Tbl.EvalBatch(sc.d1s[:0], sc.bounds1)
+	for j, i := range sc.stage {
+		s := &sc.sq[j]
+		solved, ok := cm.solveFrom(s, sc.scales[j], sc.d0s[j], sc.d1s[j], sc)
+		if !ok {
+			r.interpreted.Add(1)
+			out[i] = solveQuery(e.model, reqs[i])
+			continue
+		}
+		r.compiled.Add(1)
+		out[i] = api.QueryResult{Response: cm.response(e.name, &solved)}
 	}
 }
 
-// BatchStats reports the cumulative (lock acquisitions, queries served)
-// of the batching layer.
-func (r *Registry) BatchStats() (batches, queries int64) {
-	return r.batches.Load(), r.batched.Load()
+// QueryStats reports how many queries each engine has answered since
+// start: the compiled hot path vs the interpreted reference path
+// (errors, uncompiled models, edge cases).
+func (r *Registry) QueryStats() (compiled, interpreted int64) {
+	return r.compiled.Load(), r.interpreted.Load()
 }
 
-// solveQuery runs the Table 3 arithmetic against a model.
+// solveQuery runs the Table 3 arithmetic against a model. It is the
+// interpreted reference path: CompiledModel.solve must agree with it
+// bit for bit on success, and every compiled-path refusal re-runs here
+// so errors come from one place.
 func solveQuery(m *core.Model, req api.QueryRequest) api.QueryResult {
 	fail := func(err error) api.QueryResult { return api.QueryResult{Error: err.Error()} }
 	spec0, err := req.Specs[0].ToYield()
@@ -342,11 +435,9 @@ func solveQuery(m *core.Model, req api.QueryRequest) api.QueryResult {
 // every loadable model on disk, sorted by name.
 func (r *Registry) List() []api.ModelInfo {
 	names := map[string]bool{}
-	r.mu.Lock()
-	for name := range r.entries {
+	for name := range r.snap.Load().entries {
 		names[name] = true
 	}
-	r.mu.Unlock()
 	if r.dir != "" {
 		if dirs, err := os.ReadDir(r.dir); err == nil {
 			for _, d := range dirs {
@@ -375,14 +466,10 @@ func (r *Registry) Info(name string) (*api.ModelInfo, error) {
 	if err := validName(name); err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	e, resident := r.entries[name]
-	r.mu.Unlock()
+	e, resident := r.snap.Load().entries[name]
 	var m *core.Model
 	if resident {
-		e.mu.RLock()
 		m = e.model
-		e.mu.RUnlock()
 	} else {
 		if r.dir == "" {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
@@ -410,7 +497,5 @@ func (r *Registry) Info(name string) (*api.ModelInfo, error) {
 
 // Resident reports how many models are currently loaded.
 func (r *Registry) Resident() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.entries)
+	return len(r.snap.Load().entries)
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -126,51 +127,49 @@ func TestRegistryEvict(t *testing.T) {
 	}
 }
 
-func TestRegistryQueryBatching(t *testing.T) {
+func TestRegistryQueryBatchGroups(t *testing.T) {
 	r := NewRegistry(t.TempDir(), 4)
 	defer r.Close()
-	if err := r.Install("m1", synthModel(t, 12)); err != nil {
-		t.Fatal(err)
+	for _, name := range []string{"m1", "m2"} {
+		if err := r.Install(name, synthModel(t, 12)); err != nil {
+			t.Fatal(err)
+		}
 	}
-	e, err := r.get("m1")
+	// Interleave models, include an unknown model and an out-of-range
+	// bound: results must line up with requests and failures stay local.
+	bad := testQuery("m1")
+	bad.Specs[0].Bound = 1e9
+	reqs := []api.QueryRequest{
+		testQuery("m1"), testQuery("m2"), testQuery("nope"),
+		bad, testQuery("m2"), testQuery("m1"),
+	}
+	results := r.QueryBatch(context.Background(), reqs)
+	if len(results) != len(reqs) {
+		t.Fatalf("%d results for %d requests", len(results), len(reqs))
+	}
+	for _, i := range []int{0, 1, 4, 5} {
+		if results[i].Error != "" || results[i].Response == nil {
+			t.Errorf("result %d: err %q", i, results[i].Error)
+			continue
+		}
+		if results[i].Response.Model != reqs[i].Model {
+			t.Errorf("result %d answered for model %q, want %q",
+				i, results[i].Response.Model, reqs[i].Model)
+		}
+	}
+	if results[2].Error == "" {
+		t.Error("unknown model produced no error")
+	}
+	if results[3].Error == "" {
+		t.Error("out-of-range bound produced no error")
+	}
+	// Batch answers equal the per-query path exactly.
+	single, err := r.Query(context.Background(), testQuery("m1"))
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	// Hold the model's write lock so concurrent queries pile up in the
-	// batcher's queue, then release: the backlog must drain in a small
-	// number of shared lock acquisitions, not one per query.
-	const n = 16
-	b0, q0 := r.BatchStats()
-	e.mu.Lock()
-	var wg sync.WaitGroup
-	errs := make(chan error, n)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			_, qerr := r.Query(context.Background(), testQuery("m1"))
-			errs <- qerr
-		}()
-	}
-	time.Sleep(100 * time.Millisecond) // let all n reach the queue
-	e.mu.Unlock()
-	wg.Wait()
-	close(errs)
-	for qerr := range errs {
-		if qerr != nil {
-			t.Fatalf("batched query failed: %v", qerr)
-		}
-	}
-
-	b1, q1 := r.BatchStats()
-	if q1-q0 != n {
-		t.Errorf("batched queries = %d, want %d", q1-q0, n)
-	}
-	// One batch may slip in before the lock is held; the backlog itself
-	// must coalesce, so far fewer batches than queries.
-	if got := b1 - b0; got > 3 {
-		t.Errorf("lock acquisitions = %d for %d queries, want ≤ 3", got, n)
+	if !reflect.DeepEqual(results[0].Response, single) {
+		t.Errorf("batch and single answers differ:\n%+v\n%+v", results[0].Response, single)
 	}
 }
 
@@ -180,15 +179,76 @@ func TestRegistryQueryCancelled(t *testing.T) {
 	if err := r.Install("m1", synthModel(t, 12)); err != nil {
 		t.Fatal(err)
 	}
-	e, err := r.get("m1")
-	if err != nil {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Query(ctx, testQuery("m1")); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	for _, res := range r.QueryBatch(ctx, []api.QueryRequest{testQuery("m1")}) {
+		if res.Error == "" {
+			t.Error("cancelled batch produced a result")
+		}
+	}
+}
+
+// TestRegistrySnapshotHammer races lock-free queries against snapshot
+// swaps: installs over a hot name, evictions and reloads. Run under
+// -race this proves the atomic-snapshot publication protocol; under
+// plain `go test` it still checks that every query lands on a coherent
+// model (answer or error, never a torn state).
+func TestRegistrySnapshotHammer(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry(dir, 2)
+	defer r.Close()
+	if err := r.Install("hot", synthModel(t, 12)); err != nil {
 		t.Fatal(err)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
-	defer cancel()
-	if _, err := r.Query(ctx, testQuery("m1")); !errors.Is(err, context.DeadlineExceeded) {
-		t.Errorf("err = %v, want DeadlineExceeded while model locked", err)
+	if err := r.Install("cold", synthModel(t, 12)); err != nil {
+		t.Fatal(err)
 	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				out, err := r.Query(context.Background(), testQuery("hot"))
+				if err != nil {
+					t.Errorf("query during swap: %v", err)
+					return
+				}
+				if out.Model != "hot" || len(out.Params) != 3 {
+					t.Errorf("torn response: %+v", out)
+					return
+				}
+				r.QueryBatch(context.Background(),
+					[]api.QueryRequest{testQuery("hot"), testQuery("cold")})
+			}
+		}()
+	}
+	// Writer: keep replacing the hot model and cycling residency.
+	deadline := time.After(300 * time.Millisecond)
+	m2 := synthModel(t, 14)
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		default:
+		}
+		if err := r.Install("hot", m2); err != nil {
+			t.Errorf("install during queries: %v", err)
+			break
+		}
+		r.Evict("cold") // next batch query reloads it from dir
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -4,8 +4,11 @@
 //
 // Query path: POST /v1/yield/query answers the paper's Table 3 spec
 // query (guard-banded targets, interpolated parameters, predicted
-// yield) from an LRU-bounded model registry, with per-model
-// read-write locking and request batching (registry.go).
+// yield) from an LRU-bounded model registry. Models are compiled at
+// install time (compiled.go) and published in an immutable snapshot
+// behind an atomic pointer (registry.go), so the steady-state query
+// path takes no locks and performs no allocations: pooled scratch,
+// segment-hint spline evaluation and pre-rendered response JSON.
 //
 // Job path: POST /v1/flows submits a core.RunFlow job onto a bounded
 // worker pool; GET /v1/flows/{id} polls status and GET
@@ -192,8 +195,8 @@ func (s *Server) Addr() string {
 
 // Shutdown drains the server gracefully: new connections stop, SSE
 // streams close, in-flight requests finish, running flows checkpoint
-// and cancel, and the model registry's batchers stop. The ctx bounds
-// the whole drain.
+// and cancel, and the model registry empties. The ctx bounds the whole
+// drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-s.shutdownCh:
@@ -216,11 +219,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // --- handlers ---
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
+// writeJSON lives in json.go (pooled encoder, explicit Content-Length).
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, &api.Error{Status: status, Message: fmt.Sprintf(format, args...)})
@@ -253,32 +252,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(body.Queries) > 0 {
-		resp := api.BatchQueryResponse{Results: make([]api.QueryResult, len(body.Queries))}
-		type idxRes struct {
-			i   int
-			res api.QueryResult
-		}
-		ch := make(chan idxRes, len(body.Queries))
-		for i, q := range body.Queries {
-			go func(i int, q api.QueryRequest) {
-				out, err := s.reg.Query(r.Context(), q)
-				if err != nil {
-					ch <- idxRes{i, api.QueryResult{Error: err.Error()}}
-					return
-				}
-				ch <- idxRes{i, api.QueryResult{Response: out}}
-			}(i, q)
-		}
-		for range body.Queries {
-			ir := <-ch
-			resp.Results[ir.i] = ir.res
-		}
-		writeJSON(w, http.StatusOK, resp)
+		// Queries group by model and stage through the batch evaluator —
+		// cheaper than the per-query path and free of goroutine fan-out.
+		results := s.reg.QueryBatch(r.Context(), body.Queries)
+		writeJSON(w, http.StatusOK, api.BatchQueryResponse{Results: results})
 		return
 	}
-	out, err := s.reg.Query(r.Context(), body.QueryRequest)
+	sc := getScratch()
+	defer putScratch(sc)
+	rendered, out, err := s.reg.QueryRendered(r.Context(), body.QueryRequest, sc)
 	if err != nil {
 		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	if rendered != nil {
+		writeJSONBytes(w, http.StatusOK, rendered)
 		return
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -338,9 +326,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// running flow's Monte Carlo stage is actually parallel (busy
 	// workers vs queue) without scraping the full expvar export.
 	ms := s.cfg.Metrics.Snapshot()
+	qc, qi := s.reg.QueryStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":          "ok",
 		"resident_models": s.reg.Resident(),
+		"query_engine": map[string]int64{
+			"compiled":    qc,
+			"interpreted": qi,
+		},
 		"mc_scheduler": map[string]int64{
 			"busy_workers":          ms.MCBusyWorkers,
 			"busy_workers_peak":     ms.MCBusyWorkersPeak,

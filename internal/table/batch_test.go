@@ -1,0 +1,97 @@
+package table
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"analogyield/internal/spline"
+)
+
+func batchModel(t *testing.T, deg spline.Degree, extrap ExtrapMode) *Model1D {
+	t.Helper()
+	xs := make([]float64, 60)
+	ys := make([]float64, 60)
+	for i := range xs {
+		xs[i] = float64(i) * 0.5
+		ys[i] = math.Sin(float64(i)/5) * 40
+	}
+	m, err := NewModel1D(xs, ys, Control{Degree: deg, Extrap: extrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestEvalBatchMatchesEval checks the batch path against per-point Eval
+// bit for bit, across every compiled degree and extrapolation mode.
+func TestEvalBatchMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, deg := range []spline.Degree{spline.DegreeLinear, spline.DegreeCubic, spline.DegreeMonotoneCubic} {
+		for _, ex := range []ExtrapMode{ExtrapClamp, ExtrapLinear, ExtrapError} {
+			m := batchModel(t, deg, ex)
+			lo, hi := m.Domain()
+			qs := make([]float64, 300)
+			for i := range qs {
+				qs[i] = lo + (hi-lo)*rng.Float64()
+				if ex != ExtrapError && i%17 == 0 {
+					qs[i] = lo - 2 + (hi-lo+4)*rng.Float64() // wander outside
+				}
+			}
+			dst := make([]float64, 0, len(qs))
+			out, err := m.EvalBatch(dst, qs)
+			if err != nil {
+				t.Fatalf("deg %d extrap %d: EvalBatch: %v", deg, ex, err)
+			}
+			if len(out) != len(qs) {
+				t.Fatalf("deg %d: %d results, want %d", deg, len(out), len(qs))
+			}
+			for i, x := range qs {
+				want, err := m.Eval(x)
+				if err != nil {
+					t.Fatalf("Eval(%g): %v", x, err)
+				}
+				if math.Float64bits(out[i]) != math.Float64bits(want) {
+					t.Fatalf("deg %d extrap %d: batch[%d] = %g, Eval = %g", deg, ex, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalBatchOutOfRange: in Error mode the first out-of-range point
+// aborts the batch with ErrOutOfRange and the partial prefix.
+func TestEvalBatchOutOfRange(t *testing.T) {
+	m := batchModel(t, spline.DegreeCubic, ExtrapError)
+	lo, hi := m.Domain()
+	qs := []float64{lo + 1, lo + 2, hi + 5, lo + 3}
+	out, err := m.EvalBatch(nil, qs)
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("partial prefix has %d values, want 2", len(out))
+	}
+}
+
+// TestEvalBatchNoAlloc: a pre-sized destination makes the steady-state
+// batch path allocation-free.
+func TestEvalBatchNoAlloc(t *testing.T) {
+	m := batchModel(t, spline.DegreeMonotoneCubic, ExtrapError)
+	lo, hi := m.Domain()
+	qs := make([]float64, 256)
+	for i := range qs {
+		qs[i] = lo + (hi-lo)*float64(i)/float64(len(qs)-1)
+	}
+	dst := make([]float64, 0, len(qs))
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		if _, err = m.EvalBatch(dst[:0], qs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("EvalBatch allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -193,6 +193,17 @@ func (m *CurveModel2D) EvalAt(u float64) float64 {
 	return m.fy.Eval(u)
 }
 
+// Interps exposes the three fitted parameterisation splines X1(u),
+// X2(u) and Y(u) (the server's query compiler reads them to build its
+// struct-of-arrays form).
+func (m *CurveModel2D) Interps() (fx1, fx2, fy spline.Interpolator) {
+	return m.fx1, m.fx2, m.fy
+}
+
+// Spans returns the input-range normalisation used by Project's distance
+// metric.
+func (m *CurveModel2D) Spans() (span1, span2 float64) { return m.span1, m.span2 }
+
 // Len returns the number of distinct samples along the curve.
 func (m *CurveModel2D) Len() int { return len(m.ys) }
 

@@ -15,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${BENCH_COUNT:-1}"
-PKGS="./internal/num ./internal/analysis ./internal/wbga ./internal/pareto ./internal/montecarlo ./internal/core"
+PKGS="./internal/num ./internal/analysis ./internal/wbga ./internal/pareto ./internal/montecarlo ./internal/core ./internal/spline ./internal/table ./internal/server"
 OUT=benchmarks/latest.txt
 JSON=benchmarks/BENCH_flow.json
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Drive the yield-query serving path with the open-loop load generator
+# and record the latency/throughput report.
+#
+#   scripts/loadtest.sh                  10s at 2000 qps, in-process server
+#   QPS=5000 DURATION=30s scripts/loadtest.sh
+#   URL=http://host:8080 scripts/loadtest.sh   # against a running ayd
+#
+# The report lands in benchmarks/BENCH_serve.json (p50/p95/p99 latency,
+# achieved qps, error/shed counts — what the CI smoke job uploads).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QPS="${QPS:-2000}"
+DURATION="${DURATION:-10s}"
+INFLIGHT="${INFLIGHT:-256}"
+URL="${URL:-}"
+OUT=benchmarks/BENCH_serve.json
+
+mkdir -p benchmarks
+
+echo "== load test: qps=$QPS duration=$DURATION inflight=$INFLIGHT url=${URL:-<in-process>}"
+go run ./cmd/aydload -qps "$QPS" -duration "$DURATION" -inflight "$INFLIGHT" \
+    ${URL:+-url "$URL"} -o "$OUT"
+echo "== wrote $OUT"
