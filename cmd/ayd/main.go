@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"analogyield/internal/core"
+	"analogyield/internal/montecarlo"
 	"analogyield/internal/server"
 )
 
@@ -50,10 +51,16 @@ func serve(args []string) int {
 		queryTO     = fs.Duration("query-timeout", 30*time.Second, "per-request timeout on non-streaming routes")
 		drainTO     = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; default off)")
+		mcStrategy  = fs.String("mc-strategy", "", "default Monte Carlo estimator for submitted flows: naive (default), is, surrogate, is+surrogate")
 	)
 	fs.Parse(args)
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	if _, err := montecarlo.ParseStrategy(*mcStrategy); err != nil {
+		log.Error("bad -mc-strategy", "err", err)
+		return 2
+	}
 
 	if *pprofAddr != "" {
 		// The profiling endpoints live on their own listener, never on the
@@ -79,6 +86,8 @@ func serve(args []string) int {
 		QueryTimeout: *queryTO,
 		Metrics:      metrics,
 		Logger:       log,
+
+		DefaultMCStrategy: *mcStrategy,
 	})
 	if err := srv.Start(); err != nil {
 		log.Error("start", "err", err)

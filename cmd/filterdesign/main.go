@@ -21,6 +21,7 @@ import (
 	"analogyield/internal/core"
 	"analogyield/internal/filter"
 	"analogyield/internal/measure"
+	"analogyield/internal/montecarlo"
 	"analogyield/internal/ota"
 	"analogyield/internal/process"
 	"analogyield/internal/yield"
@@ -45,6 +46,7 @@ func main() {
 		pop      = flag.Int("pop", 30, "capacitor MOO population (paper: 30)")
 		gen      = flag.Int("gen", 40, "capacitor MOO generations (paper: 40)")
 		mc       = flag.Int("mc", 500, "Monte Carlo yield samples (paper: 500)")
+		mcStrat  = flag.String("mc-strategy", "", "yield estimator: naive (default), is, surrogate, is+surrogate")
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		series   = flag.Bool("series", false, "print the filter response series (Fig 11)")
 		verbose  = flag.Bool("v", false, "print per-generation MOO progress")
@@ -127,14 +129,26 @@ func main() {
 		rt.DCGainDB, rt.PassbandDevDB, rt.StopbandAttenDB, rt.F3dB)
 	fmt.Printf("  meets spec at transistor level: %v\n", spec.Satisfies(rt))
 
-	yr, err := filter.VerifyYield(ctx, opt.Caps, cfg, params, spec, process.C35(), *mc, *seed+99)
+	strategy, err := montecarlo.ParseStrategy(*mcStrat)
+	if err != nil {
+		fail(err)
+	}
+	yr, err := filter.VerifyYieldMC(ctx, opt.Caps, cfg, params, spec, process.C35(), *mc, *seed+99, strategy)
 	if err != nil {
 		fail(fmt.Errorf("yield: %w", err))
 	}
-	passes := int(yr.Yield*float64(yr.Samples) + 0.5)
-	lo, hi, _ := yield.WilsonInterval(passes, yr.Samples)
-	fmt.Printf("Monte Carlo yield (%d samples): %.1f%% (95%% Wilson interval [%.2f%%, %.2f%%])\n",
-		yr.Samples, 100*yr.Yield, 100*lo, 100*hi)
+	if strategy == montecarlo.StrategyNaive {
+		passes := int(yr.Yield*float64(yr.Samples) + 0.5)
+		lo, hi, _ := yield.WilsonInterval(passes, yr.Samples)
+		fmt.Printf("Monte Carlo yield (%d samples): %.1f%% (95%% Wilson interval [%.2f%%, %.2f%%])\n",
+			yr.Samples, 100*yr.Yield, 100*lo, 100*hi)
+	} else {
+		// Weighted estimates have no binomial pass count, so the Wilson
+		// interval does not apply; report the effective sample size and
+		// the simulations the strategy actually spent instead.
+		fmt.Printf("Monte Carlo yield (%s, %d samples, %d simulated, ESS %.0f): %.2f%%\n",
+			yr.Strategy, yr.Samples, yr.FullEvals, yr.ESS, 100*yr.Yield)
+	}
 
 	if *series {
 		fmt.Printf("\n# freq_hz gain_db (transistor-level typical response, Fig 11)\n")

@@ -15,6 +15,7 @@ import (
 	"os/signal"
 
 	"analogyield/internal/core"
+	"analogyield/internal/montecarlo"
 	"analogyield/internal/ota"
 	"analogyield/internal/process"
 	"analogyield/internal/yield"
@@ -27,6 +28,7 @@ func main() {
 		pm     = flag.Float64("pm", 80, "required minimum phase margin, deg")
 		verify = flag.Bool("verify", false, "simulate the transistor OTA at the interpolated parameters")
 		mcVer  = flag.Int("mc", 0, "with -verify: Monte Carlo samples for a yield check (0 disables)")
+		mcStr  = flag.String("mc-strategy", "", "with -mc: estimator — naive (default), is, surrogate, is+surrogate")
 	)
 	flag.Parse()
 
@@ -91,12 +93,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "yieldtool:", err)
 			os.Exit(1)
 		}
-		ver, err := core.VerifyDesignYield(ctx, prob, process.C35(), genes, spec0, spec1, *mcVer, 1)
+		strategy, err := montecarlo.ParseStrategy(*mcStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yieldtool:", err)
+			os.Exit(2)
+		}
+		ver, err := core.VerifyDesignYieldMC(ctx, prob, process.C35(), genes, spec0, spec1, *mcVer, 1, strategy)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "yieldtool: yield verification:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("\nMonte Carlo verification (%d samples): yield %.1f%%\n",
 			ver.Samples, 100*ver.Yield)
+		if strategy != montecarlo.StrategyNaive {
+			fmt.Printf("  %s estimator: %d circuit simulations, effective sample size %.0f\n",
+				ver.Strategy, ver.FullEvals, ver.ESS)
+		}
 	}
 }

@@ -36,6 +36,12 @@ type YieldVerification struct {
 	Yield   float64
 	Samples int
 	Stats   []montecarlo.Stats
+	// Strategy names the Monte Carlo strategy used; FullEvals counts
+	// circuit simulations actually run (equal to Samples for naive MC)
+	// and ESS is the effective sample size of the estimate.
+	Strategy  string
+	FullEvals int
+	ESS       float64
 }
 
 // VerifyDesignYield runs samples Monte Carlo simulations of the circuit
@@ -44,27 +50,49 @@ type YieldVerification struct {
 // the sampling with ctx.Err().
 func VerifyDesignYield(ctx context.Context, prob CircuitProblem, proc *process.Process, genes []float64,
 	spec0, spec1 yield.Spec, samples int, seed int64) (*YieldVerification, error) {
+	return VerifyDesignYieldMC(ctx, prob, proc, genes, spec0, spec1, samples, seed, montecarlo.StrategyNaive)
+}
+
+// VerifyDesignYieldMC is VerifyDesignYield with an explicit
+// variance-reduction strategy. Importance sampling resolves yields naive
+// MC cannot (a 99.9 % target needs ~100/p ≈ 100,000 naive samples);
+// surrogate strategies classify in spec space, simulating only samples
+// whose pass/fail status the filter cannot call confidently, so
+// FullEvals reports the circuit simulations the filter saved.
+func VerifyDesignYieldMC(ctx context.Context, prob CircuitProblem, proc *process.Process, genes []float64,
+	spec0, spec1 yield.Spec, samples int, seed int64, strategy montecarlo.Strategy) (*YieldVerification, error) {
 	if samples <= 0 {
 		return nil, fmt.Errorf("core: non-positive sample count %d", samples)
 	}
 	bf := mcBatchFactory(prob, [][]float64{genes})
-	mc, err := montecarlo.RunFactory(ctx, montecarlo.Options{
+	factory := func() montecarlo.Evaluator {
+		pe := bf()
+		return func(s *process.Sample) ([]float64, error) { return pe(0, s) }
+	}
+	specs := []yield.Spec{spec0, spec1}
+	v := montecarlo.VarianceOptions{Strategy: strategy}
+	for col, sp := range specs {
+		v.Specs = append(v.Specs, montecarlo.SpecBound{
+			Col: col, AtMost: sp.Sense == yield.AtMost, Bound: sp.Bound,
+		})
+	}
+	mc, err := montecarlo.RunVariance(ctx, montecarlo.Options{
 		Proc:    proc,
 		Samples: samples,
 		Seed:    seed,
 		Metrics: prob.ObjectiveNames(),
-	}, func() montecarlo.Evaluator {
-		pe := bf()
-		return func(s *process.Sample) ([]float64, error) { return pe(0, s) }
-	})
+	}, v, factory)
 	if err != nil {
 		return nil, err
 	}
-	y, err := yield.FromSamples(mc.Samples, []yield.Spec{spec0, spec1}, []int{0, 1})
+	y, err := yield.FromWeightedSamples(mc.Samples, mc.Weights, specs, []int{0, 1})
 	if err != nil {
 		return nil, err
 	}
-	return &YieldVerification{Yield: y, Samples: samples, Stats: mc.Stats}, nil
+	return &YieldVerification{
+		Yield: y, Samples: samples, Stats: mc.Stats,
+		Strategy: strategy.String(), FullEvals: mc.FullEvals, ESS: mc.ESS,
+	}, nil
 }
 
 // GenesForDesign converts a Design's interpolated physical parameters

@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"analogyield/internal/montecarlo"
 	"analogyield/internal/wbga"
 )
 
@@ -64,6 +65,13 @@ func (c FlowConfig) fingerprint() string {
 		checkpointVersion,
 		c.Problem.ParamNames(), c.Problem.ObjectiveNames(), c.Problem.Maximize(),
 		c.PopSize, c.Generations, c.MCSamples, c.Seed)
+	// The MC strategy changes which samples are drawn/simulated, so a
+	// checkpoint must not be resumed under a different one. The naive
+	// default contributes nothing, keeping pre-strategy checkpoints
+	// resumable.
+	if strat, err := montecarlo.ParseStrategy(c.MCStrategy); err == nil && strat != montecarlo.StrategyNaive {
+		fmt.Fprintf(h, "|mcstrategy=%s", strat)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

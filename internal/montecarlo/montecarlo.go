@@ -54,10 +54,30 @@ type Stats struct {
 // Result is the outcome of a run.
 type Result struct {
 	// Samples holds one metric vector per successful sample, indexed by
-	// sample number; failed samples are nil.
+	// sample number; failed samples are nil. Under a surrogate strategy
+	// a vector may be the filter's prediction rather than a simulation —
+	// Decisions records which.
 	Samples [][]float64
 	Failed  int
 	Stats   []Stats
+
+	// Weights holds the per-sample importance weights p/q of an
+	// importance-sampled run; nil for naive sampling (all weights 1).
+	Weights []float64
+	// ESS is the effective sample size of the successful samples:
+	// (Σw)²/Σw², which degrades from the success count as the weights
+	// spread. Low ESS means the weighted estimates are noisier than the
+	// raw sample count suggests.
+	ESS float64
+	// FullEvals counts circuit evaluations actually run; Predicted
+	// counts samples answered by the surrogate filter instead. For
+	// naive and plain IS runs FullEvals equals len(Samples) and
+	// Predicted is 0.
+	FullEvals int
+	Predicted int
+	// Decisions is the surrogate filter's per-sample audit log (nil for
+	// strategies without the filter), in sample order.
+	Decisions []FilterDecision
 }
 
 // Run executes the Monte Carlo analysis with a single shared Evaluator
@@ -148,8 +168,48 @@ feed:
 	return res, nil
 }
 
-// finishStats reduces res.Samples to per-metric statistics in res.Stats.
-// It is the shared tail of RunFactory and RunBatch, so a batched point
+// welford accumulates streaming mean, variance, min and max in one
+// pass (Welford's update), so the reduction needs neither a second walk
+// over the samples nor a per-metric copy of them.
+type welford struct {
+	n        float64
+	mean, m2 float64
+	min, max float64
+}
+
+func (w *welford) add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / w.n
+	w.m2 += d * (x - w.mean)
+}
+
+func (w *welford) stats() Stats {
+	sigma := 0.0
+	if w.n > 1 {
+		sigma = math.Sqrt(w.m2 / (w.n - 1))
+	}
+	delta := 0.0
+	if w.mean != 0 {
+		delta = 100 * 3 * sigma / math.Abs(w.mean)
+	}
+	return Stats{Mean: w.mean, Sigma: sigma, Min: w.min, Max: w.max, DeltaPct: delta}
+}
+
+// finishStats reduces res.Samples to per-metric statistics in res.Stats
+// in a single pass, and fills the naive-run values of the estimator
+// diagnostics (ESS = success count, FullEvals = sample count). It is
+// the shared tail of RunFactory and RunBatch, so a batched point
 // reports bit-identical statistics to a standalone run. An all-failed
 // result is an error.
 func finishStats(res *Result, metrics []string) error {
@@ -163,67 +223,80 @@ func finishStats(res *Result, metrics []string) error {
 	if width == 0 {
 		return fmt.Errorf("montecarlo: every sample failed (%d of %d)", res.Failed, len(res.Samples))
 	}
+	acc := make([]welford, width)
+	for _, s := range res.Samples {
+		if s == nil {
+			continue
+		}
+		for k := range acc {
+			acc[k].add(s[k])
+		}
+	}
 	res.Stats = make([]Stats, width)
-	for k := 0; k < width; k++ {
-		var xs []float64
-		for _, s := range res.Samples {
-			if s != nil {
-				xs = append(xs, s[k])
-			}
-		}
-		st := reduce(xs)
-		if k < len(metrics) {
-			st.Name = metrics[k]
-		} else {
-			st.Name = fmt.Sprintf("metric%d", k)
-		}
+	for k := range acc {
+		st := acc[k].stats()
+		st.Name = metricName(metrics, k)
 		res.Stats[k] = st
 	}
+	res.ESS = acc[0].n
+	res.FullEvals = len(res.Samples)
 	return nil
 }
 
-func reduce(xs []float64) Stats {
-	n := float64(len(xs))
-	mean := 0.0
-	for _, x := range xs {
-		mean += x
+func metricName(metrics []string, k int) string {
+	if k < len(metrics) {
+		return metrics[k]
 	}
-	mean /= n
-	ss := 0.0
-	mn, mx := xs[0], xs[0]
-	for _, x := range xs {
-		d := x - mean
-		ss += d * d
-		if x < mn {
-			mn = x
-		}
-		if x > mx {
-			mx = x
-		}
-	}
-	sigma := 0.0
-	if len(xs) > 1 {
-		sigma = math.Sqrt(ss / (n - 1))
-	}
-	delta := 0.0
-	if mean != 0 {
-		delta = 100 * 3 * sigma / math.Abs(mean)
-	}
-	return Stats{Mean: mean, Sigma: sigma, Min: mn, Max: mx, DeltaPct: delta}
+	return fmt.Sprintf("metric%d", k)
 }
 
 // Yield returns the fraction of successful samples for which pass
 // returns true. Failed samples count as failures, matching the
-// pessimistic convention of production yield analysis.
-func (r *Result) Yield(pass func(metrics []float64) bool) float64 {
-	if len(r.Samples) == 0 {
-		return 0
-	}
-	ok := 0
+// pessimistic convention of production yield analysis. ok is false when
+// no sample evaluated successfully — the run carries no yield
+// information and the 0 value must not be mistaken for a measured zero
+// yield. For importance-sampled results use WeightedYield.
+func (r *Result) Yield(pass func(metrics []float64) bool) (yield float64, ok bool) {
+	succeeded := 0
+	passed := 0
 	for _, s := range r.Samples {
-		if s != nil && pass(s) {
-			ok++
+		if s == nil {
+			continue
+		}
+		succeeded++
+		if pass(s) {
+			passed++
 		}
 	}
-	return float64(ok) / float64(len(r.Samples))
+	if succeeded == 0 {
+		return 0, false
+	}
+	return float64(passed) / float64(len(r.Samples)), true
+}
+
+// WeightedYield is the importance-sampling analogue of Yield: the
+// self-normalised estimate Σw·pass / Σw. Failed samples keep their
+// weight in the denominator (the pessimistic convention of Yield). On a
+// result without weights it reduces exactly to Yield. ok is false when
+// no sample evaluated successfully or the total weight vanishes.
+func (r *Result) WeightedYield(pass func(metrics []float64) bool) (yield float64, ok bool) {
+	if r.Weights == nil {
+		return r.Yield(pass)
+	}
+	succeeded := 0
+	var sw, swPass float64
+	for i, s := range r.Samples {
+		sw += r.Weights[i]
+		if s == nil {
+			continue
+		}
+		succeeded++
+		if pass(s) {
+			swPass += r.Weights[i]
+		}
+	}
+	if succeeded == 0 || sw <= 0 {
+		return 0, false
+	}
+	return swPass / sw, true
 }

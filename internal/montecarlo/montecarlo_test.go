@@ -103,7 +103,10 @@ func TestRunPartialFailures(t *testing.T) {
 		t.Errorf("failed samples leaked into stats: max = %g", res.Stats[0].Max)
 	}
 	// Yield counts failures as failing.
-	y := res.Yield(func(m []float64) bool { return true })
+	y, ok := res.Yield(func(m []float64) bool { return true })
+	if !ok {
+		t.Fatal("yield not ok despite successful samples")
+	}
 	if y >= 1 {
 		t.Errorf("yield = %g, want < 1 with failures present", y)
 	}
@@ -130,13 +133,40 @@ func TestRunValidation(t *testing.T) {
 
 func TestYield(t *testing.T) {
 	res := &Result{Samples: [][]float64{{1}, {2}, {3}, nil}}
-	y := res.Yield(func(m []float64) bool { return m[0] >= 2 })
+	y, ok := res.Yield(func(m []float64) bool { return m[0] >= 2 })
+	if !ok {
+		t.Fatal("yield not ok despite successful samples")
+	}
 	if y != 0.5 {
 		t.Errorf("yield = %g, want 0.5 (2 of 4)", y)
 	}
 	empty := &Result{}
-	if empty.Yield(func([]float64) bool { return true }) != 0 {
-		t.Error("empty result should yield 0")
+	if _, ok := empty.Yield(func([]float64) bool { return true }); ok {
+		t.Error("empty result must report ok=false, not a silent zero yield")
+	}
+	allFailed := &Result{Samples: [][]float64{nil, nil}, Failed: 2}
+	if _, ok := allFailed.Yield(func([]float64) bool { return true }); ok {
+		t.Error("all-failed result must report ok=false")
+	}
+}
+
+func TestWeightedYield(t *testing.T) {
+	res := &Result{
+		Samples: [][]float64{{1}, {2}, {3}, nil},
+		Weights: []float64{1, 2, 3, 4},
+	}
+	// Passing samples {2}, {3} carry weight 5 of 10 total (the failed
+	// sample's weight 4 stays in the denominator).
+	y, ok := res.WeightedYield(func(m []float64) bool { return m[0] >= 2 })
+	if !ok || y != 0.5 {
+		t.Errorf("weighted yield = %g ok=%v, want 0.5 true", y, ok)
+	}
+	// Without weights it must agree with Yield exactly.
+	res.Weights = nil
+	yw, _ := res.WeightedYield(func(m []float64) bool { return m[0] >= 2 })
+	yu, _ := res.Yield(func(m []float64) bool { return m[0] >= 2 })
+	if yw != yu {
+		t.Errorf("unweighted WeightedYield %g != Yield %g", yw, yu)
 	}
 }
 

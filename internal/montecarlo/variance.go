@@ -1,0 +1,729 @@
+// Variance-reduced Monte Carlo: importance sampling and a GP surrogate
+// filter layered on the deterministic sampling engine.
+//
+// The naive estimator needs ~100/p samples to resolve a failure
+// probability p, which makes high-sigma yield targets (99.9 % and up)
+// unreachable inside an optimisation loop. RunVariance and
+// RunVarianceBatch keep the engine's determinism contract — sample i is
+// always derived from (seed, i), so results are bit-identical for any
+// worker count — while spending circuit evaluations far more
+// effectively:
+//
+//   - StrategyIS draws the global-variation point from a proposal
+//     distribution that over-samples the tails and reweights each
+//     sample by its likelihood ratio (process.NewSampleIS). Estimates
+//     are self-normalised, so only weight ratios matter.
+//   - StrategySurrogate simulates an initial training batch, fits a
+//     small GP (internal/surrogate) mapping the 4-d global shift to the
+//     metric vector, and simulates only samples the GP cannot classify
+//     confidently; the rest are answered by the (bias-corrected)
+//     prediction. Every decision is logged in Result.Decisions.
+//   - StrategyISSurrogate composes both.
+//
+// Batched runs assign each point wholly to one worker instead of
+// chunking samples across the pool: the per-point phases (train → fit →
+// classify → verify) are inherently sequential, and whole-point
+// assignment preserves bit-identical results for any worker count
+// without a barrier per phase.
+package montecarlo
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"analogyield/internal/process"
+	"analogyield/internal/surrogate"
+)
+
+// Strategy selects how the Monte Carlo engine spends its circuit
+// evaluations.
+type Strategy uint8
+
+const (
+	// StrategyNaive is plain Monte Carlo — the default, bit-identical
+	// to RunFactory/RunBatch.
+	StrategyNaive Strategy = iota
+	// StrategyIS draws from an importance-sampling proposal and
+	// reweights.
+	StrategyIS
+	// StrategySurrogate filters samples through a GP surrogate and
+	// simulates only the uncertain band.
+	StrategySurrogate
+	// StrategyISSurrogate composes importance sampling with the
+	// surrogate filter.
+	StrategyISSurrogate
+)
+
+// ParseStrategy maps the flag/config spelling to a Strategy. The empty
+// string selects StrategyNaive.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "", "naive":
+		return StrategyNaive, nil
+	case "is":
+		return StrategyIS, nil
+	case "surrogate":
+		return StrategySurrogate, nil
+	case "is+surrogate":
+		return StrategyISSurrogate, nil
+	}
+	return StrategyNaive, fmt.Errorf("montecarlo: unknown strategy %q (want naive, is, surrogate or is+surrogate)", name)
+}
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNaive:
+		return "naive"
+	case StrategyIS:
+		return "is"
+	case StrategySurrogate:
+		return "surrogate"
+	case StrategyISSurrogate:
+		return "is+surrogate"
+	}
+	return fmt.Sprintf("strategy(%d)", uint8(s))
+}
+
+func (s Strategy) usesIS() bool {
+	return s == StrategyIS || s == StrategyISSurrogate
+}
+
+func (s Strategy) usesSurrogate() bool {
+	return s == StrategySurrogate || s == StrategyISSurrogate
+}
+
+// SpecBound is a pass/fail bound on one metric column, used by the
+// surrogate filter to classify in spec space: a sample is confidently
+// classified only when every bound is cleared (or one is violated) by
+// at least Kappa predictive standard deviations.
+type SpecBound struct {
+	Col    int     // metric column index
+	AtMost bool    // true: metric must be ≤ Bound; false: ≥ Bound
+	Bound  float64 // the spec limit
+}
+
+// FilterDecision records what the surrogate filter did with one sample.
+type FilterDecision struct {
+	Sample    int  // sample index
+	Simulated bool // true: the stored metric vector came from the evaluator
+	// Uncertain marks samples the filter could not classify confidently
+	// (or never classified, e.g. training fell back) — every uncertain
+	// sample is simulated, never answered by the surrogate.
+	Uncertain bool
+}
+
+// VarianceOptions configures the variance-reduction strategy of a run.
+// The zero value selects StrategyNaive and is always valid.
+type VarianceOptions struct {
+	Strategy Strategy
+	// Proposal is the IS sampling distribution; nil selects
+	// process.DefaultISProposal(). Ignored by non-IS strategies.
+	Proposal *process.Proposal
+	// TrainSamples is the number of leading samples simulated to train
+	// the surrogate (default 48). Ignored without the surrogate.
+	TrainSamples int
+	// CorrectionSamples is the number of held-out simulated samples
+	// used to measure and subtract the surrogate's prediction bias
+	// (default 16). Ignored without the surrogate.
+	CorrectionSamples int
+	// Kappa is the classification margin in predictive standard
+	// deviations for spec-space filtering (default 3). Larger values
+	// simulate more and trust the surrogate less.
+	Kappa float64
+	// Tau bounds the acceptable predictive sd as a fraction of the
+	// training-sample sd when no Specs are given (moment-space
+	// filtering, default 0.3).
+	Tau float64
+	// Specs optionally switches the filter to spec-space
+	// classification: a prediction is trusted only when every bound is
+	// decisively cleared or decisively violated.
+	Specs []SpecBound
+}
+
+func (v VarianceOptions) withDefaults() VarianceOptions {
+	if v.TrainSamples <= 0 {
+		v.TrainSamples = 48
+	}
+	if v.CorrectionSamples <= 0 {
+		v.CorrectionSamples = 16
+	}
+	if v.Kappa <= 0 {
+		v.Kappa = 3
+	}
+	if v.Tau <= 0 {
+		v.Tau = 0.3
+	}
+	return v
+}
+
+func (v *VarianceOptions) validate() error {
+	switch v.Strategy {
+	case StrategyNaive, StrategyIS, StrategySurrogate, StrategyISSurrogate:
+	default:
+		return fmt.Errorf("montecarlo: invalid strategy %d", v.Strategy)
+	}
+	if v.Strategy.usesIS() && v.Proposal != nil {
+		if err := v.Proposal.Validate(); err != nil {
+			return err
+		}
+	}
+	for i, sp := range v.Specs {
+		if sp.Col < 0 {
+			return fmt.Errorf("montecarlo: spec %d has negative column %d", i, sp.Col)
+		}
+	}
+	return nil
+}
+
+// RunVariance is RunFactory with a variance-reduction strategy.
+// StrategyNaive delegates to RunFactory exactly (bit-identical results,
+// same scheduling); the other strategies run their sequential phases on
+// a parallel evaluation pool. Sampling stays deterministic in (Seed,
+// sample index) regardless of worker count.
+func RunVariance(ctx context.Context, opts Options, v VarianceOptions, factory Factory) (*Result, error) {
+	if v.Strategy == StrategyNaive {
+		return RunFactory(ctx, opts, factory)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Proc == nil {
+		return nil, fmt.Errorf("montecarlo: nil process")
+	}
+	if opts.Samples <= 0 {
+		return nil, fmt.Errorf("montecarlo: Samples must be positive, got %d", opts.Samples)
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("montecarlo: nil evaluator factory")
+	}
+	if err := v.validate(); err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return runVariancePoint(ctx, opts.Proc, opts.Seed, opts.Samples, v, parMapper(factory, workers), opts.Metrics)
+}
+
+// RunVarianceBatch is RunBatch with a variance-reduction strategy.
+// StrategyNaive delegates to RunBatch exactly. The other strategies
+// keep RunBatch's contract — one persistent worker pool, in-order
+// delivery through done, cooperative cancellation, per-point
+// determinism for any worker count — but assign each point wholly to
+// one worker, since the strategy phases within a point are sequential.
+func RunVarianceBatch(ctx context.Context, opts BatchOptions, v VarianceOptions, points []PointSpec, factory BatchFactory, done func(point int, res *Result, err error) error) error {
+	if v.Strategy == StrategyNaive {
+		return RunBatch(ctx, opts, points, factory, done)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Proc == nil {
+		return fmt.Errorf("montecarlo: nil process")
+	}
+	if factory == nil {
+		return fmt.Errorf("montecarlo: nil evaluator factory")
+	}
+	if done == nil {
+		return fmt.Errorf("montecarlo: nil done callback")
+	}
+	for p, spec := range points {
+		if spec.Samples <= 0 {
+			return fmt.Errorf("montecarlo: point %d: Samples must be positive, got %d", p, spec.Samples)
+		}
+	}
+	if err := v.validate(); err != nil {
+		return err
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	gauges := opts.Gauges
+	if gauges == nil {
+		gauges = nopGauges{}
+	}
+
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*Result, len(points))
+	errs := make([]error, len(points))
+	pointCh := make(chan int)
+	completed := make(chan int, len(points))
+
+	var started atomic.Int64
+	delivered := 0
+	defer func() {
+		gauges.AddPointsInFlight(int64(delivered) - started.Load())
+	}()
+
+	go func() {
+		defer close(pointCh)
+		for p := range points {
+			started.Add(1)
+			gauges.AddPointsInFlight(1)
+			select {
+			case pointCh <- p:
+				gauges.AddQueueDepth(1)
+			case <-ictx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pe := factory()
+			for p := range pointCh {
+				gauges.AddQueueDepth(-1)
+				var eval Evaluator
+				if pe != nil {
+					point := p
+					eval = func(s *process.Sample) ([]float64, error) { return pe(point, s) }
+				}
+				gauges.AddBusyWorkers(1)
+				res, err := runVariancePoint(ictx, opts.Proc, points[p].Seed, points[p].Samples, v, seqMapper(eval), opts.Metrics)
+				gauges.AddBusyWorkers(-1)
+				if ictx.Err() != nil {
+					// Cancelled mid-point: never deliver a partial point.
+					return
+				}
+				results[p], errs[p] = res, err
+				completed <- p
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(completed)
+	}()
+
+	// In-order delivery, as in RunBatch.
+	isDone := make([]bool, len(points))
+	frontier := 0
+	var firstErr error
+	for p := range completed {
+		isDone[p] = true
+		for firstErr == nil && ctx.Err() == nil && frontier < len(points) && isDone[frontier] {
+			derr := done(frontier, results[frontier], errs[frontier])
+			delivered++
+			gauges.AddPointsInFlight(-1)
+			frontier++
+			if derr != nil {
+				firstErr = derr
+				cancel()
+			}
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// mapper applies f (with a worker-local evaluator) to each listed
+// sample index, either sequentially or on a worker pool. It returns
+// when every index is processed or ctx is cancelled.
+type mapper func(ctx context.Context, idxs []int, f func(eval Evaluator, i int))
+
+func seqMapper(eval Evaluator) mapper {
+	return func(ctx context.Context, idxs []int, f func(Evaluator, int)) {
+		for _, i := range idxs {
+			if ctx.Err() != nil {
+				return
+			}
+			f(eval, i)
+		}
+	}
+}
+
+func parMapper(factory Factory, workers int) mapper {
+	return func(ctx context.Context, idxs []int, f func(Evaluator, int)) {
+		if len(idxs) == 0 {
+			return
+		}
+		w := workers
+		if w > len(idxs) {
+			w = len(idxs)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for j := 0; j < w; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				eval := factory()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(idxs) || ctx.Err() != nil {
+						return
+					}
+					f(eval, idxs[k])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// runVariancePoint runs one point's variance-reduced analysis. The
+// sample stream (weights, features, evaluator inputs) is derived purely
+// from (seed, index), so the result does not depend on how run
+// parallelises the evaluation phases.
+func runVariancePoint(ctx context.Context, proc *process.Process, seed int64, samples int, v VarianceOptions, run mapper, metrics []string) (*Result, error) {
+	v = v.withDefaults()
+	isOn := v.Strategy.usesIS()
+	surOn := v.Strategy.usesSurrogate()
+
+	res := &Result{Samples: make([][]float64, samples)}
+	var feats [][]float64
+	if isOn {
+		res.Weights = make([]float64, samples)
+	}
+	if surOn {
+		feats = make([][]float64, samples)
+	}
+	// Cheap sequential pre-pass: draw every sample's weight and filter
+	// features once, up front. Evaluation workers later re-derive the
+	// full sample from its index, so no per-sample RNG state needs to
+	// be retained or shared.
+	for i := 0; i < samples; i++ {
+		var s *process.Sample
+		if isOn {
+			var lw float64
+			s, lw = proc.NewSampleIS(seed, i, v.Proposal)
+			res.Weights[i] = math.Exp(lw)
+		} else if surOn {
+			s = proc.NewSample(seed, i)
+		}
+		if surOn {
+			u := s.GlobalSigmaUnits()
+			feats[i] = u[:]
+		}
+	}
+
+	draw := func(i int) *process.Sample {
+		if isOn {
+			s, _ := proc.NewSampleIS(seed, i, v.Proposal)
+			return s
+		}
+		return proc.NewSample(seed, i)
+	}
+	var failed atomic.Int64
+	evalOne := func(eval Evaluator, i int) {
+		if eval == nil {
+			failed.Add(1)
+			return
+		}
+		m, err := eval(draw(i))
+		if err != nil {
+			failed.Add(1)
+			return
+		}
+		res.Samples[i] = m
+	}
+
+	if !surOn {
+		run(ctx, ints(0, samples), evalOne)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res.Failed = int(failed.Load())
+		if err := finishVariance(res, metrics, nil); err != nil {
+			return nil, err
+		}
+		res.FullEvals = samples
+		res.Predicted = 0
+		return res, nil
+	}
+
+	// Surrogate filter. Simulate the training + correction prefix,
+	// fit, then classify the remainder.
+	nTrain := v.TrainSamples
+	if nTrain > samples {
+		nTrain = samples
+	}
+	nCorr := v.CorrectionSamples
+	if nTrain+nCorr > samples {
+		nCorr = samples - nTrain
+	}
+	prefix := nTrain + nCorr
+
+	run(ctx, ints(0, prefix), evalOne)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	decisions := make([]FilterDecision, 0, samples)
+	for i := 0; i < prefix; i++ {
+		decisions = append(decisions, FilterDecision{Sample: i, Simulated: true})
+	}
+
+	var xs, ys [][]float64
+	for i := 0; i < nTrain; i++ {
+		if res.Samples[i] != nil {
+			xs = append(xs, feats[i])
+			ys = append(ys, res.Samples[i])
+		}
+	}
+
+	// surrogateAll evaluates the whole remainder when the filter is
+	// unavailable — the run degrades to naive/IS, never to a guess.
+	simulateAll := func() (*Result, error) {
+		rest := ints(prefix, samples)
+		run(ctx, rest, evalOne)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for _, i := range rest {
+			decisions = append(decisions, FilterDecision{Sample: i, Simulated: true, Uncertain: true})
+		}
+		res.Failed = int(failed.Load())
+		res.Decisions = decisions
+		if err := finishVariance(res, metrics, nil); err != nil {
+			return nil, err
+		}
+		res.FullEvals = samples
+		res.Predicted = 0
+		return res, nil
+	}
+
+	if len(xs) < 8 || prefix >= samples {
+		return simulateAll()
+	}
+	g, err := surrogate.Train(xs, ys)
+	if err != nil {
+		return simulateAll()
+	}
+	width := g.Outputs()
+	for i, sp := range v.Specs {
+		if sp.Col >= width {
+			return nil, fmt.Errorf("montecarlo: spec %d column %d out of range (metric width %d)", i, sp.Col, width)
+		}
+	}
+
+	// Bias correction from the held-out batch, and the training-sample
+	// spread that moment-space filtering compares predictive sd
+	// against.
+	bias := make([]float64, width)
+	mean := make([]float64, width)
+	sd := make([]float64, width)
+	corrN := 0
+	for i := nTrain; i < prefix; i++ {
+		if res.Samples[i] == nil {
+			continue
+		}
+		if err := g.Predict(feats[i], mean, nil); err != nil {
+			return nil, err
+		}
+		for k := range bias {
+			bias[k] += res.Samples[i][k] - mean[k]
+		}
+		corrN++
+	}
+	if corrN > 0 {
+		for k := range bias {
+			bias[k] /= float64(corrN)
+		}
+	}
+	trainAcc := make([]welford, width)
+	for i := 0; i < prefix; i++ {
+		if res.Samples[i] == nil {
+			continue
+		}
+		for k := range trainAcc {
+			trainAcc[k].add(res.Samples[i][k])
+		}
+	}
+
+	// Classify. Confident predictions are stored (with their conditional
+	// variance accumulated for the sigma add-back); the uncertain band
+	// goes to the evaluator.
+	predVarSum := make([]float64, width)
+	var toEval []int
+	for i := prefix; i < samples; i++ {
+		if err := g.Predict(feats[i], mean, sd); err != nil {
+			return nil, err
+		}
+		for k := range mean {
+			mean[k] += bias[k]
+		}
+		if filterConfident(&v, mean, sd, trainAcc) {
+			pred := make([]float64, width)
+			copy(pred, mean)
+			res.Samples[i] = pred
+			w := 1.0
+			if res.Weights != nil {
+				w = res.Weights[i]
+			}
+			for k := range sd {
+				predVarSum[k] += w * sd[k] * sd[k]
+			}
+			decisions = append(decisions, FilterDecision{Sample: i})
+		} else {
+			toEval = append(toEval, i)
+			decisions = append(decisions, FilterDecision{Sample: i, Simulated: true, Uncertain: true})
+		}
+	}
+
+	run(ctx, toEval, evalOne)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.Failed = int(failed.Load())
+	res.Decisions = decisions
+	if err := finishVariance(res, metrics, predVarSum); err != nil {
+		return nil, err
+	}
+	res.FullEvals = prefix + len(toEval)
+	res.Predicted = samples - prefix - len(toEval)
+	return res, nil
+}
+
+// filterConfident decides whether a prediction with uncertainty sd can
+// stand in for a simulation. With Specs, the sample must clear or
+// violate the bounds decisively (Kappa sds of slack); without, the
+// prediction must be sharp relative to the observed metric spread.
+func filterConfident(v *VarianceOptions, mean, sd []float64, train []welford) bool {
+	if len(v.Specs) > 0 {
+		clearFail := false
+		allClearPass := true
+		for _, sp := range v.Specs {
+			m, margin := mean[sp.Col], v.Kappa*sd[sp.Col]
+			if sp.AtMost {
+				if m-margin > sp.Bound {
+					clearFail = true
+				}
+				if m+margin > sp.Bound {
+					allClearPass = false
+				}
+			} else {
+				if m+margin < sp.Bound {
+					clearFail = true
+				}
+				if m-margin < sp.Bound {
+					allClearPass = false
+				}
+			}
+		}
+		return clearFail || allClearPass
+	}
+	for k := range mean {
+		ts := train[k].stats().Sigma
+		if sd[k] > v.Tau*ts {
+			return false
+		}
+	}
+	return true
+}
+
+// waccum is the weighted (West) extension of welford: streaming
+// weighted mean and variance with reliability-weight Bessel correction.
+type waccum struct {
+	n        int
+	w, w2    float64
+	mean, m2 float64
+	min, max float64
+}
+
+func (a *waccum) add(w, x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	a.w += w
+	a.w2 += w * w
+	d := x - a.mean
+	a.mean += (w / a.w) * d
+	a.m2 += w * d * (x - a.mean)
+}
+
+// finishVariance reduces a weighted and/or partially-predicted result.
+// predVarSum carries Σ w·sd² over surrogate-predicted samples per
+// metric: predictions stand in for conditional means, so their
+// conditional variance must be added back (law of total variance) or
+// the filter would deflate sigma. A plain unweighted result delegates
+// to finishStats, keeping the naive path untouched.
+func finishVariance(res *Result, metrics []string, predVarSum []float64) error {
+	if res.Weights == nil && predVarSum == nil {
+		return finishStats(res, metrics)
+	}
+	var width int
+	for _, s := range res.Samples {
+		if s != nil {
+			width = len(s)
+			break
+		}
+	}
+	if width == 0 {
+		return fmt.Errorf("montecarlo: every sample failed (%d of %d)", res.Failed, len(res.Samples))
+	}
+	acc := make([]waccum, width)
+	for i, s := range res.Samples {
+		if s == nil {
+			continue
+		}
+		w := 1.0
+		if res.Weights != nil {
+			w = res.Weights[i]
+		}
+		for k := range acc {
+			acc[k].add(w, s[k])
+		}
+	}
+	res.Stats = make([]Stats, width)
+	for k := range acc {
+		a := &acc[k]
+		variance := 0.0
+		if denom := a.w - a.w2/a.w; denom > 0 {
+			variance = a.m2 / denom
+		}
+		if predVarSum != nil && a.w > 0 {
+			variance += predVarSum[k] / a.w
+		}
+		sigma := math.Sqrt(variance)
+		delta := 0.0
+		if a.mean != 0 {
+			delta = 100 * 3 * sigma / math.Abs(a.mean)
+		}
+		res.Stats[k] = Stats{
+			Name: metricName(metrics, k), Mean: a.mean, Sigma: sigma,
+			Min: a.min, Max: a.max, DeltaPct: delta,
+		}
+	}
+	res.ESS = acc[0].w * acc[0].w / acc[0].w2
+	return nil
+}
+
+func ints(lo, hi int) []int {
+	if hi <= lo {
+		return nil
+	}
+	xs := make([]int, hi-lo)
+	for i := range xs {
+		xs[i] = lo + i
+	}
+	return xs
+}

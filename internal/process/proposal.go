@@ -1,0 +1,211 @@
+// Importance-sampling proposal distributions over the global-variation
+// space. Brute-force Monte Carlo draws the four global shift variables
+// (NMOS/PMOS threshold and beta) from the process's nominal N(0, σ²)
+// model; a Proposal replaces that draw with a mixture of shifted and/or
+// widened Gaussians that lands far more samples in the rare-failure
+// region, and NewSampleIS reports the log-likelihood ratio
+// log p(x)/q(x) that reweights each sample so the estimator stays
+// unbiased (the ISLE construction of Bayrakci & Demir; see PAPERS.md).
+//
+// Proposals act on the GLOBAL (lot-level) variation only. Local Pelgrom
+// mismatch keeps its nominal distribution — its density cancels exactly
+// in the likelihood ratio, so per-device draws need no reweighting.
+// Means and scales are expressed in units of the process sigma, which
+// makes a Proposal portable across processes.
+package process
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// proposalDims is the dimension of the global-variation space a
+// Proposal acts on: (N.DVth, N.DBeta, P.DVth, P.DBeta), in that order,
+// each normalised by its process sigma.
+const proposalDims = 4
+
+// ProposalComponent is one Gaussian of a mixture proposal: an isotropic
+// normal with the given mean (in sigma units, proposalDims-dimensional)
+// and standard-deviation scale.
+type ProposalComponent struct {
+	// Weight is the component's mixture probability; Proposal
+	// normalises weights, so only ratios matter. Must be positive.
+	Weight float64
+	// Mean shifts the component in sigma units, ordered
+	// (N.DVth, N.DBeta, P.DVth, P.DBeta).
+	Mean [4]float64
+	// Scale multiplies the component's standard deviation (1 keeps the
+	// nominal width). Must be positive.
+	Scale float64
+}
+
+// Proposal is a mixture-of-Gaussians sampling distribution for the
+// global-variation space. The zero value is invalid; build one with
+// explicit components or via DefaultISProposal / MeanShiftProposal.
+type Proposal struct {
+	Components []ProposalComponent
+	// cum is the normalised cumulative weight vector, built lazily by
+	// Validate/normalise.
+	cum []float64
+}
+
+// Validate checks the proposal and precomputes its cumulative weights.
+// It is called automatically by NewSampleIS; calling it once up front
+// turns a malformed proposal into an error instead of a panic mid-run.
+func (p *Proposal) Validate() error {
+	if p == nil || len(p.Components) == 0 {
+		return fmt.Errorf("process: proposal has no components")
+	}
+	total := 0.0
+	for i, c := range p.Components {
+		if !(c.Weight > 0) {
+			return fmt.Errorf("process: proposal component %d has non-positive weight %g", i, c.Weight)
+		}
+		if !(c.Scale > 0) {
+			return fmt.Errorf("process: proposal component %d has non-positive scale %g", i, c.Scale)
+		}
+		total += c.Weight
+	}
+	p.cum = make([]float64, len(p.Components))
+	run := 0.0
+	for i, c := range p.Components {
+		run += c.Weight / total
+		p.cum[i] = run
+	}
+	p.cum[len(p.cum)-1] = 1 // guard the last bin against rounding
+	return nil
+}
+
+// pick selects the component index for the uniform draw u in [0, 1).
+func (p *Proposal) pick(u float64) int {
+	for i, c := range p.cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(p.cum) - 1
+}
+
+// logLR returns log p(x)/q(x) at the sigma-normalised point x, where p
+// is the standard normal the process actually follows and q the
+// proposal mixture. The shared (2π)^{-d/2} constant cancels.
+func (p *Proposal) logLR(x [4]float64) float64 {
+	logp := 0.0
+	for _, v := range x {
+		logp -= 0.5 * v * v
+	}
+	total := 0.0
+	for _, c := range p.Components {
+		total += c.Weight
+	}
+	// log q via logsumexp over components for numerical stability far
+	// from every component mean.
+	logq := math.Inf(-1)
+	for _, c := range p.Components {
+		e := math.Log(c.Weight/total) - proposalDims*math.Log(c.Scale)
+		for k, v := range x {
+			d := (v - c.Mean[k]) / c.Scale
+			e -= 0.5 * d * d
+		}
+		if e > logq {
+			logq, e = e, logq
+		}
+		if !math.IsInf(e, -1) {
+			logq += math.Log1p(math.Exp(e - logq))
+		}
+	}
+	return logp - logq
+}
+
+// NewSampleIS draws MC sample `index` of the stream identified by
+// `seed` from the proposal distribution instead of the nominal process
+// statistics, returning the sample together with its log-likelihood
+// ratio log p/q (the log of the unbiased importance weight). Like
+// NewSample, the draw is fully determined by (seed, index), so results
+// are identical for any worker count; the local-mismatch stream
+// continues from the same RNG and needs no reweighting. A nil proposal
+// falls back to DefaultISProposal(). The proposal must be valid (see
+// Proposal.Validate); an invalid one panics.
+func (p *Process) NewSampleIS(seed int64, index int, prop *Proposal) (*Sample, float64) {
+	if prop == nil {
+		prop = DefaultISProposal()
+	}
+	if prop.cum == nil {
+		if err := prop.Validate(); err != nil {
+			panic(err.Error())
+		}
+	}
+	rng := rand.New(rand.NewSource(mix(seed, int64(index))))
+	c := prop.Components[prop.pick(rng.Float64())]
+	var x [4]float64
+	for k := range x {
+		x[k] = c.Mean[k] + c.Scale*rng.NormFloat64()
+	}
+	s := &Sample{proc: p, rng: rng}
+	s.GlobalN = Shift{DVth: x[0] * p.N.SigmaVth, DBeta: x[1] * p.N.SigmaBeta}
+	s.GlobalP = Shift{DVth: x[2] * p.P.SigmaVth, DBeta: x[3] * p.P.SigmaBeta}
+	return s, prop.logLR(x)
+}
+
+// GlobalSigmaUnits returns the sample's global shifts normalised by the
+// process sigmas, in the Proposal coordinate order
+// (N.DVth, N.DBeta, P.DVth, P.DBeta). This is the feature vector the
+// Monte Carlo surrogate filter regresses on; a zero process sigma maps
+// to coordinate 0.
+func (s *Sample) GlobalSigmaUnits() [4]float64 {
+	var u [4]float64
+	if s.proc == nil {
+		return u
+	}
+	div := func(v, sig float64) float64 {
+		if sig == 0 {
+			return 0
+		}
+		return v / sig
+	}
+	u[0] = div(s.GlobalN.DVth, s.proc.N.SigmaVth)
+	u[1] = div(s.GlobalN.DBeta, s.proc.N.SigmaBeta)
+	u[2] = div(s.GlobalP.DVth, s.proc.P.SigmaVth)
+	u[3] = div(s.GlobalP.DBeta, s.proc.P.SigmaBeta)
+	return u
+}
+
+// DefaultISProposal returns a direction-free defensive proposal: a
+// nominal-width component that keeps the bulk covered (bounding the
+// importance weights, so the self-normalised estimator cannot
+// degenerate) mixed with a variance-inflated component that over-samples
+// every 3-4σ shell regardless of which direction the failure region
+// lies in. It needs no knowledge of the circuit and is the proposal the
+// flow's `is` strategies use when none is supplied.
+func DefaultISProposal() *Proposal {
+	p := &Proposal{Components: []ProposalComponent{
+		{Weight: 0.3, Scale: 1},
+		{Weight: 0.7, Scale: 2},
+	}}
+	if err := p.Validate(); err != nil {
+		panic(err.Error()) // static construction; cannot fail
+	}
+	return p
+}
+
+// MeanShiftProposal returns a single shifted Gaussian at nSigma along
+// the classic "slow" worst-case direction (+Vth, −beta for both device
+// classes; negative nSigma selects the fast direction), with the given
+// width scale (0 selects 1). Use it when the failing tail's direction
+// is known — a directed shift beats the defensive default by another
+// order of magnitude in tail-sampling efficiency.
+func MeanShiftProposal(nSigma, scale float64) *Proposal {
+	if scale == 0 {
+		scale = 1
+	}
+	p := &Proposal{Components: []ProposalComponent{{
+		Weight: 1,
+		Mean:   [4]float64{nSigma, -nSigma, nSigma, -nSigma},
+		Scale:  scale,
+	}}}
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return p
+}

@@ -1,0 +1,153 @@
+package process
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProposalValidate(t *testing.T) {
+	bad := []*Proposal{
+		{},
+		{Components: []ProposalComponent{{Weight: 0, Scale: 1}}},
+		{Components: []ProposalComponent{{Weight: 1, Scale: 0}}},
+		{Components: []ProposalComponent{{Weight: -1, Scale: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("proposal %d accepted", i)
+		}
+	}
+	good := &Proposal{Components: []ProposalComponent{
+		{Weight: 2, Scale: 1},
+		{Weight: 6, Mean: [4]float64{1, 0, 0, 0}, Scale: 2},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Weights normalise by ratio: cum = [0.25, 1].
+	if math.Abs(good.cum[0]-0.25) > 1e-15 || good.cum[1] != 1 {
+		t.Errorf("cum = %v, want [0.25 1]", good.cum)
+	}
+}
+
+func TestNewSampleISDeterministic(t *testing.T) {
+	p := C35()
+	prop := DefaultISProposal()
+	for i := 0; i < 50; i++ {
+		a, wa := p.NewSampleIS(7, i, prop)
+		b, wb := p.NewSampleIS(7, i, prop)
+		if a.GlobalN != b.GlobalN || a.GlobalP != b.GlobalP || wa != wb {
+			t.Fatalf("sample %d not deterministic", i)
+		}
+		// The mismatch stream must be deterministic too.
+		sa := a.DeviceShift(NMOS, 1e-6, 1e-6)
+		sb := b.DeviceShift(NMOS, 1e-6, 1e-6)
+		if sa != sb {
+			t.Fatalf("sample %d mismatch stream not deterministic", i)
+		}
+	}
+}
+
+// TestNewSampleISIdentityProposal checks the likelihood ratio is exactly
+// zero when the proposal equals the nominal distribution.
+func TestNewSampleISIdentityProposal(t *testing.T) {
+	p := C35()
+	ident := &Proposal{Components: []ProposalComponent{{Weight: 1, Scale: 1}}}
+	if err := ident.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		_, lw := p.NewSampleIS(3, i, ident)
+		if math.Abs(lw) > 1e-12 {
+			t.Fatalf("sample %d: logLR = %g under identity proposal, want 0", i, lw)
+		}
+	}
+}
+
+// TestISWeightsUnbiased checks the fundamental IS identity
+// E_q[w·f(x)] = E_p[f(x)] on analytically known moments of the global
+// shifts: the weighted mean of each shift must vanish and the weighted
+// second moment must recover sigma².
+func TestISWeightsUnbiased(t *testing.T) {
+	p := C35()
+	prop := DefaultISProposal()
+	const n = 200000
+	var sw, swx, swxx float64
+	for i := 0; i < n; i++ {
+		s, lw := p.NewSampleIS(11, i, prop)
+		w := math.Exp(lw)
+		x := s.GlobalN.DVth / p.N.SigmaVth
+		sw += w
+		swx += w * x
+		swxx += w * x * x
+	}
+	// Unnormalised identities: E_q[w] = 1, E_q[w x] = 0, E_q[w x²] = 1.
+	if math.Abs(sw/n-1) > 0.02 {
+		t.Errorf("E[w] = %g, want 1", sw/n)
+	}
+	if math.Abs(swx/n) > 0.02 {
+		t.Errorf("E[w x] = %g, want 0", swx/n)
+	}
+	if math.Abs(swxx/n-1) > 0.05 {
+		t.Errorf("E[w x^2] = %g, want 1", swxx/n)
+	}
+}
+
+// TestISTailOversampling checks the proposal's entire point: the
+// defensive mixture lands far more probability mass beyond 3σ than the
+// nominal distribution, while the reweighted tail estimate still
+// matches the true tail probability.
+func TestISTailOversampling(t *testing.T) {
+	p := C35()
+	prop := DefaultISProposal()
+	const n = 100000
+	const thr = 3.0
+	hits := 0
+	var sw, swTail float64
+	for i := 0; i < n; i++ {
+		s, lw := p.NewSampleIS(5, i, prop)
+		w := math.Exp(lw)
+		x := s.GlobalN.DVth / p.N.SigmaVth
+		sw += w
+		if x > thr {
+			hits++
+			swTail += w
+		}
+	}
+	pTrue := 0.5 * math.Erfc(thr/math.Sqrt2) // ≈ 1.35e-3
+	rate := float64(hits) / n
+	if rate < 10*pTrue {
+		t.Errorf("proposal tail rate %g is not ≫ nominal %g", rate, pTrue)
+	}
+	est := swTail / sw
+	if relErr := math.Abs(est-pTrue) / pTrue; relErr > 0.25 {
+		t.Errorf("reweighted tail estimate %g vs true %g (rel err %.2f)", est, pTrue, relErr)
+	}
+}
+
+func TestMeanShiftProposal(t *testing.T) {
+	p := C35()
+	prop := MeanShiftProposal(3, 0)
+	var mean float64
+	const n = 4000
+	for i := 0; i < n; i++ {
+		s, _ := p.NewSampleIS(1, i, prop)
+		mean += s.GlobalN.DVth / p.N.SigmaVth
+	}
+	mean /= n
+	if math.Abs(mean-3) > 0.1 {
+		t.Errorf("shifted mean = %g, want ~3", mean)
+	}
+}
+
+func TestGlobalSigmaUnits(t *testing.T) {
+	p := C35()
+	s := p.NewSample(1, 0)
+	u := s.GlobalSigmaUnits()
+	if u[0] != s.GlobalN.DVth/p.N.SigmaVth || u[3] != s.GlobalP.DBeta/p.P.SigmaBeta {
+		t.Errorf("sigma units %v inconsistent with shifts", u)
+	}
+	if (&Sample{}).GlobalSigmaUnits() != [4]float64{} {
+		t.Error("nil-process sample should map to zero features")
+	}
+}

@@ -117,6 +117,10 @@ type FlowRequest struct {
 	CacheSize       int    `json:"cache_size,omitempty"`
 	MaxTablePoints  int    `json:"max_table_points,omitempty"`
 	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
+	// MCStrategy selects the Monte Carlo estimator: "naive" (default),
+	// "is", "surrogate" or "is+surrogate". Empty defers to the server's
+	// configured default. Non-naive jobs emit "mc_stats" events.
+	MCStrategy string `json:"mc_strategy,omitempty"`
 }
 
 // Job states. A job moves queued → running → one of the three terminal
@@ -187,6 +191,12 @@ type Event struct {
 	Checkpoint  string      `json:"checkpoint,omitempty"`   // checkpoint_saved, flow_resumed
 	MCDone      int         `json:"mc_done,omitempty"`      // checkpoint_saved, flow_resumed
 	State       string      `json:"state,omitempty"`        // job_done
+	Strategy    string      `json:"strategy,omitempty"`     // mc_stats
+	Points      int         `json:"points,omitempty"`       // mc_stats
+	Samples     int         `json:"samples,omitempty"`      // mc_stats
+	FullEvals   int         `json:"full_evals,omitempty"`   // mc_stats
+	Predicted   int         `json:"predicted,omitempty"`    // mc_stats
+	MeanESS     float64     `json:"mean_ess,omitempty"`     // mc_stats
 }
 
 // Event type tags.
@@ -195,6 +205,7 @@ const (
 	EventStageEnd        = "stage_end"
 	EventGeneration      = "generation"
 	EventMCPoint         = "mc_point"
+	EventMCStats         = "mc_stats"
 	EventPointDropped    = "point_dropped"
 	EventCheckpointSaved = "checkpoint_saved"
 	EventFlowResumed     = "flow_resumed"

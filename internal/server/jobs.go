@@ -62,6 +62,9 @@ type JobManager struct {
 	procs    map[string]ProcessFactory
 	metrics  *core.Metrics
 	log      *slog.Logger
+	// defaultMCStrategy applies when a FlowRequest leaves MCStrategy
+	// empty (Config.DefaultMCStrategy; empty = naive).
+	defaultMCStrategy string
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -140,6 +143,10 @@ func (m *JobManager) Submit(req api.FlowRequest) (*api.JobStatus, error) {
 	if !ok {
 		return nil, fmt.Errorf("server: unknown process %q", procName)
 	}
+	strategy := req.MCStrategy
+	if strategy == "" {
+		strategy = m.defaultMCStrategy
+	}
 	cfg := core.FlowConfig{
 		Problem:         pf(),
 		Proc:            prf(),
@@ -151,6 +158,7 @@ func (m *JobManager) Submit(req api.FlowRequest) (*api.JobStatus, error) {
 		CacheSize:       req.CacheSize,
 		Model:           core.ModelOptions{MaxTablePoints: req.MaxTablePoints},
 		CheckpointEvery: req.CheckpointEvery,
+		MCStrategy:      strategy,
 		Metrics:         m.metrics,
 	}
 	if err := cfg.Validate(); err != nil {
@@ -305,6 +313,9 @@ func (j *job) observe(e core.Event) {
 		j.mu.Lock()
 		j.status.ParetoPoints++
 		j.mu.Unlock()
+	case core.MCStageStats:
+		ev = api.Event{Type: api.EventMCStats, Strategy: t.Strategy, Points: t.Points,
+			Samples: t.Samples, FullEvals: t.FullEvals, Predicted: t.Predicted, MeanESS: t.MeanESS}
 	case core.PointDropped:
 		ev = api.Event{Type: api.EventPointDropped, Index: t.Index}
 		if t.Err != nil {

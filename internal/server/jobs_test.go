@@ -204,6 +204,64 @@ func TestJobQueueFull(t *testing.T) {
 	}
 }
 
+func TestJobMCStrategy(t *testing.T) {
+	m, _ := newTestJM(t, 1, 8, synthFactory())
+
+	req := smallFlowReq("vr")
+	req.MCStrategy = "is"
+	st, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, st.ID, 30*time.Second)
+	got, err := m.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != api.JobSucceeded {
+		t.Fatalf("state = %q (%s)", got.State, got.Error)
+	}
+	j, err := m.get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats []api.Event
+	for _, ev := range j.eventsSince(0) {
+		if ev.Type == api.EventMCStats {
+			stats = append(stats, ev)
+		}
+	}
+	if len(stats) != 1 {
+		t.Fatalf("%d mc_stats events, want 1", len(stats))
+	}
+	s := stats[0]
+	if s.Strategy != "is" || s.Points == 0 || s.FullEvals != s.Samples || s.MeanESS <= 0 {
+		t.Errorf("mc_stats event = %+v inconsistent with an IS run", s)
+	}
+
+	// An empty request strategy falls back to the manager default.
+	m.defaultMCStrategy = "is+surrogate"
+	st2, err := m.Submit(smallFlowReq("vr-default"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := m.get(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.cfg.MCStrategy != "is+surrogate" {
+		t.Errorf("default strategy not applied: %q", j2.cfg.MCStrategy)
+	}
+	waitDone(t, m, st2.ID, 30*time.Second)
+
+	// Unknown strategies are rejected at submission.
+	bad := smallFlowReq("vr-bad")
+	bad.MCStrategy = "qmc"
+	if _, err := m.Submit(bad); err == nil {
+		t.Error("unknown mc_strategy accepted")
+	}
+}
+
 func TestJobSubmitValidation(t *testing.T) {
 	m, _ := newTestJM(t, 1, 4, synthFactory())
 	if _, err := m.Submit(api.FlowRequest{Problem: "no-such"}); err == nil {

@@ -58,6 +58,10 @@ type Config struct {
 	MaxInFlight int
 	// QueryTimeout bounds non-streaming routes (0 → 30s).
 	QueryTimeout time.Duration
+	// DefaultMCStrategy is the Monte Carlo estimator used by flow
+	// submissions that leave mc_strategy empty: "naive" (default, also
+	// when empty), "is", "surrogate" or "is+surrogate".
+	DefaultMCStrategy string
 	// Problems and Processes name what flows may be submitted against.
 	// Nil selects the built-ins: problem "ota", process "c35".
 	Problems  map[string]ProblemFactory
@@ -129,6 +133,7 @@ func New(cfg Config) *Server {
 	}
 	s.jobs = NewJobManager(cfg.DataDir, cfg.FlowWorkers, cfg.FlowQueue, reg,
 		cfg.Problems, cfg.Processes, cfg.Metrics, cfg.Logger)
+	s.jobs.defaultMCStrategy = cfg.DefaultMCStrategy
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	return s
 }
@@ -327,7 +332,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// workers vs queue) without scraping the full expvar export.
 	ms := s.cfg.Metrics.Snapshot()
 	qc, qi := s.reg.QueryStats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":          "ok",
 		"resident_models": s.reg.Resident(),
 		"query_engine": map[string]int64{
@@ -342,5 +347,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"points_in_flight":      ms.MCPointsInFlight,
 			"points_in_flight_peak": ms.MCPointsInFlightPeak,
 		},
-	})
+	}
+	// Present only once a variance-reduced flow has run, so naive-only
+	// deployments keep the pre-strategy health shape.
+	if ms.MCStrategy != "" {
+		body["mc_variance"] = map[string]any{
+			"strategy":  ms.MCStrategy,
+			"predicted": ms.MCPredicted,
+			"mean_ess":  ms.MCMeanESS,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }

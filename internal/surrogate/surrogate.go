@@ -1,0 +1,312 @@
+// Package surrogate implements a lightweight Gaussian-process (RBF
+// kernel) regressor used by the Monte Carlo surrogate-filter strategy:
+// trained on an initial batch of fully simulated samples, it predicts
+// the metric vector of further samples together with an honest
+// uncertainty, so the filter can classify most candidates without a
+// circuit simulation and route only the uncertain band through the full
+// evaluator (the hybrid GPR approach of Fuhrländer & Schöps; see
+// PAPERS.md).
+//
+// The implementation is deliberately small and dependency-free: one
+// shared squared-exponential kernel matrix, one Cholesky factorisation
+// reused across all outputs, a median-heuristic lengthscale, and a
+// leave-one-out residual estimate folded into the predictive standard
+// deviation so that noise the features cannot explain (e.g. local
+// device mismatch, which the filter's 4-dimensional global-shift
+// features do not see) widens the uncertainty band instead of producing
+// overconfident classifications. Training sets are tens of points, so
+// the O(n³) factorisation is microseconds.
+package surrogate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// nugget is the relative noise variance added to the kernel diagonal.
+// It regularises the factorisation and represents the irreducible
+// observation noise in standardised output units; the leave-one-out
+// residuals then calibrate the actual noise level empirically.
+const nugget = 1e-2
+
+// Model is a trained multi-output GP sharing one kernel across outputs.
+// It is immutable after Train and safe for concurrent Predict calls.
+type Model struct {
+	x     [][]float64 // training inputs, n×d
+	ell2  float64     // squared lengthscale
+	chol  []float64   // lower Cholesky factor of K+λI, n×n row-major
+	alpha [][]float64 // per-output (K+λI)⁻¹·ỹ, standardised
+	yMu   []float64   // per-output training mean
+	ySd   []float64   // per-output training sd (≥ tiny floor)
+	looSd []float64   // per-output leave-one-out residual sd, standardised
+	n, d  int
+	m     int // outputs
+}
+
+// Train fits the GP to inputs X (n samples × d features) and outputs
+// Y (n samples × m metrics). It needs at least 4 samples; rows of Y
+// must all have the same width.
+func Train(x [][]float64, y [][]float64) (*Model, error) {
+	n := len(x)
+	if n < 4 {
+		return nil, fmt.Errorf("surrogate: %d training samples, need at least 4", n)
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("surrogate: %d inputs but %d outputs", n, len(y))
+	}
+	d := len(x[0])
+	m := len(y[0])
+	if d == 0 || m == 0 {
+		return nil, fmt.Errorf("surrogate: empty feature or output vector")
+	}
+	for i := 0; i < n; i++ {
+		if len(x[i]) != d || len(y[i]) != m {
+			return nil, fmt.Errorf("surrogate: ragged training data at row %d", i)
+		}
+	}
+
+	g := &Model{x: x, n: n, d: d, m: m}
+	g.ell2 = medianSqDist(x)
+	if g.ell2 == 0 {
+		return nil, fmt.Errorf("surrogate: degenerate training inputs (all identical)")
+	}
+
+	// Standardise outputs so one nugget suits every metric scale.
+	g.yMu = make([]float64, m)
+	g.ySd = make([]float64, m)
+	for k := 0; k < m; k++ {
+		mu := 0.0
+		for i := 0; i < n; i++ {
+			mu += y[i][k]
+		}
+		mu /= float64(n)
+		ss := 0.0
+		for i := 0; i < n; i++ {
+			dlt := y[i][k] - mu
+			ss += dlt * dlt
+		}
+		sd := math.Sqrt(ss / float64(n-1))
+		if sd < 1e-300 {
+			sd = 1 // constant output: predictions are exact, sd collapses
+		}
+		g.yMu[k], g.ySd[k] = mu, sd
+	}
+
+	// K + λI, factorised once for all outputs.
+	km := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := g.kernel(x[i], x[j])
+			if i == j {
+				v += nugget
+			}
+			km[i*n+j] = v
+			km[j*n+i] = v
+		}
+	}
+	chol, err := cholesky(km, n)
+	if err != nil {
+		return nil, fmt.Errorf("surrogate: %w", err)
+	}
+	g.chol = chol
+
+	g.alpha = make([][]float64, m)
+	g.looSd = make([]float64, m)
+	// Diagonal of (K+λI)⁻¹ for the closed-form leave-one-out residuals
+	// r_i = α_i / A⁻¹_ii (Rasmussen & Williams eq. 5.12).
+	ainvDiag := invDiag(chol, n)
+	buf := make([]float64, n)
+	for k := 0; k < m; k++ {
+		for i := 0; i < n; i++ {
+			buf[i] = (y[i][k] - g.yMu[k]) / g.ySd[k]
+		}
+		a := cholSolve(chol, buf, n)
+		g.alpha[k] = a
+		ss := 0.0
+		for i := 0; i < n; i++ {
+			r := a[i] / ainvDiag[i]
+			ss += r * r
+		}
+		g.looSd[k] = math.Sqrt(ss / float64(n))
+	}
+	return g, nil
+}
+
+// Outputs returns the number of metric outputs the model predicts.
+func (g *Model) Outputs() int { return g.m }
+
+// Predict fills mean and sd (each of length Outputs) with the
+// predictive mean and total standard deviation — GP posterior sd plus
+// the leave-one-out noise estimate — for the feature vector x.
+// mean and sd may be nil to skip that output.
+func (g *Model) Predict(x []float64, mean, sd []float64) error {
+	if len(x) != g.d {
+		return fmt.Errorf("surrogate: feature width %d, trained on %d", len(x), g.d)
+	}
+	ks := make([]float64, g.n)
+	for i := 0; i < g.n; i++ {
+		ks[i] = g.kernel(x, g.x[i])
+	}
+	if mean != nil {
+		for k := 0; k < g.m; k++ {
+			dot := 0.0
+			for i := 0; i < g.n; i++ {
+				dot += ks[i] * g.alpha[k][i]
+			}
+			mean[k] = g.yMu[k] + g.ySd[k]*dot
+		}
+	}
+	if sd != nil {
+		// Posterior variance 1 − k*ᵀ(K+λI)⁻¹k* via one triangular solve.
+		v := forwardSolve(g.chol, ks, g.n)
+		quad := 0.0
+		for i := 0; i < g.n; i++ {
+			quad += v[i] * v[i]
+		}
+		gpVar := 1 - quad
+		if gpVar < 0 {
+			gpVar = 0
+		}
+		for k := 0; k < g.m; k++ {
+			tot := math.Sqrt(gpVar + g.looSd[k]*g.looSd[k])
+			sd[k] = g.ySd[k] * tot
+		}
+	}
+	return nil
+}
+
+// NoiseSd returns the leave-one-out residual standard deviation of
+// output k in original units — the noise floor the features cannot
+// explain. It lower-bounds every predictive sd.
+func (g *Model) NoiseSd(k int) float64 { return g.ySd[k] * g.looSd[k] }
+
+func (g *Model) kernel(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Exp(-0.5 * s / g.ell2)
+}
+
+// medianSqDist is the median heuristic for the squared lengthscale: the
+// median of pairwise squared distances (subsampled for large n).
+func medianSqDist(x [][]float64) float64 {
+	n := len(x)
+	step := 1
+	if n > 64 {
+		step = n / 64
+	}
+	var ds []float64
+	for i := 0; i < n; i += step {
+		for j := i + step; j < n; j += step {
+			s := 0.0
+			for k := range x[i] {
+				d := x[i][k] - x[j][k]
+				s += d * d
+			}
+			ds = append(ds, s)
+		}
+	}
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Float64s(ds)
+	return ds[len(ds)/2]
+}
+
+// cholesky returns the lower factor L of the SPD matrix a (n×n
+// row-major), retrying with escalating diagonal jitter before giving
+// up — kernel matrices of tightly clustered inputs are nearly singular.
+func cholesky(a []float64, n int) ([]float64, error) {
+	jitter := 0.0
+	for attempt := 0; attempt < 6; attempt++ {
+		l := make([]float64, n*n)
+		ok := true
+		for i := 0; i < n && ok; i++ {
+			for j := 0; j <= i; j++ {
+				s := a[i*n+j]
+				if i == j {
+					s += jitter
+				}
+				for k := 0; k < j; k++ {
+					s -= l[i*n+k] * l[j*n+k]
+				}
+				if i == j {
+					if s <= 0 {
+						ok = false
+						break
+					}
+					l[i*n+i] = math.Sqrt(s)
+				} else {
+					l[i*n+j] = s / l[j*n+j]
+				}
+			}
+		}
+		if ok {
+			return l, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10
+		} else {
+			jitter *= 100
+		}
+	}
+	return nil, fmt.Errorf("kernel matrix not positive definite even with jitter")
+}
+
+// forwardSolve solves L·v = b.
+func forwardSolve(l, b []float64, n int) []float64 {
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l[i*n+k] * v[k]
+		}
+		v[i] = s / l[i*n+i]
+	}
+	return v
+}
+
+// cholSolve solves (L·Lᵀ)·x = b.
+func cholSolve(l, b []float64, n int) []float64 {
+	x := forwardSolve(l, b, n)
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= l[k*n+i] * x[k]
+		}
+		x[i] = s / l[i*n+i]
+	}
+	return x
+}
+
+// invDiag returns the diagonal of (L·Lᵀ)⁻¹: column i of L⁻¹ has squared
+// norm equal to the i-th diagonal entry of the inverse.
+func invDiag(l []float64, n int) []float64 {
+	diag := make([]float64, n)
+	col := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := range col {
+			col[j] = 0
+		}
+		// Solve L·col = e_i; entries before i are zero.
+		for j := i; j < n; j++ {
+			s := 0.0
+			if j == i {
+				s = 1
+			}
+			for k := i; k < j; k++ {
+				s -= l[j*n+k] * col[k]
+			}
+			col[j] = s / l[j*n+j]
+		}
+		sum := 0.0
+		for j := i; j < n; j++ {
+			sum += col[j] * col[j]
+		}
+		diag[i] = sum
+	}
+	return diag
+}

@@ -1,0 +1,184 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// trainSmooth fits a model to a smooth 2-output function of 4 features.
+func trainSmooth(t *testing.T, n int, noise float64) (*Model, func(x []float64) [2]float64) {
+	t.Helper()
+	f := func(x []float64) [2]float64 {
+		return [2]float64{
+			3*x[0] - 2*x[1] + 0.3*x[2]*x[3] + 10,
+			x[0]*x[0] - x[3] + 100,
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	xs := make([][]float64, n)
+	ys := make([][]float64, n)
+	for i := range xs {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y := f(x)
+		xs[i] = x
+		ys[i] = []float64{y[0] + noise*rng.NormFloat64(), y[1] + noise*rng.NormFloat64()}
+	}
+	g, err := Train(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, func(x []float64) [2]float64 { return f(x) }
+}
+
+func TestPredictSmoothFunction(t *testing.T) {
+	g, f := trainSmooth(t, 64, 0)
+	rng := rand.New(rand.NewSource(2))
+	mean := make([]float64, 2)
+	sd := make([]float64, 2)
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if err := g.Predict(x, mean, sd); err != nil {
+			t.Fatal(err)
+		}
+		want := f(x)
+		for k := 0; k < 2; k++ {
+			// Interpolation error within the training cloud should be
+			// well inside the model's own uncertainty band.
+			if err := math.Abs(mean[k] - want[k]); err > 4*sd[k]+0.3 {
+				t.Errorf("point %d output %d: |err| %.3g vs sd %.3g", i, k, err, sd[k])
+			}
+			if sd[k] <= 0 {
+				t.Errorf("point %d output %d: non-positive sd %g", i, k, sd[k])
+			}
+		}
+	}
+}
+
+// TestUncertaintyGrowsAway checks the predictive sd expands far outside
+// the training cloud — the property the filter's uncertain band relies
+// on.
+func TestUncertaintyGrowsAway(t *testing.T) {
+	g, _ := trainSmooth(t, 48, 0)
+	sdIn := make([]float64, 2)
+	sdOut := make([]float64, 2)
+	if err := g.Predict([]float64{0, 0, 0, 0}, nil, sdIn); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Predict([]float64{30, -30, 30, -30}, nil, sdOut); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		if sdOut[k] <= 2*sdIn[k] {
+			t.Errorf("output %d: sd far away %.3g not ≫ sd at centre %.3g", k, sdOut[k], sdIn[k])
+		}
+	}
+}
+
+// TestNoiseFloor checks observation noise the features cannot explain
+// shows up in the LOO noise estimate and lower-bounds the predictive sd.
+func TestNoiseFloor(t *testing.T) {
+	const noise = 0.5
+	g, _ := trainSmooth(t, 64, noise)
+	if ns := g.NoiseSd(0); ns < noise/3 || ns > noise*4 {
+		t.Errorf("NoiseSd = %g, want around %g", ns, noise)
+	}
+	sd := make([]float64, 2)
+	if err := g.Predict([]float64{0.1, 0.2, -0.1, 0}, nil, sd); err != nil {
+		t.Fatal(err)
+	}
+	if sd[0] < g.NoiseSd(0) {
+		t.Errorf("predictive sd %g below noise floor %g", sd[0], g.NoiseSd(0))
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	if _, err := Train(x, [][]float64{{1}, {2}, {3}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Train(x, [][]float64{{1}, {2}, {3, 4}, {4}}); err == nil {
+		t.Error("ragged outputs accepted")
+	}
+	same := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	if _, err := Train(same, [][]float64{{1}, {2}, {3}, {4}}); err == nil {
+		t.Error("degenerate identical inputs accepted")
+	}
+}
+
+func TestConstantOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([][]float64, 16)
+	ys := make([][]float64, 16)
+	for i := range xs {
+		xs[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		ys[i] = []float64{42}
+	}
+	g, err := Train(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := make([]float64, 1)
+	if err := g.Predict([]float64{0.5, -0.5}, mean, nil); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean[0]-42) > 1 {
+		t.Errorf("constant-output prediction %g, want ~42", mean[0])
+	}
+}
+
+func TestPredictFeatureWidth(t *testing.T) {
+	g, _ := trainSmooth(t, 16, 0)
+	if err := g.Predict([]float64{1, 2}, nil, nil); err == nil {
+		t.Error("wrong feature width accepted")
+	}
+}
+
+// TestLOOResidualsMatchDirect cross-checks the closed-form LOO noise
+// estimate against literally refitting without each point, on a small
+// set where that is cheap.
+func TestLOOResidualsMatchDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 12
+	xs := make([][]float64, n)
+	ys := make([][]float64, n)
+	for i := range xs {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		xs[i] = x
+		ys[i] = []float64{math.Sin(x[0]) + 0.5*x[1]}
+	}
+	g, err := Train(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct float64
+	mean := make([]float64, 1)
+	for i := 0; i < n; i++ {
+		var xr, yr [][]float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				xr = append(xr, xs[j])
+				yr = append(yr, ys[j])
+			}
+		}
+		gi, err := Train(xr, yr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gi.Predict(xs[i], mean, nil); err != nil {
+			t.Fatal(err)
+		}
+		r := mean[0] - ys[i][0]
+		direct += r * r
+	}
+	direct = math.Sqrt(direct / n)
+	closed := g.NoiseSd(0)
+	// The refit uses a slightly different lengthscale per fold, so only
+	// the order of magnitude must agree.
+	if closed > 5*direct+1e-9 || direct > 5*closed+1e-9 {
+		t.Errorf("closed-form LOO sd %g vs direct %g", closed, direct)
+	}
+}

@@ -153,6 +153,67 @@ sample:
 	return float64(pass) / float64(len(samples)), nil
 }
 
+// FromWeightedSamples is the importance-sampling analogue of
+// FromSamples: the self-normalised estimate Σ wᵢ·passᵢ / Σ wᵢ, where
+// the weights are the likelihood ratios p/q the sampler reported
+// (montecarlo.Result.Weights). Nil (failed) samples keep their weight
+// in the denominator — the same pessimistic convention FromSamples uses
+// for the sample count. A nil weights slice selects unit weights,
+// reducing exactly to FromSamples.
+func FromWeightedSamples(samples [][]float64, weights []float64, specs []Spec, cols []int) (float64, error) {
+	if weights == nil {
+		return FromSamples(samples, specs, cols)
+	}
+	if len(weights) != len(samples) {
+		return 0, fmt.Errorf("yield: %d samples but %d weights", len(samples), len(weights))
+	}
+	if len(specs) != len(cols) {
+		return 0, fmt.Errorf("yield: %d specs but %d column indices", len(specs), len(cols))
+	}
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("yield: no samples")
+	}
+	var sw, swPass float64
+sample:
+	for i, s := range samples {
+		sw += weights[i]
+		if s == nil {
+			continue
+		}
+		for k, spec := range specs {
+			c := cols[k]
+			if c < 0 || c >= len(s) {
+				return 0, fmt.Errorf("yield: column %d out of range (sample width %d)", c, len(s))
+			}
+			if !spec.Pass(s[c]) {
+				continue sample
+			}
+		}
+		swPass += weights[i]
+	}
+	if sw <= 0 {
+		return 0, fmt.Errorf("yield: total importance weight %g is not positive", sw)
+	}
+	return swPass / sw, nil
+}
+
+// ESS is the effective sample size (Σw)²/Σw² of an importance-sampling
+// weight vector — the number of plain Monte Carlo samples carrying the
+// same estimator information. It equals len(weights) for uniform
+// weights and degrades as the weights spread; a nil or empty vector has
+// ESS 0.
+func ESS(weights []float64) float64 {
+	var sw, sw2 float64
+	for _, w := range weights {
+		sw += w
+		sw2 += w * w
+	}
+	if sw2 == 0 {
+		return 0
+	}
+	return sw * sw / sw2
+}
+
 // WilsonInterval returns the 95% Wilson score confidence interval for a
 // yield estimated from k passes out of n Monte Carlo samples. The paper
 // reports "100% yield at 500 samples"; the Wilson interval quantifies

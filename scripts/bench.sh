@@ -51,5 +51,46 @@ END {
 }' "$OUT" > "$JSON"
 echo "== wrote $JSON"
 
+# Variance-reduced Monte Carlo benchmark: how many circuit evaluations
+# a naive yield estimator would need to match the importance-sampled
+# estimate's variance, per evaluation actually spent (the custom
+# naive_evals_ratio metric; the headline claim is >= 10). Kept out of
+# the baseline comparison: its ns/op is dominated by a fixed simulation
+# budget and its value lives in the custom metrics.
+MCOUT=benchmarks/mc_latest.txt
+MCJSON=benchmarks/BENCH_mc.json
+echo
+echo "== benchmarking MC variance reduction"
+go test -run '^$' -bench 'BenchmarkMCNaiveVsIS' -count 1 . | tee "$MCOUT"
+
+# Reduce to name -> {metric: value} keeping every reported unit
+# (ns_per_op, naive_evals_ratio, ess, yield_pct, ...).
+awk '
+function bname(s) { sub(/-[0-9]+$/, "", s); return s }
+/^Benchmark/ {
+    name = bname($1)
+    if (!(name in seen)) { order[++nb] = name; seen[name] = 1; nu[name] = 0 }
+    for (i = 3; i < NF; i += 2) {
+        u = $(i+1); gsub(/[^A-Za-z0-9]/, "_", u)
+        id = name SUBSEP u
+        if (!(id in val)) { nu[name]++; uname[name, nu[name]] = u }
+        val[id] += $i; cnt[id]++
+    }
+}
+END {
+    print "{"
+    for (j = 1; j <= nb; j++) {
+        name = order[j]
+        printf "  \"%s\": {", name
+        for (q = 1; q <= nu[name]; q++) {
+            u = uname[name, q]; id = name SUBSEP u
+            printf "%s\"%s\": %.6g", (q > 1) ? ", " : "", u, val[id] / cnt[id]
+        }
+        printf "}%s\n", (j < nb) ? "," : ""
+    }
+    print "}"
+}' "$MCOUT" > "$MCJSON"
+echo "== wrote $MCJSON"
+
 echo
 scripts/bench-compare.sh benchmarks/baseline.txt "$OUT"
