@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race vet lint check bench bench-paper bench-perf loadtest examples cover
+.PHONY: build test test-race test-store e2e-store vet lint check bench bench-paper bench-perf loadtest examples cover
 
 build:
 	go build ./...
@@ -19,6 +19,18 @@ test:
 # server) under the race detector.
 test-race:
 	go test -race ./internal/wbga/... ./internal/montecarlo/... ./internal/analysis/... ./internal/core/... ./internal/server/...
+
+# The artefact store (memory and disk backends) under the race
+# detector: concurrent Put/Get/Delete and the registry/job paths that
+# sit on top of it.
+test-store:
+	go test -race -count=1 ./internal/store/... ./internal/server/...
+
+# Durability through the real binary: boot `ayd -store disk`, install a
+# model over the tenant API, kill, restart on the same directory,
+# require byte-identical answers.
+e2e-store:
+	scripts/e2e-store.sh
 
 # Everything CI should gate on.
 check: lint test test-race

@@ -4,9 +4,15 @@
 //
 // Usage:
 //
-//	ayd serve [-addr :8080] [-models DIR] [-data DIR] [-workers N]
-//	          [-max-models N] [-max-inflight N] [-query-timeout D]
-//	          [-pprof 127.0.0.1:6060]
+//	ayd serve [-addr :8080] [-store disk|mem] [-models DIR] [-data DIR]
+//	          [-workers N] [-max-models N] [-max-inflight N]
+//	          [-query-timeout D] [-pprof 127.0.0.1:6060]
+//
+// With -store disk (the default) model artefacts and job checkpoints
+// persist content-addressed under -models, shared safely with other ayd
+// processes on the same directory; -store mem keeps everything
+// in-process (artefacts die with the server). Models saved in the
+// legacy per-directory layout under -models are imported at boot.
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight queries
 // drain, running flows checkpoint and stop (resumable on the next
@@ -28,6 +34,7 @@ import (
 	"analogyield/internal/core"
 	"analogyield/internal/montecarlo"
 	"analogyield/internal/server"
+	"analogyield/internal/store"
 )
 
 func main() {
@@ -43,7 +50,8 @@ func serve(args []string) int {
 	fs := flag.NewFlagSet("ayd serve", flag.ExitOnError)
 	var (
 		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
-		models      = fs.String("models", "ayd-models", "directory of saved models (one subdirectory per model)")
+		storeKind   = fs.String("store", "disk", "artefact store backend: disk (durable, shareable) or mem (in-process)")
+		models      = fs.String("models", "ayd-models", "artefact store root; legacy per-directory models here are imported at boot")
 		data        = fs.String("data", "", "job state directory (checkpoints); defaults to -models")
 		workers     = fs.Int("workers", 2, "flow worker pool size")
 		maxModels   = fs.Int("max-models", 8, "maximum models resident in memory (LRU beyond)")
@@ -76,8 +84,20 @@ func serve(args []string) int {
 	metrics := &core.Metrics{}
 	metrics.Publish("ayd")
 
+	var st store.Store
+	switch *storeKind {
+	case "disk":
+		st = store.OpenDisk(*models) // Config.withDefaults would do the same; explicit for -store symmetry
+	case "mem":
+		st = store.NewMemory()
+	default:
+		log.Error("bad -store", "value", *storeKind, "want", "disk or mem")
+		return 2
+	}
+
 	srv := server.New(server.Config{
 		Addr:         *addr,
+		Store:        st,
 		ModelsDir:    *models,
 		DataDir:      *data,
 		FlowWorkers:  *workers,

@@ -193,7 +193,7 @@ func queryBodies(client *http.Client, url, model string) ([][]byte, error) {
 	bodies := make([][]byte, 64)
 	for i := range bodies {
 		req := api.QueryRequest{
-			Model: model,
+			TenantRef: api.TenantRef{Model: model},
 			Specs: [2]api.Spec{
 				{Name: info.ObjectiveNames[0], Sense: ">=",
 					Bound: info.Domain[0] + (0.10+0.40*rng.Float64())*span0},
@@ -258,7 +258,7 @@ func inProcessServer(model string) (*server.Server, error) {
 		Addr:   "127.0.0.1:0",
 		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
-	if err := srv.Registry().Install(model, m); err != nil {
+	if _, err := srv.Registry().Install(api.DefaultTenant, model, m); err != nil {
 		return nil, err
 	}
 	if err := srv.Start(); err != nil {

@@ -43,8 +43,8 @@ func main() {
 	// 2. Submit a model-building flow for the built-in OTA problem at
 	//    reduced budgets (the paper's are 100x100 / 200).
 	st, err := cl.SubmitFlow(ctx, api.FlowRequest{
+		TenantRef:   api.TenantRef{Model: "ota-demo"},
 		Problem:     "ota",
-		Model:       "ota-demo",
 		PopSize:     30,
 		Generations: 15,
 		MCSamples:   40,
@@ -98,7 +98,7 @@ func main() {
 	// 5. The paper's Table 3 query: required gain and phase margin in,
 	//    guard-banded targets and interpolated W/L parameters out.
 	out, err := cl.Query(ctx, api.QueryRequest{
-		Model: "ota-demo",
+		TenantRef: api.TenantRef{Model: "ota-demo"},
 		Specs: [2]api.Spec{
 			{Name: "gain_db", Sense: ">=", Bound: gain},
 			{Name: "pm_deg", Sense: ">=", Bound: pm},
@@ -121,7 +121,7 @@ func main() {
 	for i := 0; i < 5; i++ {
 		g := info.Domain[0] + (0.2+0.12*float64(i))*(info.Domain[1]-info.Domain[0])
 		reqs = append(reqs, api.QueryRequest{
-			Model: "ota-demo",
+			TenantRef: api.TenantRef{Model: "ota-demo"},
 			Specs: [2]api.Spec{
 				{Name: "gain_db", Sense: ">=", Bound: g},
 				{Name: "pm_deg", Sense: ">=", Bound: pm},
@@ -140,5 +140,46 @@ func main() {
 		}
 		fmt.Printf("  gain ≥ %6.2f dB → predicted yield %6.2f%%, PM at front %.2f°\n",
 			reqs[i].Specs[0].Bound, 100*r.Response.PredictedYield, r.Response.FrontPerf[1])
+	}
+
+	// 7. Tenancy: a second client scoped to tenant "acme" sees its own
+	//    catalog — the default tenant's "ota-demo" is invisible to it.
+	//    Upload a finished model artefact directly (no flow) and query it;
+	//    non-default tenants get an explicit "tenant" field back.
+	acme := client.New("http://"+srv.Addr(), client.WithTenant("acme"))
+	pts := make([]api.ModelPoint, 16)
+	for i := range pts {
+		x := float64(i) / float64(len(pts)-1)
+		pts[i] = api.ModelPoint{
+			Perf:     [2]float64{45 + 10*x, 85 - 12*x},
+			DeltaPct: [2]float64{1.0 + 0.2*x, 0.5 + 0.1*x},
+			Params:   []float64{10 + 50*x, 10, 10},
+		}
+	}
+	ainfo, err := acme.InstallModel(ctx, api.InstallModelRequest{
+		Name:           "ota-acme",
+		ObjectiveNames: []string{"gain_db", "pm_deg"},
+		ParamNames:     []string{"P1", "P2", "P3"},
+		ParamUnits:     []string{"um", "um", "um"},
+		Points:         pts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntenant %q installed %q (version %.12s...)\n",
+		acme.Tenant(), ainfo.Name, ainfo.Version)
+	aout, err := acme.Query(ctx, api.QueryRequest{
+		TenantRef: api.TenantRef{Model: "ota-acme"},
+		Specs: [2]api.Spec{
+			{Name: "gain_db", Sense: ">=", Bound: 50},
+			{Name: "pm_deg", Sense: ">=", Bound: 76},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  tenant %q query: predicted yield %.2f%%\n", aout.Tenant, 100*aout.PredictedYield)
+	if _, err := acme.Model(ctx, "ota-demo"); err != nil {
+		fmt.Printf("  tenant isolation: %v\n", err)
 	}
 }

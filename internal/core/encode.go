@@ -1,0 +1,73 @@
+// Canonical model serialization for the artefact store. Where persist.go
+// writes the paper's human-readable table files (front.tbl,
+// gain_delta.tbl, ...), EncodeModel produces the single deterministic
+// byte stream the store content-addresses: equal models encode to equal
+// bytes, so a model's store version is a stable fingerprint of its
+// Pareto points and labels.
+//
+// The payload is a versioned gob stream of the model's source data (the
+// thinned Pareto set plus names/units), not of the fitted tables:
+// DecodeModel rebuilds the tables through BuildModel exactly as
+// LoadModel does for the directory layout, so both load paths produce
+// identical models.
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// modelWireVersion guards the gob layout; bump on incompatible change.
+const modelWireVersion = 1
+
+// modelWire is the serialized form of a model.
+type modelWire struct {
+	Version        int
+	ObjectiveNames []string
+	ParamNames     []string
+	ParamUnits     []string
+	Points         []ParetoPoint
+}
+
+// EncodeModel serializes m into the canonical payload. Encoding is
+// deterministic: the same model always yields the same bytes (gob of a
+// fixed struct through a fresh encoder), which the store relies on for
+// content addressing.
+func EncodeModel(m *Model) ([]byte, error) {
+	w := modelWire{
+		Version:        modelWireVersion,
+		ObjectiveNames: m.ObjectiveNames,
+		ParamNames:     m.ParamNames,
+		ParamUnits:     m.ParamUnits,
+		Points:         m.Points,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("core: encoding model: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeModel rebuilds a model from an EncodeModel payload. Like
+// LoadModel, the saved points were already thinned, so the tables are
+// rebuilt with no further thinning.
+func DecodeModel(b []byte) (*Model, error) {
+	var w modelWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if w.Version != modelWireVersion {
+		return nil, fmt.Errorf("core: model payload version %d, want %d", w.Version, modelWireVersion)
+	}
+	if len(w.ObjectiveNames) != 2 || len(w.ParamNames) == 0 || len(w.Points) == 0 {
+		return nil, fmt.Errorf("core: model payload incomplete (%d objectives, %d params, %d points)",
+			len(w.ObjectiveNames), len(w.ParamNames), len(w.Points))
+	}
+	m, err := BuildModel(w.Points, w.ObjectiveNames, w.ParamNames, w.ParamUnits,
+		ModelOptions{MaxTablePoints: len(w.Points)})
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuilding model from payload: %w", err)
+	}
+	return m, nil
+}

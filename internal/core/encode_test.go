@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func encodeTestModel(t *testing.T) *Model {
+	t.Helper()
+	pts := make([]ParetoPoint, 16)
+	for i := range pts {
+		x := float64(i) / float64(len(pts)-1)
+		pts[i] = ParetoPoint{
+			Params:   []float64{10 + 50*x, 20 - 3*x, 5 + x*x},
+			Perf:     [2]float64{45 + 10*x, 85 - 12*x},
+			DeltaPct: [2]float64{1.0 + 0.2*x, 0.5 + 0.1*x},
+		}
+	}
+	m, err := BuildModel(pts,
+		[]string{"gain_db", "pm_deg"},
+		[]string{"P1", "P2", "P3"},
+		[]string{"um", "um", "um"},
+		ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEncodeModelRoundTrip(t *testing.T) {
+	m := encodeTestModel(t)
+	b, err := EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeModel(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.ObjectiveNames, m.ObjectiveNames) ||
+		!reflect.DeepEqual(got.ParamNames, m.ParamNames) ||
+		!reflect.DeepEqual(got.ParamUnits, m.ParamUnits) {
+		t.Errorf("labels changed: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Points, m.Points) {
+		t.Errorf("points changed across round trip")
+	}
+	// The rebuilt tables answer identically (bit-for-bit) — the property
+	// the registry's warm-start path depends on.
+	lo, hi := m.Domain()
+	for i := 0; i <= 20; i++ {
+		x := lo + (hi-lo)*float64(i)/20
+		want, err1 := m.Delta[0].Eval(x)
+		have, err2 := got.Delta[0].Eval(x)
+		if (err1 == nil) != (err2 == nil) || math.Float64bits(want) != math.Float64bits(have) {
+			t.Fatalf("Delta[0](%g): %g/%v vs %g/%v", x, want, err1, have, err2)
+		}
+	}
+}
+
+// TestEncodeModelDeterministic: equal models must encode to equal
+// bytes; the store's content addressing (and hence version identity
+// across replicas) depends on it.
+func TestEncodeModelDeterministic(t *testing.T) {
+	m := encodeTestModel(t)
+	a, err := EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of one model differ")
+	}
+	// An independently built equal model encodes identically too.
+	c, err := EncodeModel(encodeTestModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("equal models encode differently")
+	}
+	// A changed model encodes differently.
+	m2 := encodeTestModel(t)
+	m2.Points[3].Perf[0] += 1e-9
+	d, err := EncodeModel(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, d) {
+		t.Fatal("distinct models encode identically")
+	}
+}
+
+func TestDecodeModelRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {}, []byte("not a gob stream"), {0x01, 0x02}} {
+		if _, err := DecodeModel(b); err == nil {
+			t.Errorf("DecodeModel(%q) accepted", b)
+		}
+	}
+	// Truncated valid stream.
+	m := encodeTestModel(t)
+	full, err := EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeModel(full[:len(full)/2]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}

@@ -12,6 +12,30 @@ import (
 	"analogyield/internal/yield"
 )
 
+// DefaultTenant is the namespace addressed by requests that carry no
+// tenant (and by the pre-tenancy /v1 routes). It matches
+// store.DefaultTenant; the server asserts the two stay equal.
+const DefaultTenant = "default"
+
+// TenantRef addresses a model in the multi-tenant catalog. Tenant ""
+// means DefaultTenant, so every pre-tenancy request body keeps its
+// meaning; Version "" means the latest installed version of the name.
+// Version strings are content addresses (sha256 of the model's
+// canonical payload), so a pinned version can never silently change.
+type TenantRef struct {
+	Tenant  string `json:"tenant,omitempty"`
+	Model   string `json:"model,omitempty"`
+	Version string `json:"model_version,omitempty"`
+}
+
+// TenantOrDefault resolves the wire tenant to its effective namespace.
+func (r TenantRef) TenantOrDefault() string {
+	if r.Tenant == "" {
+		return DefaultTenant
+	}
+	return r.Tenant
+}
+
 // Spec is one performance requirement in wire form; Sense is ">=" or
 // "<=" (default ">=", matching the paper's gain/PM bounds).
 type Spec struct {
@@ -36,10 +60,12 @@ func (s Spec) ToYield() (yield.Spec, error) {
 
 // QueryRequest asks a model for a yield-targeted design: the paper's
 // Table 3 flow (guard-band each spec by the interpolated Δ%, project
-// onto the front, interpolate the designable parameters). GuardScale
-// widens (>1) or narrows (<1) the ±3σ guard band; 0 means 1.
+// onto the front, interpolate the designable parameters). The embedded
+// TenantRef names the model (absent tenant ⇒ "default", absent version
+// ⇒ latest). GuardScale widens (>1) or narrows (<1) the ±3σ guard
+// band; 0 means 1.
 type QueryRequest struct {
-	Model      string  `json:"model"`
+	TenantRef
 	Specs      [2]Spec `json:"specs"`
 	GuardScale float64 `json:"guard_scale,omitempty"`
 }
@@ -51,9 +77,12 @@ type Param struct {
 	Value float64 `json:"value"`
 }
 
-// QueryResponse is a solved yield query.
+// QueryResponse is a solved yield query. Tenant is present only for
+// non-default tenants, so default-tenant responses are byte-identical
+// to the pre-tenancy wire format.
 type QueryResponse struct {
-	Model string `json:"model"`
+	Model  string `json:"model"`
+	Tenant string `json:"tenant,omitempty"`
 	// Targets are the guard-banded performance targets (Table 3).
 	Targets [2]float64 `json:"targets"`
 	// DeltaPct is the interpolated variation Δ% at each spec bound.
@@ -89,8 +118,12 @@ type QueryResult struct {
 	Error    string         `json:"error,omitempty"`
 }
 
-// ModelInfo describes one registry entry.
+// ModelInfo describes one catalog entry. The embedded TenantRef
+// carries the tenant and the content-addressed version of the latest
+// installed artefact; Name duplicates TenantRef.Model for pre-tenancy
+// readers.
 type ModelInfo struct {
+	TenantRef
 	Name           string     `json:"name"`
 	ObjectiveNames []string   `json:"objectives"`
 	ParamNames     []string   `json:"params"`
@@ -100,15 +133,40 @@ type ModelInfo struct {
 	Resident       bool       `json:"resident"`
 }
 
+// ModelPoint is one Pareto point of an uploaded model artefact
+// (mirrors core.ParetoPoint in wire form).
+type ModelPoint struct {
+	Perf     [2]float64 `json:"perf"`
+	DeltaPct [2]float64 `json:"delta_pct"`
+	Params   []float64  `json:"params"`
+}
+
+// InstallModelRequest uploads a finished behavioural model — the
+// paper's reusable artefact — directly into a tenant's catalog
+// (POST /v1/t/{tenant}/models), without running a flow: the server
+// rebuilds the tables from the points, persists the canonical payload
+// to the store, and makes the model queryable. MaxTablePoints 0 keeps
+// every point as a knot.
+type InstallModelRequest struct {
+	Name           string       `json:"name"`
+	ObjectiveNames []string     `json:"objectives"`
+	ParamNames     []string     `json:"params"`
+	ParamUnits     []string     `json:"units,omitempty"`
+	MaxTablePoints int          `json:"max_table_points,omitempty"`
+	Points         []ModelPoint `json:"points"`
+}
+
 // FlowRequest submits a model-building flow job. Problem and Process
 // name entries in the server's registries (the ayd binary registers
 // "ota" and "c35"); zero budgets select the paper defaults, so small
-// values must be set explicitly for quick jobs. Model names the registry
-// entry the finished model is installed under (default: the job id).
+// values must be set explicitly for quick jobs. The embedded TenantRef
+// names the catalog entry the finished model is installed under
+// (absent tenant ⇒ "default", absent model ⇒ the job id); Version is
+// output-only and ignored on submission.
 type FlowRequest struct {
+	TenantRef
 	Problem         string `json:"problem"`
 	Process         string `json:"process,omitempty"`
-	Model           string `json:"model,omitempty"`
 	PopSize         int    `json:"pop_size,omitempty"`
 	Generations     int    `json:"generations,omitempty"`
 	MCSamples       int    `json:"mc_samples,omitempty"`
@@ -135,10 +193,13 @@ const (
 
 // JobStatus reports a flow job.
 type JobStatus struct {
-	ID       string      `json:"id"`
-	State    string      `json:"state"`
-	Model    string      `json:"model"`
-	Request  FlowRequest `json:"request"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Model string `json:"model"`
+	// Tenant is the namespace the job's model and checkpoint live in
+	// (empty on old records ⇒ "default").
+	Tenant  string      `json:"tenant,omitempty"`
+	Request FlowRequest `json:"request"`
 	Created  time.Time   `json:"created"`
 	Started  time.Time   `json:"started"`
 	Finished time.Time   `json:"finished"`

@@ -1,0 +1,159 @@
+package api
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestQueryRequestGoldenDecode pins the pre-tenancy request wire format:
+// a body written before the tenant dimension existed must decode to the
+// same query, addressed at the default tenant's latest version.
+func TestQueryRequestGoldenDecode(t *testing.T) {
+	golden := `{
+		"model": "ota-demo",
+		"specs": [
+			{"name": "gain_db", "sense": ">=", "bound": 51.5},
+			{"name": "pm_deg", "bound": 78}
+		],
+		"guard_scale": 1.25
+	}`
+	var req QueryRequest
+	if err := json.Unmarshal([]byte(golden), &req); err != nil {
+		t.Fatal(err)
+	}
+	want := QueryRequest{
+		TenantRef: TenantRef{Model: "ota-demo"},
+		Specs: [2]Spec{
+			{Name: "gain_db", Sense: ">=", Bound: 51.5},
+			{Name: "pm_deg", Bound: 78},
+		},
+		GuardScale: 1.25,
+	}
+	if !reflect.DeepEqual(req, want) {
+		t.Errorf("decoded %+v, want %+v", req, want)
+	}
+	if got := req.TenantOrDefault(); got != DefaultTenant {
+		t.Errorf("absent tenant resolves to %q, want %q", got, DefaultTenant)
+	}
+	if req.Version != "" {
+		t.Errorf("absent model_version decoded as %q", req.Version)
+	}
+}
+
+// TestQueryRequestTenantDecode covers the new explicit fields.
+func TestQueryRequestTenantDecode(t *testing.T) {
+	v := "8a4c0e7d00000000000000000000000000000000000000000000000000000000"
+	body := `{"tenant":"acme","model":"ota","model_version":"` + v + `","specs":[{"name":"g","bound":1},{"name":"p","bound":2}]}`
+	var req QueryRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Tenant != "acme" || req.Model != "ota" || req.Version != v {
+		t.Errorf("decoded ref %+v", req.TenantRef)
+	}
+	if got := req.TenantOrDefault(); got != "acme" {
+		t.Errorf("TenantOrDefault = %q", got)
+	}
+}
+
+// TestFlowRequestGoldenDecode pins the pre-tenancy flow submission
+// format.
+func TestFlowRequestGoldenDecode(t *testing.T) {
+	golden := `{
+		"problem": "ota",
+		"model": "my-model",
+		"pop_size": 30,
+		"generations": 15,
+		"mc_samples": 40,
+		"seed": 7,
+		"mc_strategy": "is"
+	}`
+	var req FlowRequest
+	if err := json.Unmarshal([]byte(golden), &req); err != nil {
+		t.Fatal(err)
+	}
+	want := FlowRequest{
+		TenantRef:   TenantRef{Model: "my-model"},
+		Problem:     "ota",
+		PopSize:     30,
+		Generations: 15,
+		MCSamples:   40,
+		Seed:        7,
+		MCStrategy:  "is",
+	}
+	if !reflect.DeepEqual(req, want) {
+		t.Errorf("decoded %+v, want %+v", req, want)
+	}
+	if req.TenantOrDefault() != DefaultTenant {
+		t.Errorf("absent tenant != default")
+	}
+}
+
+// TestQueryRequestEncodeOmitsEmptyTenant: requests a zero-config client
+// emits must stay in the pre-tenancy shape (no tenant/model_version
+// keys), so old servers accept them.
+func TestQueryRequestEncodeOmitsEmptyTenant(t *testing.T) {
+	b, err := json.Marshal(QueryRequest{TenantRef: TenantRef{Model: "m"}, Specs: [2]Spec{{Name: "a", Bound: 1}, {Name: "b", Bound: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"tenant", "model_version"} {
+		if _, ok := m[key]; ok {
+			t.Errorf("empty %s serialized: %s", key, b)
+		}
+	}
+	if m["model"] != "m" {
+		t.Errorf("model field missing: %s", b)
+	}
+}
+
+// TestModelInfoRoundTrip: the listing entry carries both the legacy
+// "name" key and the TenantRef fields.
+func TestModelInfoRoundTrip(t *testing.T) {
+	in := ModelInfo{
+		TenantRef: TenantRef{Tenant: "acme", Model: "ota", Version: "ab"},
+		Name:      "ota",
+		Points:    12,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["name"] != "ota" || m["model"] != "ota" || m["tenant"] != "acme" || m["model_version"] != "ab" {
+		t.Errorf("ModelInfo JSON = %s", b)
+	}
+	var out ModelInfo
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed: %+v", out)
+	}
+}
+
+// TestQueryResponseDefaultTenantShape: the response for a
+// default-tenant model must not grow a tenant key (byte-compat with
+// the pre-tenancy format is asserted end-to-end in the server tests;
+// this pins the struct tags).
+func TestQueryResponseDefaultTenantShape(t *testing.T) {
+	b, err := json.Marshal(QueryResponse{Model: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["tenant"]; ok {
+		t.Errorf("empty tenant serialized: %s", b)
+	}
+}

@@ -33,13 +33,13 @@ func buildBenchModel(pts []core.ParetoPoint) (*core.Model, error) {
 
 func benchModel(b *testing.B) *Registry {
 	b.Helper()
-	r := NewRegistry("", 4)
+	r := NewRegistry(nil, 4)
 	pts := benchPoints(64)
 	m, err := buildBenchModel(pts)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := r.Install("m1", m); err != nil {
+	if _, err := r.Install(api.DefaultTenant, "m1", m); err != nil {
 		b.Fatal(err)
 	}
 	return r
@@ -47,7 +47,7 @@ func benchModel(b *testing.B) *Registry {
 
 func benchQuery() api.QueryRequest {
 	return api.QueryRequest{
-		Model: "m1",
+		TenantRef: api.TenantRef{Model: "m1"},
 		Specs: [2]api.Spec{
 			{Name: "gain_db", Sense: ">=", Bound: 50},
 			{Name: "pm_deg", Sense: ">=", Bound: 76},
@@ -88,14 +88,14 @@ func BenchmarkYieldQueryInterpreted(b *testing.B) {
 	r := benchModel(b)
 	defer r.Close()
 	req := benchQuery()
-	e, err := r.get("m1")
+	e, err := r.get(api.DefaultTenant, "m1", "")
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		res := solveQuery(e.model, req)
+		res := solveQuery(e.tenant, e.name, e.model, req)
 		if res.Error != "" {
 			b.Fatal(res.Error)
 		}
@@ -143,7 +143,7 @@ func BenchmarkCompileModel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		if _, err := CompileModel("m1", m); err != nil {
+		if _, err := CompileModel(api.DefaultTenant, "m1", m); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,8 +1,13 @@
 // Package client is the Go client of the ayd service: yield queries,
-// flow-job submission/polling/cancellation, and consumption of the SSE
-// event stream. It speaks the wire types of internal/server/api
-// against any base URL, so it works equally against cmd/ayd and an
-// in-process httptest server.
+// model install/delete, flow-job submission/polling/cancellation, and
+// consumption of the SSE event stream. It speaks the wire types of
+// internal/server/api against any base URL, so it works equally against
+// cmd/ayd and an in-process httptest server.
+//
+// A zero-config client addresses the pre-tenancy /v1/... routes (the
+// default tenant) and emits pre-tenancy request bodies, so it works
+// against old servers unchanged; WithTenant scopes every call to
+// /v1/t/{tenant}/... instead.
 package client
 
 import (
@@ -13,16 +18,18 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
 	"analogyield/internal/server/api"
 )
 
-// Client calls one ayd server.
+// Client calls one ayd server, optionally scoped to one tenant.
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	tenant string // "" = legacy /v1 routes (default tenant)
+	hc     *http.Client
 }
 
 // Option customises a Client.
@@ -32,6 +39,13 @@ type Option func(*Client)
 // an httptest transport; production callers set pooling/timeouts).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithTenant scopes every call to the named tenant's routes
+// (/v1/t/{tenant}/...). The empty string keeps the pre-tenancy /v1
+// routes, which address the default tenant on any server version.
+func WithTenant(tenant string) Option {
+	return func(c *Client) { c.tenant = tenant }
 }
 
 // New creates a client for the server at base (e.g.
@@ -45,6 +59,19 @@ func New(base string, opts ...Option) *Client {
 		o(c)
 	}
 	return c
+}
+
+// Tenant reports the tenant the client is scoped to ("" = default via
+// the legacy routes).
+func (c *Client) Tenant() string { return c.tenant }
+
+// path builds a route under the client's tenant scope; suffix segments
+// are escaped by the caller where they carry user input.
+func (c *Client) path(suffix string) string {
+	if c.tenant == "" {
+		return "/v1/" + suffix
+	}
+	return "/v1/t/" + url.PathEscape(c.tenant) + "/" + suffix
 }
 
 // do runs one JSON round trip; out may be nil.
@@ -86,7 +113,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 // Query answers one yield query.
 func (c *Client) Query(ctx context.Context, req api.QueryRequest) (*api.QueryResponse, error) {
 	var out api.QueryResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/yield/query", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.path("yield/query"), req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -96,7 +123,7 @@ func (c *Client) Query(ctx context.Context, req api.QueryRequest) (*api.QueryRes
 // answers reqs[i].
 func (c *Client) QueryBatch(ctx context.Context, reqs []api.QueryRequest) ([]api.QueryResult, error) {
 	var out api.BatchQueryResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/yield/query", api.BatchQueryRequest{Queries: reqs}, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.path("yield/query"), api.BatchQueryRequest{Queries: reqs}, &out); err != nil {
 		return nil, err
 	}
 	return out.Results, nil
@@ -105,7 +132,7 @@ func (c *Client) QueryBatch(ctx context.Context, reqs []api.QueryRequest) ([]api
 // Models lists the server's models.
 func (c *Client) Models(ctx context.Context) ([]api.ModelInfo, error) {
 	var out []api.ModelInfo
-	if err := c.do(ctx, http.MethodGet, "/v1/models", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, c.path("models"), nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -114,16 +141,33 @@ func (c *Client) Models(ctx context.Context) ([]api.ModelInfo, error) {
 // Model describes one model.
 func (c *Client) Model(ctx context.Context, name string) (*api.ModelInfo, error) {
 	var out api.ModelInfo
-	if err := c.do(ctx, http.MethodGet, "/v1/models/"+name, nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, c.path("models/")+url.PathEscape(name), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
+// InstallModel uploads a finished model artefact into the client's
+// tenant catalog and returns the catalog entry (including the
+// content-addressed version the store assigned).
+func (c *Client) InstallModel(ctx context.Context, req api.InstallModelRequest) (*api.ModelInfo, error) {
+	var out api.ModelInfo
+	if err := c.do(ctx, http.MethodPost, c.path("models"), req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteModel removes a model (all versions) from the client's tenant
+// catalog.
+func (c *Client) DeleteModel(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, c.path("models/")+url.PathEscape(name), nil, nil)
+}
+
 // SubmitFlow submits a model-building flow job.
 func (c *Client) SubmitFlow(ctx context.Context, req api.FlowRequest) (*api.JobStatus, error) {
 	var out api.JobStatus
-	if err := c.do(ctx, http.MethodPost, "/v1/flows", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.path("flows"), req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -132,7 +176,7 @@ func (c *Client) SubmitFlow(ctx context.Context, req api.FlowRequest) (*api.JobS
 // Flows lists submitted jobs.
 func (c *Client) Flows(ctx context.Context) ([]api.JobStatus, error) {
 	var out []api.JobStatus
-	if err := c.do(ctx, http.MethodGet, "/v1/flows", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, c.path("flows"), nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -141,7 +185,7 @@ func (c *Client) Flows(ctx context.Context) ([]api.JobStatus, error) {
 // Flow polls one job's status.
 func (c *Client) Flow(ctx context.Context, id string) (*api.JobStatus, error) {
 	var out api.JobStatus
-	if err := c.do(ctx, http.MethodGet, "/v1/flows/"+id, nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, c.path("flows/")+url.PathEscape(id), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -150,7 +194,7 @@ func (c *Client) Flow(ctx context.Context, id string) (*api.JobStatus, error) {
 // CancelFlow cancels a queued or running job.
 func (c *Client) CancelFlow(ctx context.Context, id string) (*api.JobStatus, error) {
 	var out api.JobStatus
-	if err := c.do(ctx, http.MethodDelete, "/v1/flows/"+id, nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodDelete, c.path("flows/")+url.PathEscape(id), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -162,7 +206,7 @@ func (c *Client) CancelFlow(ctx context.Context, id string) (*api.JobStatus, err
 // which is propagated. fromSeq resumes after a previously seen event
 // (0 = from the beginning of the replay window).
 func (c *Client) StreamEvents(ctx context.Context, id string, fromSeq int, fn func(api.Event) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/flows/"+id+"/events", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+c.path("flows/")+url.PathEscape(id)+"/events", nil)
 	if err != nil {
 		return err
 	}

@@ -41,7 +41,9 @@ const projGridN = 256
 // All fields are read-only after CompileModel returns, so any number of
 // query goroutines share one instance without synchronisation.
 type CompiledModel struct {
-	model *core.Model // interpreted reference (error paths, fallbacks)
+	model  *core.Model // interpreted reference (error paths, fallbacks)
+	tenant string      // catalog namespace ("" never occurs; default stays off the wire)
+	name   string      // catalog name
 
 	// Variation and front tables (Model1D, Error extrapolation).
 	delta0, delta1, front compiled1D
@@ -59,7 +61,7 @@ type CompiledModel struct {
 	params []compiledParam
 
 	// Pre-rendered response fragments (json.go).
-	jsonHead    []byte   // {"model":"<name>","targets":[
+	jsonHead    []byte   // {"model":"<name>"[,"tenant":"<t>"],"targets":[
 	paramHeads  [][]byte // per param: {"name":...,["unit":...,]"value":
 	jsonDeltas  []byte   // ],"delta_pct":[
 	jsonFront   []byte   // ],"front_perf":[
@@ -108,11 +110,11 @@ type compiledParam struct {
 }
 
 // CompileModel builds the compiled query engine for a model served under
-// the given registry name. An error means the model uses a construction
+// the given (tenant, name). An error means the model uses a construction
 // the engine does not cover (e.g. quadratic interpolation); the registry
 // then serves it on the interpreted path instead.
-func CompileModel(name string, m *core.Model) (*CompiledModel, error) {
-	cm := &CompiledModel{model: m}
+func CompileModel(tenant, name string, m *core.Model) (*CompiledModel, error) {
+	cm := &CompiledModel{model: m, tenant: tenant, name: name}
 	var err error
 	if cm.delta0, err = compile1D(m.Delta[0]); err != nil {
 		return nil, err
@@ -177,7 +179,7 @@ func CompileModel(name string, m *core.Model) (*CompiledModel, error) {
 		}
 		cm.params[k] = compiledParam{fy: comp, min: mn, max: mx}
 	}
-	if err := cm.prepareJSON(name, m.ParamNames, m.ParamUnits); err != nil {
+	if err := cm.prepareJSON(tenant, name, m.ParamNames, m.ParamUnits); err != nil {
 		return nil, err
 	}
 	return cm, nil
@@ -388,9 +390,10 @@ func (cm *CompiledModel) project(x1, x2 float64, sc *queryScratch) float64 {
 // response materialises a solved query as the wire struct (the
 // programmatic Query path; the HTTP path renders JSON directly from the
 // solvedQuery without building this).
-func (cm *CompiledModel) response(model string, s *solvedQuery) *api.QueryResponse {
+func (cm *CompiledModel) response(s *solvedQuery) *api.QueryResponse {
 	resp := &api.QueryResponse{
-		Model:          model,
+		Model:          cm.name,
+		Tenant:         wireTenant(cm.tenant),
 		Targets:        s.target,
 		DeltaPct:       s.deltaPct,
 		FrontPerf:      s.frontPerf,

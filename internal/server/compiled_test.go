@@ -21,7 +21,7 @@ func sweepRequests(model string) []api.QueryRequest {
 	rng := rand.New(rand.NewSource(41))
 	add := func(b0, b1, scale float64, sense1 string) {
 		reqs = append(reqs, api.QueryRequest{
-			Model: model,
+			TenantRef: api.TenantRef{Model: model},
 			Specs: [2]api.Spec{
 				{Name: "gain_db", Sense: ">=", Bound: b0},
 				{Name: "pm_deg", Sense: sense1, Bound: b1},
@@ -57,8 +57,8 @@ func sweepRequests(model string) []api.QueryRequest {
 	add(46, 74, 0, ">=")
 	// Error shapes: parse failure, negative scale, far out of range.
 	reqs = append(reqs, api.QueryRequest{
-		Model: model,
-		Specs: [2]api.Spec{{Name: "g", Sense: "bogus", Bound: 50}, {Name: "p", Bound: 76}},
+		TenantRef: api.TenantRef{Model: model},
+		Specs:     [2]api.Spec{{Name: "g", Sense: "bogus", Bound: 50}, {Name: "p", Bound: 76}},
 	})
 	add(50, 76, -1, ">=")
 	add(1e6, 76, 0, ">=")
@@ -72,7 +72,7 @@ func sweepRequests(model string) []api.QueryRequest {
 // answerable at all.
 func TestCompiledGoldenBitIdentical(t *testing.T) {
 	m := synthModel(t, 12)
-	cm, err := CompileModel("m1", m)
+	cm, err := CompileModel(api.DefaultTenant, "m1", m)
 	if err != nil {
 		t.Fatalf("CompileModel: %v", err)
 	}
@@ -80,7 +80,7 @@ func TestCompiledGoldenBitIdentical(t *testing.T) {
 	defer putScratch(sc)
 	answered := 0
 	for i, req := range sweepRequests("m1") {
-		ref := solveQuery(m, req)
+		ref := solveQuery(api.DefaultTenant, "m1", m, req)
 		s, ok := cm.solve(req, sc)
 		if ok != (ref.Error == "") {
 			t.Fatalf("req %d: compiled ok=%v, interpreted error=%q", i, ok, ref.Error)
@@ -89,7 +89,7 @@ func TestCompiledGoldenBitIdentical(t *testing.T) {
 			continue
 		}
 		answered++
-		got := cm.response("m1", &s)
+		got := cm.response(&s)
 		want := ref.Response
 		eq := func(field string, g, w float64) {
 			if math.Float64bits(g) != math.Float64bits(w) {
@@ -125,14 +125,14 @@ func TestCompiledGoldenBitIdentical(t *testing.T) {
 // trailing newline included.
 func TestCompiledGoldenJSON(t *testing.T) {
 	m := synthModel(t, 12)
-	cm, err := CompileModel("m1", m)
+	cm, err := CompileModel(api.DefaultTenant, "m1", m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sc := getScratch()
 	defer putScratch(sc)
 	for i, req := range sweepRequests("m1") {
-		ref := solveQuery(m, req)
+		ref := solveQuery(api.DefaultTenant, "m1", m, req)
 		if ref.Error != "" {
 			continue
 		}
@@ -157,14 +157,14 @@ func TestCompiledGoldenJSON(t *testing.T) {
 // TestCompiledGoldenErrors routes error-producing queries through the
 // registry and checks the message is exactly the interpreted path's.
 func TestCompiledGoldenErrors(t *testing.T) {
-	r := NewRegistry("", 4)
+	r := NewRegistry(nil, 4)
 	defer r.Close()
 	m := synthModel(t, 12)
-	if err := r.Install("m1", m); err != nil {
+	if _, err := r.Install(api.DefaultTenant, "m1", m); err != nil {
 		t.Fatal(err)
 	}
 	for i, req := range sweepRequests("m1") {
-		ref := solveQuery(m, req)
+		ref := solveQuery(api.DefaultTenant, "m1", m, req)
 		if ref.Error == "" {
 			continue
 		}
@@ -182,9 +182,9 @@ func TestCompiledGoldenErrors(t *testing.T) {
 // query against a freshly built model must be answered by the compiled
 // engine, not silently fall back.
 func TestCompiledPathIsUsed(t *testing.T) {
-	r := NewRegistry("", 4)
+	r := NewRegistry(nil, 4)
 	defer r.Close()
-	if err := r.Install("m1", synthModel(t, 12)); err != nil {
+	if _, err := r.Install(api.DefaultTenant, "m1", synthModel(t, 12)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := r.Query(t.Context(), testQuery("m1")); err != nil {

@@ -48,8 +48,8 @@ func TestEndToEnd(t *testing.T) {
 	defer cancel()
 
 	st, err := cl.SubmitFlow(ctx, api.FlowRequest{
+		TenantRef:       api.TenantRef{Model: "e2e"},
 		Problem:         "synth",
-		Model:           "e2e",
 		PopSize:         24,
 		Generations:     10,
 		MCSamples:       20,
@@ -143,7 +143,7 @@ func TestEndToEnd(t *testing.T) {
 	g := info.Domain[0] + 0.3*(info.Domain[1]-info.Domain[0])
 	pm := 85 - 1.2*(g-45) - 2
 	q := api.QueryRequest{
-		Model: "e2e",
+		TenantRef: api.TenantRef{Model: "e2e"},
 		Specs: [2]api.Spec{
 			{Name: "gain_db", Sense: ">=", Bound: g},
 			{Name: "pm_deg", Sense: ">=", Bound: pm},
@@ -164,7 +164,7 @@ func TestEndToEnd(t *testing.T) {
 	}
 
 	// Batch round trip answers per-query, including failures.
-	res, err := cl.QueryBatch(ctx, []api.QueryRequest{q, {Model: "nope", Specs: q.Specs}})
+	res, err := cl.QueryBatch(ctx, []api.QueryRequest{q, {TenantRef: api.TenantRef{Model: "nope"}, Specs: q.Specs}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"analogyield/internal/core"
 	"analogyield/internal/process"
 	"analogyield/internal/server/api"
+	"analogyield/internal/store"
 )
 
 // ProblemFactory builds a fresh CircuitProblem for one flow job.
@@ -35,8 +37,9 @@ var ErrQueueFull = errors.New("server: job queue full")
 
 // job is one flow submission and its full lifecycle state.
 type job struct {
-	id  string
-	cfg core.FlowConfig
+	id     string
+	tenant string // effective namespace (never "")
+	cfg    core.FlowConfig
 
 	mu       sync.Mutex
 	status   api.JobStatus
@@ -52,12 +55,17 @@ type job struct {
 // JobManager runs submitted flows on a bounded worker pool. Jobs queue
 // FIFO; each runs core.RunFlow with a checkpoint under the data
 // directory, buffers its Observer events for SSE subscribers, and
-// installs the finished model into the registry. Shutdown cancels
-// running flows — cooperatively, so each writes a resumable checkpoint
-// — and waits for the workers to drain.
+// installs the finished model into the registry under the submitting
+// tenant. Checkpoints are mirrored into the artefact store as they are
+// written (and hydrated back at submission), so any replica sharing the
+// store can resume a job another replica checkpointed — the local data
+// directory is only scratch. Shutdown cancels running flows —
+// cooperatively, so each writes a resumable checkpoint — and waits for
+// the workers to drain.
 type JobManager struct {
 	dataDir  string
 	registry *Registry
+	st       store.Store // the registry's backing store (checkpoint durability)
 	problems map[string]ProblemFactory
 	procs    map[string]ProcessFactory
 	metrics  *core.Metrics
@@ -95,6 +103,7 @@ func NewJobManager(dataDir string, workers, queueDepth int, reg *Registry,
 	m := &JobManager{
 		dataDir:  dataDir,
 		registry: reg,
+		st:       reg.Store(),
 		problems: problems,
 		procs:    procs,
 		metrics:  metrics,
@@ -129,8 +138,10 @@ func (m *JobManager) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Submit validates and enqueues a flow request.
+// Submit validates and enqueues a flow request; the embedded TenantRef
+// names the tenant whose catalog receives the finished model.
 func (m *JobManager) Submit(req api.FlowRequest) (*api.JobStatus, error) {
+	tenant := req.TenantOrDefault()
 	pf, ok := m.problems[req.Problem]
 	if !ok {
 		return nil, fmt.Errorf("server: unknown problem %q", req.Problem)
@@ -172,22 +183,24 @@ func (m *JobManager) Submit(req api.FlowRequest) (*api.JobStatus, error) {
 	if modelName == "" {
 		modelName = id
 	}
-	if err := validName(modelName); err != nil {
+	if err := validRef(tenant, modelName); err != nil {
 		m.seq--
 		m.mu.Unlock()
 		return nil, err
 	}
-	// The checkpoint is keyed by model name, not job id, so cancelling a
-	// job (or losing it to a shutdown) and resubmitting the same request
-	// resumes from the saved state instead of restarting.
-	cfg.Checkpoint = filepath.Join(m.dataDir, "checkpoints", modelName+".ckpt")
+	// The checkpoint is keyed by (tenant, model name), not job id, so
+	// cancelling a job (or losing it to a shutdown) and resubmitting the
+	// same request resumes from the saved state instead of restarting.
+	cfg.Checkpoint = filepath.Join(m.dataDir, "checkpoints", tenant, modelName+".ckpt")
 	j := &job{
-		id:  id,
-		cfg: cfg,
+		id:     id,
+		tenant: tenant,
+		cfg:    cfg,
 		status: api.JobStatus{
 			ID:         id,
 			State:      api.JobQueued,
 			Model:      modelName,
+			Tenant:     wireTenant(tenant),
 			Request:    req,
 			Created:    time.Now(),
 			Checkpoint: cfg.Checkpoint,
@@ -198,6 +211,11 @@ func (m *JobManager) Submit(req api.FlowRequest) (*api.JobStatus, error) {
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	m.mu.Unlock()
+
+	// Before the job can run: if the shared store holds a checkpoint for
+	// this (tenant, model) and the local scratch file is missing, this
+	// replica adopts the other's progress.
+	m.hydrateCheckpoint(j)
 
 	select {
 	case m.queue <- j:
@@ -245,7 +263,15 @@ func (m *JobManager) run(j *job) {
 	j.emit(api.Event{Type: api.EventJobStarted})
 	m.log.Info("job started", "job", j.id, "problem", cfg.Problem.ObjectiveNames(), "model", j.status.Model)
 
-	cfg.Obs = core.ObserverFunc(func(e core.Event) { j.observe(e) })
+	cfg.Obs = core.ObserverFunc(func(e core.Event) {
+		j.observe(e)
+		// Mirror every checkpoint into the artefact store as soon as the
+		// flow writes it, so a replica sharing the store can resume this
+		// job even if this process (and its data directory) is lost.
+		if cs, ok := e.(core.CheckpointSaved); ok {
+			m.persistCheckpoint(j, cs.Path)
+		}
+	})
 	res, err := core.RunFlow(ctx, cfg)
 
 	final := api.Event{Type: api.EventJobDone}
@@ -272,13 +298,22 @@ func (m *JobManager) run(j *job) {
 	j.mu.Unlock()
 
 	if state == api.JobSucceeded {
-		if ierr := m.registry.Install(modelName, res.Model); ierr != nil {
+		if version, ierr := m.registry.Install(j.tenant, modelName, res.Model); ierr != nil {
 			j.mu.Lock()
 			j.status.State = api.JobFailed
 			j.status.Error = ierr.Error()
 			state = api.JobFailed
 			err = ierr
 			j.mu.Unlock()
+		} else {
+			j.mu.Lock()
+			j.status.Request.Version = version
+			j.mu.Unlock()
+			// RunFlow already removed the local checkpoint; retire the
+			// store mirror too so the finished job cannot be "resumed".
+			if derr := m.st.Delete(store.Key{Tenant: j.tenant, Kind: store.KindCheckpoint, Name: modelName}); derr != nil && !errors.Is(derr, store.ErrNotFound) {
+				m.log.Warn("checkpoint cleanup failed", "job", j.id, "err", derr)
+			}
 		}
 	}
 
@@ -289,6 +324,48 @@ func (m *JobManager) run(j *job) {
 	j.emit(final)
 	close(j.done)
 	m.log.Info("job finished", "job", j.id, "state", state, "err", err)
+}
+
+// persistCheckpoint mirrors a freshly written checkpoint file into the
+// artefact store under (tenant, checkpoints, model). Failures are
+// logged, never fatal: the local file still supports same-process
+// resume, durability just degrades to single-replica.
+func (m *JobManager) persistCheckpoint(j *job, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		m.log.Warn("checkpoint read-back failed", "job", j.id, "path", path, "err", err)
+		return
+	}
+	if _, err := m.st.Put(j.tenant, store.KindCheckpoint, j.status.Model, data); err != nil {
+		m.log.Warn("checkpoint persist failed", "job", j.id, "err", err)
+	}
+}
+
+// hydrateCheckpoint materialises the job's local checkpoint file from
+// the artefact store when the local file is missing, so a fresh replica
+// (or one with a wiped data directory) resumes work that another
+// process checkpointed into the shared store. A corrupt store copy is
+// skipped — the job then starts from scratch rather than failing.
+func (m *JobManager) hydrateCheckpoint(j *job) {
+	if _, err := os.Stat(j.cfg.Checkpoint); err == nil {
+		return // local scratch wins: it is at least as fresh as its mirror
+	}
+	data, _, err := m.st.Get(store.Key{Tenant: j.tenant, Kind: store.KindCheckpoint, Name: j.status.Model})
+	if err != nil {
+		if !errors.Is(err, store.ErrNotFound) {
+			m.log.Warn("checkpoint hydrate failed", "job", j.id, "err", err)
+		}
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(j.cfg.Checkpoint), 0o755); err != nil {
+		m.log.Warn("checkpoint hydrate failed", "job", j.id, "err", err)
+		return
+	}
+	if err := os.WriteFile(j.cfg.Checkpoint, data, 0o644); err != nil {
+		m.log.Warn("checkpoint hydrate failed", "job", j.id, "err", err)
+		return
+	}
+	m.log.Info("checkpoint hydrated from store", "job", j.id, "tenant", j.tenant, "model", j.status.Model)
 }
 
 // observe translates one core event into the job's wire stream and
@@ -396,20 +473,22 @@ func (j *job) snapshot() api.JobStatus {
 	return j.status
 }
 
-// get looks a job up by id.
-func (m *JobManager) get(id string) (*job, error) {
+// get looks a job up by id within a tenant. A job belonging to another
+// tenant reports ErrUnknownJob — job ids must not leak across
+// namespaces.
+func (m *JobManager) get(tenant, id string) (*job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
-	if !ok {
+	if !ok || j.tenant != tenant {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
 	return j, nil
 }
 
 // Status reports one job.
-func (m *JobManager) Status(id string) (*api.JobStatus, error) {
-	j, err := m.get(id)
+func (m *JobManager) Status(tenant, id string) (*api.JobStatus, error) {
+	j, err := m.get(tenant, id)
 	if err != nil {
 		return nil, err
 	}
@@ -417,14 +496,14 @@ func (m *JobManager) Status(id string) (*api.JobStatus, error) {
 	return &st, nil
 }
 
-// List reports every job in submission order.
-func (m *JobManager) List() []api.JobStatus {
+// List reports a tenant's jobs in submission order.
+func (m *JobManager) List(tenant string) []api.JobStatus {
 	m.mu.Lock()
 	ids := append([]string(nil), m.order...)
 	m.mu.Unlock()
 	out := make([]api.JobStatus, 0, len(ids))
 	for _, id := range ids {
-		if j, err := m.get(id); err == nil {
+		if j, err := m.get(tenant, id); err == nil {
 			out = append(out, j.snapshot())
 		}
 	}
@@ -434,8 +513,8 @@ func (m *JobManager) List() []api.JobStatus {
 // Cancel stops a queued or running job. Cancelling a running flow is
 // cooperative: the job transitions to cancelled once the flow has
 // checkpointed and unwound. Cancelling a terminal job is a no-op.
-func (m *JobManager) Cancel(id string) (*api.JobStatus, error) {
-	j, err := m.get(id)
+func (m *JobManager) Cancel(tenant, id string) (*api.JobStatus, error) {
+	j, err := m.get(tenant, id)
 	if err != nil {
 		return nil, err
 	}
@@ -461,8 +540,8 @@ func (m *JobManager) Cancel(id string) (*api.JobStatus, error) {
 
 // Done exposes the job's terminal-state channel (tests and the SSE
 // handler wait on it).
-func (m *JobManager) Done(id string) (<-chan struct{}, error) {
-	j, err := m.get(id)
+func (m *JobManager) Done(tenant, id string) (<-chan struct{}, error) {
+	j, err := m.get(tenant, id)
 	if err != nil {
 		return nil, err
 	}

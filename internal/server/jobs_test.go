@@ -9,13 +9,14 @@ import (
 	"analogyield/internal/core"
 	"analogyield/internal/process"
 	"analogyield/internal/server/api"
+	"analogyield/internal/store"
 )
 
 // newTestJM builds a JobManager over a fresh registry. problems maps
 // names to factories; the process registry always carries "c35".
 func newTestJM(t *testing.T, workers, depth int, problems map[string]ProblemFactory) (*JobManager, *Registry) {
 	t.Helper()
-	reg := NewRegistry(t.TempDir(), 8)
+	reg := NewRegistry(store.OpenDisk(t.TempDir()), 8)
 	m := NewJobManager(t.TempDir(), workers, depth, reg,
 		problems, map[string]ProcessFactory{"c35": process.C35},
 		&core.Metrics{}, quietLog())
@@ -38,8 +39,8 @@ func synthFactory() map[string]ProblemFactory {
 
 func smallFlowReq(model string) api.FlowRequest {
 	return api.FlowRequest{
+		TenantRef:   api.TenantRef{Model: model},
 		Problem:     "synth",
-		Model:       model,
 		PopSize:     24,
 		Generations: 10,
 		MCSamples:   20,
@@ -62,7 +63,7 @@ func TestJobLifecycleSucceeds(t *testing.T) {
 	}
 	waitDone(t, m, st.ID, 30*time.Second)
 
-	got, err := m.Status(st.ID)
+	got, err := m.Status(api.DefaultTenant, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,12 +81,12 @@ func TestJobLifecycleSucceeds(t *testing.T) {
 	}
 
 	// The finished model is installed and queryable.
-	if _, err := reg.Info("m1"); err != nil {
+	if _, err := reg.Info(api.DefaultTenant, "m1"); err != nil {
 		t.Fatalf("model not installed: %v", err)
 	}
 
 	// The event stream is contiguous and carries the full lifecycle.
-	j, err := m.get(st.ID)
+	j, err := m.get(api.DefaultTenant, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestJobCancelQueuedAndRunning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := m.Cancel(b.ID)
+	st, err := m.Cancel(api.DefaultTenant, b.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,12 +145,12 @@ func TestJobCancelQueuedAndRunning(t *testing.T) {
 
 	// A is mid-evaluation: cancellation is cooperative, taking effect at
 	// the next generation boundary once evaluations are released.
-	if _, err := m.Cancel(a.ID); err != nil {
+	if _, err := m.Cancel(api.DefaultTenant, a.ID); err != nil {
 		t.Fatal(err)
 	}
 	close(bp.release)
 	waitDone(t, m, a.ID, 30*time.Second)
-	st, err = m.Status(a.ID)
+	st, err = m.Status(api.DefaultTenant, a.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,13 +159,13 @@ func TestJobCancelQueuedAndRunning(t *testing.T) {
 	}
 
 	// Cancelling a terminal job is a no-op.
-	st, err = m.Cancel(a.ID)
+	st, err = m.Cancel(api.DefaultTenant, a.ID)
 	if err != nil || st.State != api.JobCancelled {
 		t.Errorf("terminal cancel: state %q, err %v", st.State, err)
 	}
 
 	// List preserves submission order.
-	list := m.List()
+	list := m.List(api.DefaultTenant)
 	if len(list) != 2 || list[0].ID != a.ID || list[1].ID != b.ID {
 		t.Errorf("List out of order: %+v", list)
 	}
@@ -197,7 +198,7 @@ func TestJobQueueFull(t *testing.T) {
 	waitDone(t, m, a.ID, 30*time.Second)
 	waitDone(t, m, b.ID, 30*time.Second)
 	for _, id := range []string{a.ID, b.ID} {
-		st, serr := m.Status(id)
+		st, serr := m.Status(api.DefaultTenant, id)
 		if serr != nil || st.State != api.JobSucceeded {
 			t.Errorf("%s: state %q err %v (%s)", id, st.State, serr, st.Error)
 		}
@@ -214,14 +215,14 @@ func TestJobMCStrategy(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitDone(t, m, st.ID, 30*time.Second)
-	got, err := m.Status(st.ID)
+	got, err := m.Status(api.DefaultTenant, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.State != api.JobSucceeded {
 		t.Fatalf("state = %q (%s)", got.State, got.Error)
 	}
-	j, err := m.get(st.ID)
+	j, err := m.get(api.DefaultTenant, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestJobMCStrategy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j2, err := m.get(st2.ID)
+	j2, err := m.get(api.DefaultTenant, st2.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestJobSubmitValidation(t *testing.T) {
 	if _, err := m.Submit(req); err == nil {
 		t.Error("path-escaping model name accepted")
 	}
-	if _, err := m.Status("job-999999"); !errors.Is(err, ErrUnknownJob) {
+	if _, err := m.Status(api.DefaultTenant, "job-999999"); !errors.Is(err, ErrUnknownJob) {
 		t.Errorf("unknown job: err = %v, want ErrUnknownJob", err)
 	}
 }

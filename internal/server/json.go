@@ -71,15 +71,25 @@ func appendJSONFloat(b []byte, f float64) (out []byte, ok bool) {
 }
 
 // prepareJSON pre-renders every static fragment of a query response for
-// a model served under name: the object skeleton, the quoted model name
+// a model served under (tenant, name): the object skeleton, the quoted
+// model name (plus the tenant for non-default tenants — the default
+// tenant stays off the wire so pre-tenancy responses are byte-identical)
 // and each parameter's name/unit header. At query time only the numbers
 // are appended between fragments.
-func (cm *CompiledModel) prepareJSON(name string, paramNames, paramUnits []string) error {
+func (cm *CompiledModel) prepareJSON(tenant, name string, paramNames, paramUnits []string) error {
 	quoted, err := json.Marshal(name)
 	if err != nil {
 		return err
 	}
-	cm.jsonHead = append(append([]byte(`{"model":`), quoted...), `,"targets":[`...)
+	cm.jsonHead = append([]byte(`{"model":`), quoted...)
+	if wt := wireTenant(tenant); wt != "" {
+		qt, err := json.Marshal(wt)
+		if err != nil {
+			return err
+		}
+		cm.jsonHead = append(append(cm.jsonHead, `,"tenant":`...), qt...)
+	}
+	cm.jsonHead = append(cm.jsonHead, `,"targets":[`...)
 	cm.jsonDeltas = []byte(`],"delta_pct":[`)
 	cm.jsonFront = []byte(`],"front_perf":[`)
 	cm.jsonParams = []byte(`],"params":[`)

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"errors"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+
+	"analogyield/internal/core"
+	"analogyield/internal/store"
+)
+
+// importLegacy migrates models saved in the pre-store directory layout
+// (one subdirectory per model holding front.tbl and the per-quantity
+// tables, as Model.Save wrote them) into the artefact store under the
+// default tenant, making each resident as it goes. The scan is
+// idempotent: names already present in the store are skipped, so the
+// legacy files can stay in place as a readable archive and repeated
+// boots import nothing twice. Unreadable or invalidly named entries are
+// logged and skipped — one corrupt legacy model must not stop the rest
+// of the catalog from loading. It returns how many models it imported.
+func importLegacy(dir string, reg *Registry, log *slog.Logger) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	imported := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if _, err := os.Stat(filepath.Join(dir, name, "front.tbl")); err != nil {
+			continue // not a legacy model directory (e.g. the store's own tree)
+		}
+		if store.ValidateKey(name) != nil {
+			log.Warn("legacy model skipped: invalid name", "name", name)
+			continue
+		}
+		if _, err := reg.Store().Stat(store.Key{Tenant: store.DefaultTenant, Kind: store.KindModel, Name: name}); err == nil {
+			continue // already migrated
+		}
+		m, err := core.LoadModel(filepath.Join(dir, name))
+		if err != nil {
+			log.Warn("legacy model skipped: unreadable", "name", name, "err", err)
+			continue
+		}
+		version, err := reg.Install(store.DefaultTenant, name, m)
+		if err != nil {
+			log.Warn("legacy model skipped: install failed", "name", name, "err", err)
+			continue
+		}
+		log.Info("legacy model imported", "name", name, "version", version)
+		imported++
+	}
+	return imported, nil
+}

@@ -4,27 +4,27 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"analogyield/internal/core"
 	"analogyield/internal/server/api"
+	"analogyield/internal/store"
 	"analogyield/internal/yield"
 )
 
-// ErrUnknownModel reports a query against a name that is neither
-// resident nor present in the models directory.
+// ErrUnknownModel reports a query against a (tenant, name) that is
+// neither resident nor present in the artefact store.
 var ErrUnknownModel = errors.New("server: unknown model")
 
-// Registry is the read-mostly model store behind the query path. Models
-// load lazily from a directory of core.Model artefacts (one
-// subdirectory per model, as written by Model.Save) or are installed
-// directly by finished flow jobs; at most cap models stay resident, the
-// least recently queried evicted first (a later Get reloads them from
-// disk).
+// Registry is the read-mostly model cache over the durable artefact
+// store (store.Store) behind the query path. Models are addressed by
+// (tenant, name, version): installs persist the canonical payload to
+// the store and make the model resident; cache misses load lazily from
+// the store (so a restarted replica warm-starts from whatever the
+// store holds, compiling each model on its first query); at most cap
+// models stay resident, the least recently queried evicted first.
 //
 // The resident set is published as an immutable snapshot behind an
 // atomic.Pointer: queries load the snapshot and answer without taking
@@ -34,7 +34,7 @@ var ErrUnknownModel = errors.New("server: unknown model")
 // recency for LRU eviction is a per-entry atomic counter fed by a
 // global clock, so reads stay lock-free.
 type Registry struct {
-	dir string
+	st  store.Store
 	cap int
 
 	mu    sync.Mutex // serialises snapshot writers
@@ -47,114 +47,137 @@ type Registry struct {
 	interpreted atomic.Int64
 }
 
-// snapshot is one immutable published generation of the resident set.
+// snapshot is one immutable published generation of the resident set,
+// keyed by tenant-qualified name.
 type snapshot struct {
 	entries map[string]*modelEntry
 }
+
+// entryKey qualifies a model name by its tenant. Validated segments
+// contain no '/', so the join is unambiguous.
+func entryKey(tenant, name string) string { return tenant + "/" + name }
 
 // modelEntry is one resident model. All fields except lastUsed are
 // immutable after install; entries are shared between snapshot
 // generations, so a recency bump is visible regardless of which
 // generation the reader loaded.
 type modelEntry struct {
+	tenant   string
 	name     string
+	version  string // content address of the installed payload
 	model    *core.Model
 	compiled *CompiledModel // nil when the model has no compiled form
 	lastUsed atomic.Int64
 }
 
-// NewRegistry creates a registry over an optional models directory
-// (empty = memory-only) keeping at most cap models resident (cap <= 0
-// means 8).
-func NewRegistry(dir string, cap int) *Registry {
+// NewRegistry creates a registry over the given artefact store (nil =
+// a fresh in-process store.Memory) keeping at most cap models resident
+// (cap <= 0 means 8).
+func NewRegistry(st store.Store, cap int) *Registry {
+	if st == nil {
+		st = store.NewMemory()
+	}
 	if cap <= 0 {
 		cap = 8
 	}
-	r := &Registry{dir: dir, cap: cap}
+	r := &Registry{st: st, cap: cap}
 	r.snap.Store(&snapshot{entries: map[string]*modelEntry{}})
 	return r
 }
 
+// Store exposes the backing artefact store.
+func (r *Registry) Store() store.Store { return r.st }
+
 // Close empties the resident set. (The registry has no background
 // goroutines; queries racing Close finish against the snapshot they
-// already loaded.)
+// already loaded. The artefact store outlives residency.)
 func (r *Registry) Close() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.snap.Store(&snapshot{entries: map[string]*modelEntry{}})
 }
 
-// modelDir returns the on-disk directory of a named model.
-func (r *Registry) modelDir(name string) string {
-	return filepath.Join(r.dir, name)
-}
-
-// validName rejects names that would escape the models directory.
-func validName(name string) error {
-	if name == "" {
-		return fmt.Errorf("server: empty model name")
+// validRef vets the tenant and name of a model reference.
+func validRef(tenant, name string) error {
+	if err := store.ValidateKey(tenant); err != nil {
+		return fmt.Errorf("server: tenant: %w", err)
 	}
-	if name != filepath.Base(name) || name == "." || name == ".." {
-		return fmt.Errorf("server: bad model name %q", name)
+	if err := store.ValidateKey(name); err != nil {
+		return fmt.Errorf("server: model name: %w", err)
 	}
 	return nil
 }
 
-// get returns the resident entry, loading (and possibly evicting) as
-// needed. The resident fast path is a single atomic load plus a recency
-// bump — no lock.
-func (r *Registry) get(name string) (*modelEntry, error) {
-	if err := validName(name); err != nil {
+// get returns an entry for (tenant, name, version), loading from the
+// store (and possibly evicting) as needed. The resident fast path is a
+// single atomic load plus a recency bump — no lock. version "" means
+// latest; a version pin that matches the resident entry is served from
+// residency, any other pin is loaded from the store for this call only
+// (served interpreted, never cached — pinned reads of historical
+// versions must not evict the hot latest set).
+func (r *Registry) get(tenant, name, version string) (*modelEntry, error) {
+	if err := validRef(tenant, name); err != nil {
 		return nil, err
 	}
-	if e, ok := r.snap.Load().entries[name]; ok {
-		e.lastUsed.Store(r.clock.Add(1))
-		return e, nil
-	}
-
-	// Load outside the writer lock: disk reads must not stall installs
-	// of other models.
-	if r.dir == "" {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
-	}
-	if _, err := os.Stat(r.modelDir(name)); err != nil {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
-	}
-	m, err := core.LoadModel(r.modelDir(name))
-	if err != nil {
-		return nil, fmt.Errorf("server: loading model %q: %w", name, err)
-	}
-	return r.install(name, m), nil
-}
-
-// Install makes a model resident under name, replacing any previous
-// model of that name (in-flight queries finish against the entry they
-// already hold; the swap never waits for them). When the registry has a
-// models directory the artefacts are saved there first, so an evicted
-// model can be reloaded.
-func (r *Registry) Install(name string, m *core.Model) error {
-	if err := validName(name); err != nil {
-		return err
-	}
-	if r.dir != "" {
-		if err := m.Save(r.modelDir(name)); err != nil {
-			return fmt.Errorf("server: saving model %q: %w", name, err)
+	if e, ok := r.snap.Load().entries[entryKey(tenant, name)]; ok {
+		if version == "" || version == e.version {
+			e.lastUsed.Store(r.clock.Add(1))
+			return e, nil
 		}
 	}
-	r.install(name, m)
-	return nil
+
+	// Load outside the writer lock: store reads must not stall installs
+	// of other models.
+	data, info, err := r.st.Get(store.Key{Tenant: tenant, Kind: store.KindModel, Name: name, Version: version})
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %s/%s", ErrUnknownModel, tenant, name)
+		}
+		return nil, fmt.Errorf("server: loading model %s/%s: %w", tenant, name, err)
+	}
+	m, err := core.DecodeModel(data)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w: model %s/%s@%s: %v",
+			store.ErrCorrupt, tenant, name, info.Version, err)
+	}
+	if version != "" {
+		// Historical pin: answer interpreted, skip residency.
+		return &modelEntry{tenant: tenant, name: name, version: info.Version, model: m}, nil
+	}
+	return r.install(tenant, name, info.Version, m), nil
+}
+
+// Install persists the model's canonical payload to the artefact store
+// under (tenant, name) and makes it resident, replacing any previous
+// model of that name (in-flight queries finish against the entry they
+// already hold; the swap never waits for them). It returns the
+// content-addressed version the store assigned.
+func (r *Registry) Install(tenant, name string, m *core.Model) (string, error) {
+	if err := validRef(tenant, name); err != nil {
+		return "", err
+	}
+	data, err := core.EncodeModel(m)
+	if err != nil {
+		return "", fmt.Errorf("server: encoding model %s/%s: %w", tenant, name, err)
+	}
+	info, err := r.st.Put(tenant, store.KindModel, name, data)
+	if err != nil {
+		return "", fmt.Errorf("server: persisting model %s/%s: %w", tenant, name, err)
+	}
+	r.install(tenant, name, info.Version, m)
+	return info.Version, nil
 }
 
 // install compiles the model, then publishes a new snapshot generation
 // containing it, evicting the least recently used entries down to cap.
 // Compilation runs before the writer lock so installs of large models
 // do not serialise on each other's compile time.
-func (r *Registry) install(name string, m *core.Model) *modelEntry {
+func (r *Registry) install(tenant, name, version string, m *core.Model) *modelEntry {
 	// A model the engine cannot compile (e.g. quadratic tables) serves on
 	// the interpreted path; compiled == nil is a supported state.
-	cm, _ := CompileModel(name, m)
+	cm, _ := CompileModel(tenant, name, m)
 
-	e := &modelEntry{name: name, model: m, compiled: cm}
+	e := &modelEntry{tenant: tenant, name: name, version: version, model: m, compiled: cm}
 	e.lastUsed.Store(r.clock.Add(1))
 
 	r.mu.Lock()
@@ -164,7 +187,7 @@ func (r *Registry) install(name string, m *core.Model) *modelEntry {
 	for k, v := range old {
 		entries[k] = v
 	}
-	entries[name] = e
+	entries[entryKey(tenant, name)] = e
 	for len(entries) > r.cap {
 		var victim *modelEntry
 		for _, v := range entries {
@@ -178,29 +201,48 @@ func (r *Registry) install(name string, m *core.Model) *modelEntry {
 		if victim == nil {
 			break
 		}
-		delete(entries, victim.name)
+		delete(entries, entryKey(victim.tenant, victim.name))
 	}
 	r.snap.Store(&snapshot{entries: entries})
 	return e
 }
 
-// Evict drops a model from residency (queries reload it from disk).
-// It reports whether the model was resident.
-func (r *Registry) Evict(name string) bool {
+// Evict drops a model from residency (queries reload it from the
+// store). It reports whether the model was resident. The stored
+// artefact is untouched — use Delete to remove it from the catalog.
+func (r *Registry) Evict(tenant, name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	key := entryKey(tenant, name)
 	old := r.snap.Load().entries
-	if _, ok := old[name]; !ok {
+	if _, ok := old[key]; !ok {
 		return false
 	}
 	entries := make(map[string]*modelEntry, len(old)-1)
 	for k, v := range old {
-		if k != name {
+		if k != key {
 			entries[k] = v
 		}
 	}
 	r.snap.Store(&snapshot{entries: entries})
 	return true
+}
+
+// Delete removes a model from residency and from the artefact store
+// (every version of the name).
+func (r *Registry) Delete(tenant, name string) error {
+	if err := validRef(tenant, name); err != nil {
+		return err
+	}
+	resident := r.Evict(tenant, name)
+	err := r.st.Delete(store.Key{Tenant: tenant, Kind: store.KindModel, Name: name})
+	if errors.Is(err, store.ErrNotFound) {
+		if resident {
+			return nil // memory-only entry: eviction was the deletion
+		}
+		return fmt.Errorf("%w: %s/%s", ErrUnknownModel, tenant, name)
+	}
+	return err
 }
 
 // Query answers one yield query. The hot path — resident model with a
@@ -211,14 +253,14 @@ func (r *Registry) Query(ctx context.Context, req api.QueryRequest) (*api.QueryR
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	e, err := r.get(req.Model)
+	e, err := r.get(req.TenantOrDefault(), req.Model, req.Version)
 	if err != nil {
 		return nil, err
 	}
 	if cm := e.compiled; cm != nil {
 		sc := getScratch()
 		if s, ok := cm.solve(req, sc); ok {
-			resp := cm.response(e.name, &s)
+			resp := cm.response(&s)
 			putScratch(sc)
 			r.compiled.Add(1)
 			return resp, nil
@@ -226,7 +268,7 @@ func (r *Registry) Query(ctx context.Context, req api.QueryRequest) (*api.QueryR
 		putScratch(sc)
 	}
 	r.interpreted.Add(1)
-	res := solveQuery(e.model, req)
+	res := solveQuery(e.tenant, e.name, e.model, req)
 	if res.Error != "" {
 		return nil, errors.New(res.Error)
 	}
@@ -242,7 +284,7 @@ func (r *Registry) QueryRendered(ctx context.Context, req api.QueryRequest, sc *
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	e, err := r.get(req.Model)
+	e, err := r.get(req.TenantOrDefault(), req.Model, req.Version)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -255,19 +297,19 @@ func (r *Registry) QueryRendered(ctx context.Context, req api.QueryRequest, sc *
 			}
 			// A value JSON cannot represent (NaN/Inf): hand the struct to
 			// the generic encoder for the stock error behaviour.
-			return nil, cm.response(e.name, &s), nil
+			return nil, cm.response(&s), nil
 		}
 	}
 	r.interpreted.Add(1)
-	res := solveQuery(e.model, req)
+	res := solveQuery(e.tenant, e.name, e.model, req)
 	if res.Error != "" {
 		return nil, nil, errors.New(res.Error)
 	}
 	return nil, res.Response, nil
 }
 
-// QueryBatch answers a batch of queries, grouping them by model so each
-// group's variation-table interpolations stage through
+// QueryBatch answers a batch of queries, grouping them by (tenant,
+// model) so each group's variation-table interpolations stage through
 // table.Model1D.EvalBatch (segment-hint reuse across the whole group)
 // and the remaining per-query arithmetic reuses one warm scratch.
 // Results line up with reqs; per-query failures land in
@@ -280,21 +322,23 @@ func (r *Registry) QueryBatch(ctx context.Context, reqs []api.QueryRequest) []ap
 		}
 		return out
 	}
-	// Group request indexes by model name, preserving order within each
-	// group.
-	groups := make(map[string][]int, 2)
-	order := make([]string, 0, 2)
+	// Group request indexes by (tenant, model, version), preserving order
+	// within each group.
+	type groupRef struct{ tenant, model, version string }
+	groups := make(map[groupRef][]int, 2)
+	order := make([]groupRef, 0, 2)
 	for i, q := range reqs {
-		if _, ok := groups[q.Model]; !ok {
-			order = append(order, q.Model)
+		ref := groupRef{q.TenantOrDefault(), q.Model, q.Version}
+		if _, ok := groups[ref]; !ok {
+			order = append(order, ref)
 		}
-		groups[q.Model] = append(groups[q.Model], i)
+		groups[ref] = append(groups[ref], i)
 	}
 	sc := getScratch()
 	defer putScratch(sc)
-	for _, name := range order {
-		idxs := groups[name]
-		e, err := r.get(name)
+	for _, ref := range order {
+		idxs := groups[ref]
+		e, err := r.get(ref.tenant, ref.model, ref.version)
 		if err != nil {
 			for _, i := range idxs {
 				out[i] = api.QueryResult{Error: err.Error()}
@@ -317,7 +361,7 @@ func (r *Registry) queryGroup(e *modelEntry, reqs []api.QueryRequest, idxs []int
 	if cm == nil {
 		for _, i := range idxs {
 			r.interpreted.Add(1)
-			out[i] = solveQuery(e.model, reqs[i])
+			out[i] = solveQuery(e.tenant, e.name, e.model, reqs[i])
 		}
 		return
 	}
@@ -338,7 +382,7 @@ func (r *Registry) queryGroup(e *modelEntry, reqs []api.QueryRequest, idxs []int
 			spec0.Bound < cm.delta0.lo || spec0.Bound > cm.delta0.hi ||
 			spec1.Bound < cm.delta1.lo || spec1.Bound > cm.delta1.hi {
 			r.interpreted.Add(1)
-			out[i] = solveQuery(e.model, req)
+			out[i] = solveQuery(e.tenant, e.name, e.model, req)
 			continue
 		}
 		sc.stage = append(sc.stage, i)
@@ -359,11 +403,11 @@ func (r *Registry) queryGroup(e *modelEntry, reqs []api.QueryRequest, idxs []int
 		solved, ok := cm.solveFrom(s, sc.scales[j], sc.d0s[j], sc.d1s[j], sc)
 		if !ok {
 			r.interpreted.Add(1)
-			out[i] = solveQuery(e.model, reqs[i])
+			out[i] = solveQuery(e.tenant, e.name, e.model, reqs[i])
 			continue
 		}
 		r.compiled.Add(1)
-		out[i] = api.QueryResult{Response: cm.response(e.name, &solved)}
+		out[i] = api.QueryResult{Response: cm.response(&solved)}
 	}
 }
 
@@ -374,11 +418,20 @@ func (r *Registry) QueryStats() (compiled, interpreted int64) {
 	return r.compiled.Load(), r.interpreted.Load()
 }
 
+// wireTenant renders a tenant for a response: the default tenant stays
+// off the wire so pre-tenancy responses are byte-identical.
+func wireTenant(tenant string) string {
+	if tenant == api.DefaultTenant {
+		return ""
+	}
+	return tenant
+}
+
 // solveQuery runs the Table 3 arithmetic against a model. It is the
 // interpreted reference path: CompiledModel.solve must agree with it
 // bit for bit on success, and every compiled-path refusal re-runs here
 // so errors come from one place.
-func solveQuery(m *core.Model, req api.QueryRequest) api.QueryResult {
+func solveQuery(tenant, name string, m *core.Model, req api.QueryRequest) api.QueryResult {
 	fail := func(err error) api.QueryResult { return api.QueryResult{Error: err.Error()} }
 	spec0, err := req.Specs[0].ToYield()
 	if err != nil {
@@ -397,7 +450,8 @@ func solveQuery(m *core.Model, req api.QueryRequest) api.QueryResult {
 		return fail(err)
 	}
 	resp := &api.QueryResponse{
-		Model:      req.Model,
+		Model:      name,
+		Tenant:     wireTenant(tenant),
 		Targets:    d.Target,
 		DeltaPct:   d.DeltaPct,
 		FrontPerf:  d.FrontPerf,
@@ -431,25 +485,28 @@ func solveQuery(m *core.Model, req api.QueryRequest) api.QueryResult {
 	return api.QueryResult{Response: resp}
 }
 
-// List enumerates resident models plus (when a models directory exists)
-// every loadable model on disk, sorted by name.
-func (r *Registry) List() []api.ModelInfo {
-	names := map[string]bool{}
-	for name := range r.snap.Load().entries {
-		names[name] = true
+// List enumerates a tenant's models — resident ones plus everything in
+// the artefact store — sorted by name.
+func (r *Registry) List(tenant string) []api.ModelInfo {
+	if store.ValidateKey(tenant) != nil {
+		return nil
 	}
-	if r.dir != "" {
-		if dirs, err := os.ReadDir(r.dir); err == nil {
-			for _, d := range dirs {
-				if d.IsDir() && !names[d.Name()] {
-					names[d.Name()] = false
-				}
+	names := map[string]bool{}
+	for _, e := range r.snap.Load().entries {
+		if e.tenant == tenant {
+			names[e.name] = true
+		}
+	}
+	if infos, err := r.st.List(tenant, store.KindModel); err == nil {
+		for _, in := range infos {
+			if !names[in.Name] {
+				names[in.Name] = false
 			}
 		}
 	}
 	out := make([]api.ModelInfo, 0, len(names))
 	for name := range names {
-		info, err := r.Info(name)
+		info, err := r.Info(tenant, name)
 		if err != nil {
 			continue
 		}
@@ -459,32 +516,56 @@ func (r *Registry) List() []api.ModelInfo {
 	return out
 }
 
-// Info describes one model. A non-resident model is read from disk
-// without installing it, so listing the registry never evicts models
-// that live queries are using.
-func (r *Registry) Info(name string) (*api.ModelInfo, error) {
-	if err := validName(name); err != nil {
+// Tenants enumerates every tenant visible to the registry: those with
+// stored artefacts plus those with resident-only models, sorted.
+func (r *Registry) Tenants() []string {
+	seen := map[string]bool{}
+	if ts, err := r.st.Tenants(); err == nil {
+		for _, t := range ts {
+			seen[t] = true
+		}
+	}
+	for _, e := range r.snap.Load().entries {
+		seen[e.tenant] = true
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Info describes one model. A non-resident model is read from the
+// store without installing it, so listing the registry never evicts
+// models that live queries are using.
+func (r *Registry) Info(tenant, name string) (*api.ModelInfo, error) {
+	if err := validRef(tenant, name); err != nil {
 		return nil, err
 	}
-	e, resident := r.snap.Load().entries[name]
+	e, resident := r.snap.Load().entries[entryKey(tenant, name)]
 	var m *core.Model
+	var version string
 	if resident {
-		m = e.model
+		m, version = e.model, e.version
 	} else {
-		if r.dir == "" {
-			return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+		data, info, err := r.st.Get(store.Key{Tenant: tenant, Kind: store.KindModel, Name: name})
+		if err != nil {
+			if errors.Is(err, store.ErrNotFound) {
+				return nil, fmt.Errorf("%w: %s/%s", ErrUnknownModel, tenant, name)
+			}
+			return nil, fmt.Errorf("server: loading model %s/%s: %w", tenant, name, err)
 		}
-		if _, err := os.Stat(r.modelDir(name)); err != nil {
-			return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+		if m, err = core.DecodeModel(data); err != nil {
+			return nil, fmt.Errorf("server: %w: model %s/%s@%s: %v",
+				store.ErrCorrupt, tenant, name, info.Version, err)
 		}
-		var err error
-		if m, err = core.LoadModel(r.modelDir(name)); err != nil {
-			return nil, fmt.Errorf("server: loading model %q: %w", name, err)
-		}
+		version = info.Version
 	}
 	lo, hi := m.Domain()
 	lo1, hi1 := m.Delta[1].Domain()
 	return &api.ModelInfo{
+		TenantRef:      api.TenantRef{Tenant: wireTenant(tenant), Model: name, Version: version},
 		Name:           name,
 		ObjectiveNames: m.ObjectiveNames,
 		ParamNames:     m.ParamNames,

@@ -9,11 +9,12 @@ import (
 	"time"
 
 	"analogyield/internal/server/api"
+	"analogyield/internal/store"
 )
 
 func testQuery(model string) api.QueryRequest {
 	return api.QueryRequest{
-		Model: model,
+		TenantRef: api.TenantRef{Model: model},
 		Specs: [2]api.Spec{
 			{Name: "gain_db", Sense: ">=", Bound: 50},
 			{Name: "pm_deg", Sense: ">=", Bound: 76},
@@ -22,9 +23,9 @@ func testQuery(model string) api.QueryRequest {
 }
 
 func TestRegistryQuery(t *testing.T) {
-	r := NewRegistry(t.TempDir(), 4)
+	r := NewRegistry(store.OpenDisk(t.TempDir()), 4)
 	defer r.Close()
-	if err := r.Install("m1", synthModel(t, 12)); err != nil {
+	if _, err := r.Install(api.DefaultTenant, "m1", synthModel(t, 12)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -56,7 +57,7 @@ func TestRegistryQuery(t *testing.T) {
 }
 
 func TestRegistryUnknownAndBadNames(t *testing.T) {
-	r := NewRegistry(t.TempDir(), 4)
+	r := NewRegistry(store.OpenDisk(t.TempDir()), 4)
 	defer r.Close()
 	if _, err := r.Query(context.Background(), testQuery("nope")); !errors.Is(err, ErrUnknownModel) {
 		t.Errorf("unknown model: err = %v, want ErrUnknownModel", err)
@@ -70,11 +71,11 @@ func TestRegistryUnknownAndBadNames(t *testing.T) {
 
 func TestRegistryLRUEvictionAndReload(t *testing.T) {
 	dir := t.TempDir()
-	r := NewRegistry(dir, 2)
+	r := NewRegistry(store.OpenDisk(dir), 2)
 	defer r.Close()
 
 	for _, name := range []string{"m1", "m2", "m3"} {
-		if err := r.Install(name, synthModel(t, 12)); err != nil {
+		if _, err := r.Install(api.DefaultTenant, name, synthModel(t, 12)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -92,7 +93,7 @@ func TestRegistryLRUEvictionAndReload(t *testing.T) {
 	}
 
 	// All three remain visible in the listing, resident or not.
-	infos := r.List()
+	infos := r.List(api.DefaultTenant)
 	if len(infos) != 3 {
 		t.Fatalf("List: %d models, want 3", len(infos))
 	}
@@ -113,25 +114,40 @@ func TestRegistryLRUEvictionAndReload(t *testing.T) {
 	}
 }
 
-func TestRegistryEvict(t *testing.T) {
-	r := NewRegistry("", 4) // no directory: models live only in memory
+func TestRegistryEvictAndDelete(t *testing.T) {
+	r := NewRegistry(nil, 4) // in-process memory store
 	defer r.Close()
-	if err := r.Install("m1", synthModel(t, 12)); err != nil {
+	if _, err := r.Install(api.DefaultTenant, "m1", synthModel(t, 12)); err != nil {
 		t.Fatal(err)
 	}
-	if !r.Evict("m1") {
+	// Evict drops residency only: the store still holds the artefact, so
+	// the next query transparently reloads (even on the memory backend).
+	if !r.Evict(api.DefaultTenant, "m1") {
 		t.Fatal("Evict reported no entry")
 	}
+	if r.Resident() != 0 {
+		t.Fatalf("Resident = %d after Evict", r.Resident())
+	}
+	if _, err := r.Query(context.Background(), testQuery("m1")); err != nil {
+		t.Fatalf("query after eviction should reload from store: %v", err)
+	}
+	// Delete removes the artefact itself: the model is gone for good.
+	if err := r.Delete(api.DefaultTenant, "m1"); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := r.Query(context.Background(), testQuery("m1")); !errors.Is(err, ErrUnknownModel) {
-		t.Errorf("after eviction with no backing dir: err = %v, want ErrUnknownModel", err)
+		t.Errorf("after delete: err = %v, want ErrUnknownModel", err)
+	}
+	if err := r.Delete(api.DefaultTenant, "m1"); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("double delete: err = %v, want ErrUnknownModel", err)
 	}
 }
 
 func TestRegistryQueryBatchGroups(t *testing.T) {
-	r := NewRegistry(t.TempDir(), 4)
+	r := NewRegistry(store.OpenDisk(t.TempDir()), 4)
 	defer r.Close()
 	for _, name := range []string{"m1", "m2"} {
-		if err := r.Install(name, synthModel(t, 12)); err != nil {
+		if _, err := r.Install(api.DefaultTenant, name, synthModel(t, 12)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -174,9 +190,9 @@ func TestRegistryQueryBatchGroups(t *testing.T) {
 }
 
 func TestRegistryQueryCancelled(t *testing.T) {
-	r := NewRegistry(t.TempDir(), 4)
+	r := NewRegistry(store.OpenDisk(t.TempDir()), 4)
 	defer r.Close()
-	if err := r.Install("m1", synthModel(t, 12)); err != nil {
+	if _, err := r.Install(api.DefaultTenant, "m1", synthModel(t, 12)); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -198,12 +214,12 @@ func TestRegistryQueryCancelled(t *testing.T) {
 // model (answer or error, never a torn state).
 func TestRegistrySnapshotHammer(t *testing.T) {
 	dir := t.TempDir()
-	r := NewRegistry(dir, 2)
+	r := NewRegistry(store.OpenDisk(dir), 2)
 	defer r.Close()
-	if err := r.Install("hot", synthModel(t, 12)); err != nil {
+	if _, err := r.Install(api.DefaultTenant, "hot", synthModel(t, 12)); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Install("cold", synthModel(t, 12)); err != nil {
+	if _, err := r.Install(api.DefaultTenant, "cold", synthModel(t, 12)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -243,11 +259,11 @@ loop:
 			break loop
 		default:
 		}
-		if err := r.Install("hot", m2); err != nil {
+		if _, err := r.Install(api.DefaultTenant, "hot", m2); err != nil {
 			t.Errorf("install during queries: %v", err)
 			break
 		}
-		r.Evict("cold") // next batch query reloads it from dir
+		r.Evict(api.DefaultTenant, "cold") // next batch query reloads it from dir
 	}
 	close(stop)
 	wg.Wait()

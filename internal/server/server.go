@@ -1,21 +1,30 @@
 // Package server implements the ayd service layer: the repo's two
 // workloads — cheap yield queries against built behavioural models and
-// expensive model-building flow jobs — exposed over HTTP/JSON.
+// expensive model-building flow jobs — exposed over HTTP/JSON, with a
+// tenant dimension throughout. Every route exists in two spellings:
+// tenant-scoped under /v1/t/{tenant}/... and the original /v1/... form,
+// which aliases the "default" tenant so every pre-tenancy client keeps
+// working (default-tenant responses are byte-identical to the
+// pre-tenancy wire format).
 //
-// Query path: POST /v1/yield/query answers the paper's Table 3 spec
-// query (guard-banded targets, interpolated parameters, predicted
-// yield) from an LRU-bounded model registry. Models are compiled at
-// install time (compiled.go) and published in an immutable snapshot
-// behind an atomic pointer (registry.go), so the steady-state query
-// path takes no locks and performs no allocations: pooled scratch,
-// segment-hint spline evaluation and pre-rendered response JSON.
+// Query path: POST /v1/t/{tenant}/yield/query answers the paper's
+// Table 3 spec query (guard-banded targets, interpolated parameters,
+// predicted yield) from an LRU-bounded model registry. Models persist
+// in a pluggable artefact store (internal/store) — content-addressed,
+// shared across replicas — and are compiled at install time
+// (compiled.go) then published in an immutable snapshot behind an
+// atomic pointer (registry.go), so the steady-state query path takes no
+// locks and performs no allocations: pooled scratch, segment-hint
+// spline evaluation and pre-rendered response JSON. A restarted replica
+// warm-starts from the store, recompiling each model on first query.
 //
-// Job path: POST /v1/flows submits a core.RunFlow job onto a bounded
-// worker pool; GET /v1/flows/{id} polls status and GET
-// /v1/flows/{id}/events streams the typed core.Observer event stream
+// Job path: POST /v1/t/{tenant}/flows submits a core.RunFlow job onto a
+// bounded worker pool; GET .../flows/{id} polls status and GET
+// .../flows/{id}/events streams the typed core.Observer event stream
 // as Server-Sent Events (jobs.go, sse.go). Finished models are
-// installed into the registry, so a submitted flow's model is
-// immediately queryable.
+// installed into the submitting tenant's catalog, and checkpoints are
+// mirrored through the artefact store, so any replica sharing the store
+// can resume a job.
 //
 // Shutdown is graceful: in-flight queries drain, running flows are
 // cancelled cooperatively and leave resumable checkpoints, and SSE
@@ -36,6 +45,7 @@ import (
 	"analogyield/internal/core"
 	"analogyield/internal/process"
 	"analogyield/internal/server/api"
+	"analogyield/internal/store"
 )
 
 // Config assembles a Server. Zero values select the documented
@@ -43,8 +53,14 @@ import (
 type Config struct {
 	// Addr is the listen address for Start ("127.0.0.1:0" in tests).
 	Addr string
-	// ModelsDir persists model artefacts (empty = models live only in
-	// memory and die with residency).
+	// Store is the artefact store persisting models and job checkpoints.
+	// Nil selects a backend from ModelsDir: a store.Disk rooted there
+	// when set, otherwise an in-process store.Memory (artefacts die with
+	// the server).
+	Store store.Store
+	// ModelsDir roots the default disk store and is scanned at startup
+	// for models in the legacy per-directory layout (front.tbl), which
+	// are imported into the store under the default tenant.
 	ModelsDir string
 	// DataDir holds job state (checkpoints). Empty = ModelsDir.
 	DataDir string
@@ -75,6 +91,13 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Store == nil {
+		if c.ModelsDir != "" {
+			c.Store = store.OpenDisk(c.ModelsDir)
+		} else {
+			c.Store = store.NewMemory()
+		}
+	}
 	if c.DataDir == "" {
 		c.DataDir = c.ModelsDir
 	}
@@ -124,7 +147,14 @@ type Server struct {
 // Start binds Config.Addr).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	reg := NewRegistry(cfg.ModelsDir, cfg.MaxModels)
+	reg := NewRegistry(cfg.Store, cfg.MaxModels)
+	if cfg.ModelsDir != "" {
+		if n, err := importLegacy(cfg.ModelsDir, reg, cfg.Logger); err != nil {
+			cfg.Logger.Warn("legacy model scan failed", "dir", cfg.ModelsDir, "err", err)
+		} else if n > 0 {
+			cfg.Logger.Info("legacy models imported", "dir", cfg.ModelsDir, "count", n)
+		}
+	}
 	s := &Server{
 		cfg:        cfg,
 		reg:        reg,
@@ -156,17 +186,28 @@ func (s *Server) Handler() http.Handler {
 	timed := func(name string, h http.HandlerFunc) http.Handler {
 		return observeLatency(m.Histogram(name), withTimeout(s.cfg.QueryTimeout, h))
 	}
-	mux.Handle("POST /v1/yield/query", timed("query", s.handleQuery))
-	mux.Handle("GET /v1/models", timed("models", s.handleModels))
-	mux.Handle("GET /v1/models/{name}", timed("models", s.handleModel))
-	mux.Handle("POST /v1/flows", timed("flow_submit", s.handleSubmit))
-	mux.Handle("GET /v1/flows", timed("flow_status", s.handleJobs))
-	mux.Handle("GET /v1/flows/{id}", timed("flow_status", s.handleJob))
-	mux.Handle("DELETE /v1/flows/{id}", timed("flow_status", s.handleCancel))
+	// Every route is registered twice: tenant-scoped under
+	// /v1/t/{tenant}/..., and at the pre-tenancy /v1/... path, which
+	// aliases the default tenant (tenantFromPath resolves the absent
+	// {tenant} segment).
+	both := func(method, suffix string, h http.Handler) {
+		mux.Handle(method+" /v1/"+suffix, h)
+		mux.Handle(method+" /v1/t/{tenant}/"+suffix, h)
+	}
+	both("POST", "yield/query", timed("query", s.handleQuery))
+	both("GET", "models", timed("models", s.handleModels))
+	both("GET", "models/{name}", timed("models", s.handleModel))
+	both("POST", "models", timed("model_install", s.handleInstallModel))
+	both("DELETE", "models/{name}", timed("model_install", s.handleDeleteModel))
+	both("POST", "flows", timed("flow_submit", s.handleSubmit))
+	both("GET", "flows", timed("flow_status", s.handleJobs))
+	both("GET", "flows/{id}", timed("flow_status", s.handleJob))
+	both("DELETE", "flows/{id}", timed("flow_status", s.handleCancel))
 	// SSE: latency histogram would only measure stream lifetime, and
 	// TimeoutHandler breaks flushing — the events route is wrapped by
 	// neither.
-	mux.Handle("GET /v1/flows/{id}/events", http.HandlerFunc(s.handleEvents))
+	both("GET", "flows/{id}/events", http.HandlerFunc(s.handleEvents))
+	mux.Handle("GET /v1/tenants", timed("models", s.handleTenants))
 	mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealth))
 	mux.Handle("GET /debug/vars", expvar.Handler())
 
@@ -233,8 +274,13 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // errStatus maps a service error to an HTTP status.
 func errStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrUnknownModel), errors.Is(err, ErrUnknownJob):
+	case errors.Is(err, ErrUnknownModel), errors.Is(err, ErrUnknownJob),
+		errors.Is(err, store.ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, store.ErrInvalidKey):
+		return http.StatusBadRequest
+	case errors.Is(err, store.ErrCorrupt):
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -242,6 +288,33 @@ func errStatus(err error) int {
 	default:
 		return http.StatusUnprocessableEntity
 	}
+}
+
+// tenantFromPath resolves a request's effective tenant: the {tenant}
+// path segment on /v1/t/ routes, the default tenant on the pre-tenancy
+// aliases.
+func tenantFromPath(r *http.Request) string {
+	if t := r.PathValue("tenant"); t != "" {
+		return t
+	}
+	return api.DefaultTenant
+}
+
+// resolveTenant reconciles the path tenant with a request body's
+// TenantRef. On the legacy aliases the body tenant (usually absent ⇒
+// default) stands; on tenant-scoped routes an absent body tenant
+// inherits the path, and a contradicting one is an error (a request
+// must not silently act on a namespace other than the one in its URL).
+func resolveTenant(r *http.Request, ref *api.TenantRef) error {
+	pt := r.PathValue("tenant")
+	if pt == "" {
+		return nil
+	}
+	if ref.Tenant != "" && ref.Tenant != pt {
+		return fmt.Errorf("body tenant %q contradicts path tenant %q", ref.Tenant, pt)
+	}
+	ref.Tenant = pt
+	return nil
 }
 
 // queryBody accepts both the single and the batch shape on one route.
@@ -255,6 +328,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
+	}
+	if err := resolveTenant(r, &body.TenantRef); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	for i := range body.Queries {
+		if err := resolveTenant(r, &body.Queries[i].TenantRef); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
 	}
 	if len(body.Queries) > 0 {
 		// Queries group by model and stage through the batch evaluator —
@@ -278,11 +361,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.reg.List())
+	tenant := tenantFromPath(r)
+	if err := store.ValidateKey(tenant); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	list := s.reg.List(tenant)
+	if list == nil {
+		list = []api.ModelInfo{} // an empty catalog is [], not null
+	}
+	writeJSON(w, http.StatusOK, list)
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	info, err := s.reg.Info(r.PathValue("name"))
+	info, err := s.reg.Info(tenantFromPath(r), r.PathValue("name"))
 	if err != nil {
 		writeError(w, errStatus(err), "%v", err)
 		return
@@ -290,10 +382,60 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// handleInstallModel uploads a finished model artefact into the
+// tenant's catalog: the server rebuilds the tables from the Pareto
+// points, persists the canonical payload to the store and makes the
+// model queryable, answering with the catalog entry (including the
+// content-addressed version).
+func (s *Server) handleInstallModel(w http.ResponseWriter, r *http.Request) {
+	var req api.InstallModelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	tenant := tenantFromPath(r)
+	pts := make([]core.ParetoPoint, len(req.Points))
+	for i, p := range req.Points {
+		pts[i] = core.ParetoPoint{Perf: p.Perf, DeltaPct: p.DeltaPct, Params: p.Params}
+	}
+	m, err := core.BuildModel(pts, req.ObjectiveNames, req.ParamNames, req.ParamUnits,
+		core.ModelOptions{MaxTablePoints: req.MaxTablePoints})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if _, err := s.reg.Install(tenant, req.Name, m); err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	info, err := s.reg.Info(tenant, req.Name)
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Delete(tenantFromPath(r), r.PathValue("name")); err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": s.reg.Tenants()})
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.FlowRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := resolveTenant(r, &req.TenantRef); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	st, err := s.jobs.Submit(req)
@@ -305,11 +447,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.jobs.List())
+	writeJSON(w, http.StatusOK, s.jobs.List(tenantFromPath(r)))
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	st, err := s.jobs.Status(r.PathValue("id"))
+	st, err := s.jobs.Status(tenantFromPath(r), r.PathValue("id"))
 	if err != nil {
 		writeError(w, errStatus(err), "%v", err)
 		return
@@ -318,7 +460,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	st, err := s.jobs.Cancel(r.PathValue("id"))
+	st, err := s.jobs.Cancel(tenantFromPath(r), r.PathValue("id"))
 	if err != nil {
 		writeError(w, errStatus(err), "%v", err)
 		return
@@ -334,6 +476,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	qc, qi := s.reg.QueryStats()
 	body := map[string]any{
 		"status":          "ok",
+		"store":           s.reg.Store().Backend(),
 		"resident_models": s.reg.Resident(),
 		"query_engine": map[string]int64{
 			"compiled":    qc,

@@ -18,8 +18,8 @@ import (
 func TestShutdownMidMCLeavesResumableCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	req := api.FlowRequest{
+		TenantRef:       api.TenantRef{Model: "ckpt-model"},
 		Problem:         "synth",
-		Model:           "ckpt-model",
 		PopSize:         24,
 		Generations:     8,
 		MCSamples:       60,
@@ -46,7 +46,7 @@ func TestShutdownMidMCLeavesResumableCheckpoint(t *testing.T) {
 	// ticks on each MCPointDone), then pull the plug.
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		got, serr := srv1.Jobs().Status(st.ID)
+		got, serr := srv1.Jobs().Status(api.DefaultTenant, st.ID)
 		if serr != nil {
 			t.Fatal(serr)
 		}
@@ -67,7 +67,7 @@ func TestShutdownMidMCLeavesResumableCheckpoint(t *testing.T) {
 		t.Fatalf("Shutdown: %v", err)
 	}
 
-	got, err := srv1.Jobs().Status(st.ID)
+	got, err := srv1.Jobs().Status(api.DefaultTenant, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestShutdownMidMCLeavesResumableCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitDone(t, srv2.Jobs(), st2.ID, 60*time.Second)
-	fin, err := srv2.Jobs().Status(st2.ID)
+	fin, err := srv2.Jobs().Status(api.DefaultTenant, st2.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestShutdownMidMCLeavesResumableCheckpoint(t *testing.T) {
 	if !fin.Resumed {
 		t.Error("resumed job did not report Resumed")
 	}
-	j, err := srv2.Jobs().get(st2.ID)
+	j, err := srv2.Jobs().get(api.DefaultTenant, st2.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestShutdownMidMCLeavesResumableCheckpoint(t *testing.T) {
 	}
 
 	// The finished model answers queries on the second server.
-	if _, err := srv2.Registry().Info("ckpt-model"); err != nil {
+	if _, err := srv2.Registry().Info(api.DefaultTenant, "ckpt-model"); err != nil {
 		t.Fatalf("model not installed after resume: %v", err)
 	}
 }

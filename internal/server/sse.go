@@ -16,7 +16,7 @@ import (
 // down. Each SSE message's id is the event Seq and its data one
 // api.Event JSON object.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	j, err := s.jobs.get(r.PathValue("id"))
+	j, err := s.jobs.get(tenantFromPath(r), r.PathValue("id"))
 	if err != nil {
 		writeError(w, errStatus(err), "%v", err)
 		return

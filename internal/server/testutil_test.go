@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"analogyield/internal/core"
+	"analogyield/internal/server/api"
 	"analogyield/internal/process"
 )
 
@@ -116,7 +117,7 @@ func synthModel(t *testing.T, n int) *core.Model {
 // deadline expires.
 func waitDone(t *testing.T, m *JobManager, id string, timeout time.Duration) {
 	t.Helper()
-	ch, err := m.Done(id)
+	ch, err := m.Done(api.DefaultTenant, id)
 	if err != nil {
 		t.Fatalf("Done(%s): %v", id, err)
 	}

@@ -1,0 +1,98 @@
+// The on-disk artefact format: a self-describing binary envelope around
+// an opaque payload. Every field a reader needs to reject the wrong
+// file — magic, format version, kind, payload fingerprint, payload
+// length — precedes the payload, and the fingerprint doubles as the
+// artefact's content address, so decoding re-verifies the payload
+// against the version it was fetched by.
+//
+//	offset  size  field
+//	0       4     magic "AYDA"
+//	4       2     format version (big endian uint16)
+//	6       1     kind length K
+//	7       K     kind (ASCII)
+//	7+K     32    sha256(payload)
+//	39+K    8     payload length N (big endian uint64)
+//	47+K    N     payload
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Magic identifies an ayd artefact file.
+var Magic = [4]byte{'A', 'Y', 'D', 'A'}
+
+// FormatVersion is the current artefact envelope version; bump on
+// incompatible envelope change.
+const FormatVersion uint16 = 1
+
+// fingerprint computes an artefact payload's content address.
+func fingerprint(payload []byte) [32]byte { return sha256.Sum256(payload) }
+
+// Version renders a payload's content address as the store version
+// string.
+func Version(payload []byte) string {
+	fp := fingerprint(payload)
+	return hex.EncodeToString(fp[:])
+}
+
+// encodeArtefact wraps payload in the versioned envelope.
+func encodeArtefact(kind Kind, payload []byte) []byte {
+	k := []byte(kind)
+	fp := fingerprint(payload)
+	out := make([]byte, 0, 4+2+1+len(k)+32+8+len(payload))
+	out = append(out, Magic[:]...)
+	out = binary.BigEndian.AppendUint16(out, FormatVersion)
+	out = append(out, byte(len(k)))
+	out = append(out, k...)
+	out = append(out, fp[:]...)
+	out = binary.BigEndian.AppendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	return out
+}
+
+// decodeArtefact unwraps an envelope, verifying every layer: magic,
+// format version, kind, declared length, and the payload fingerprint.
+// wantVersion, when non-empty, is the content address the artefact was
+// fetched by; a mismatch is corruption (the blob does not contain what
+// its name promises). The returned slice aliases b.
+func decodeArtefact(b []byte, kind Kind, wantVersion string) ([]byte, error) {
+	if len(b) < 7 {
+		return nil, fmt.Errorf("%w: %d-byte artefact", ErrTruncated, len(b))
+	}
+	if !bytes.Equal(b[:4], Magic[:]) {
+		return nil, fmt.Errorf("%w: got % x", ErrBadMagic, b[:4])
+	}
+	if v := binary.BigEndian.Uint16(b[4:6]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: got %d, support %d", ErrBadVersion, v, FormatVersion)
+	}
+	klen := int(b[6])
+	rest := b[7:]
+	if len(rest) < klen+32+8 {
+		return nil, fmt.Errorf("%w: header ends at %d bytes", ErrTruncated, len(b))
+	}
+	gotKind := Kind(rest[:klen])
+	if gotKind != kind {
+		return nil, fmt.Errorf("%w: artefact kind %q, want %q", ErrCorrupt, gotKind, kind)
+	}
+	var declared [32]byte
+	copy(declared[:], rest[klen:klen+32])
+	n := binary.BigEndian.Uint64(rest[klen+32 : klen+40])
+	payload := rest[klen+40:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("%w: payload %d bytes, header declares %d", ErrTruncated, len(payload), n)
+	}
+	if fp := fingerprint(payload); fp != declared {
+		return nil, fmt.Errorf("%w: payload hash %s, header declares %s",
+			ErrFingerprint, hex.EncodeToString(fp[:]), hex.EncodeToString(declared[:]))
+	}
+	if wantVersion != "" && hex.EncodeToString(declared[:]) != wantVersion {
+		return nil, fmt.Errorf("%w: artefact is version %s, fetched as %s",
+			ErrFingerprint, hex.EncodeToString(declared[:]), wantVersion)
+	}
+	return payload, nil
+}
