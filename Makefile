@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race test-store e2e-store vet lint check bench bench-paper bench-perf loadtest examples cover
+.PHONY: build test test-race test-store e2e-store vet lint check bench bench-paper bench-perf loadtest soak-smoke examples cover
 
 build:
 	go build ./...
@@ -41,9 +41,16 @@ bench-perf:
 	scripts/bench.sh
 
 # Open-loop load test of the yield-query serving path (in-process server
-# unless URL is set); writes benchmarks/BENCH_serve.json.
+# unless URL is set); writes benchmarks/BENCH_serve.json and, when no
+# URL is given, an over-the-wire run to benchmarks/BENCH_serve_net.json.
 loadtest:
 	scripts/loadtest.sh
+
+# Short soak of the real binary under -race: spawn ayd, hold mixed
+# query/flow load, fail on goroutine/RSS growth or p99 drift; writes
+# benchmarks/SOAK.json.
+soak-smoke:
+	scripts/soak-smoke.sh
 
 # Regenerate every paper table/figure at scaled-down budgets (~1 min).
 bench:

@@ -6,7 +6,17 @@
 //
 //	ayd serve [-addr :8080] [-store disk|mem] [-models DIR] [-data DIR]
 //	          [-workers N] [-max-models N] [-max-inflight N]
-//	          [-query-timeout D] [-pprof 127.0.0.1:6060]
+//	          [-max-inflight-heavy N] [-max-body BYTES]
+//	          [-query-timeout D] [-drain-timeout D]
+//	          [-tls-cert FILE -tls-key FILE] [-trusted-proxies CIDRS]
+//	          [-cors-origin ORIGINS] [-pprof 127.0.0.1:6060]
+//
+// The HTTP layer is hardened for untrusted traffic (internal/httpx):
+// panic recovery, request IDs, body limits, per-route and global
+// in-flight caps, trusted-proxy client-IP resolution, optional CORS and
+// TLS with modern defaults. GET /metrics exposes the full counter and
+// latency-histogram registry in Prometheus text format alongside the
+// expvar export at /debug/vars.
 //
 // With -store disk (the default) model artefacts and job checkpoints
 // persist content-addressed under -models, shared safely with other ayd
@@ -28,6 +38,7 @@ import (
 	_ "net/http/pprof" // registered on the opt-in -pprof listener only
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,8 +67,14 @@ func serve(args []string) int {
 		workers     = fs.Int("workers", 2, "flow worker pool size")
 		maxModels   = fs.Int("max-models", 8, "maximum models resident in memory (LRU beyond)")
 		maxInflight = fs.Int("max-inflight", 256, "maximum concurrent HTTP requests before shedding")
+		heavyIF     = fs.Int("max-inflight-heavy", 32, "tighter in-flight cap on flow submission and model install routes")
+		maxBody     = fs.Int64("max-body", 4<<20, "maximum request body bytes (oversized bodies get 413; negative = unlimited)")
 		queryTO     = fs.Duration("query-timeout", 30*time.Second, "per-request timeout on non-streaming routes")
 		drainTO     = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		tlsCert     = fs.String("tls-cert", "", "PEM certificate file; with -tls-key, serve TLS with modern defaults")
+		tlsKey      = fs.String("tls-key", "", "PEM private key file for -tls-cert")
+		proxies     = fs.String("trusted-proxies", "", "comma-separated CIDRs/IPs of reverse proxies whose X-Forwarded-For is honoured")
+		corsOrigins = fs.String("cors-origin", "", "comma-separated origins allowed cross-origin browser access (\"*\" = any; default off)")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; default off)")
 		mcStrategy  = fs.String("mc-strategy", "", "default Monte Carlo estimator for submitted flows: naive (default), is, surrogate, is+surrogate")
 	)
@@ -96,16 +113,23 @@ func serve(args []string) int {
 	}
 
 	srv := server.New(server.Config{
-		Addr:         *addr,
-		Store:        st,
-		ModelsDir:    *models,
-		DataDir:      *data,
-		FlowWorkers:  *workers,
-		MaxModels:    *maxModels,
-		MaxInFlight:  *maxInflight,
-		QueryTimeout: *queryTO,
-		Metrics:      metrics,
-		Logger:       log,
+		Addr:           *addr,
+		Store:          st,
+		ModelsDir:      *models,
+		DataDir:        *data,
+		FlowWorkers:    *workers,
+		MaxModels:      *maxModels,
+		MaxInFlight:    *maxInflight,
+		HeavyInFlight:  *heavyIF,
+		MaxBodyBytes:   *maxBody,
+		QueryTimeout:   *queryTO,
+		DrainTimeout:   *drainTO,
+		TLSCertFile:    *tlsCert,
+		TLSKeyFile:     *tlsKey,
+		TrustedProxies: splitList(*proxies),
+		CORSOrigins:    splitList(*corsOrigins),
+		Metrics:        metrics,
+		Logger:         log,
 
 		DefaultMCStrategy: *mcStrategy,
 	})
@@ -120,12 +144,23 @@ func serve(args []string) int {
 	stop() // a second signal kills immediately
 	log.Info("shutting down", "budget", drainTO.String())
 
-	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
-	defer cancel()
-	if err := srv.Shutdown(drainCtx); err != nil {
+	// No deadline here: Shutdown applies Config.DrainTimeout itself.
+	if err := srv.Shutdown(context.Background()); err != nil {
 		log.Error("shutdown", "err", err)
 		return 1
 	}
 	log.Info("bye")
 	return 0
+}
+
+// splitList parses a comma-separated flag value into its non-empty
+// trimmed entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -8,15 +8,27 @@
 //
 // Usage:
 //
-//	aydload [-url http://127.0.0.1:8080] [-qps 2000] [-duration 10s]
-//	        [-inflight 256] [-model loadtest] [-o result.json]
+//	aydload [-url http://127.0.0.1:8080] [-addr 127.0.0.1:0] [-qps 2000]
+//	        [-duration 10s] [-inflight 256] [-model loadtest]
+//	        [-o result.json]
 //
 // With no -url, aydload starts an in-process server on a loopback port,
 // installs a synthetic behavioural model and drives that — a
-// self-contained smoke mode used by scripts/loadtest.sh and CI.
+// self-contained smoke mode used by scripts/loadtest.sh and CI. The
+// report marks this mode in_process: true because no packet crosses the
+// kernel's TCP stack between two processes.
+//
+// With -addr, aydload instead re-executes itself as a *separate*
+// serving process (the same internal/server stack the ayd binary runs)
+// bound to the given address, waits for it to come up, and drives it
+// over real TCP — syscalls, loopback queueing, connection pool and all.
+// That is the over-the-wire measurement (in_process: false) recorded in
+// benchmarks/BENCH_serve_net.json. -url still targets any externally
+// managed server.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -27,6 +39,8 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/exec"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,9 +64,24 @@ type result struct {
 	InProcess   bool                   `json:"in_process,omitempty"`
 }
 
+// serveEnv marks the re-executed serving child; it carries the listen
+// address the parent chose.
+const (
+	serveEnv = "AYDLOAD_SERVE"
+	modelEnv = "AYDLOAD_MODEL"
+)
+
 func main() {
+	if addr := os.Getenv(serveEnv); addr != "" {
+		if err := serveChild(addr, os.Getenv(modelEnv)); err != nil {
+			fmt.Fprintln(os.Stderr, "aydload (serve child):", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		url      = flag.String("url", "", "target server base URL (empty: start an in-process server)")
+		addr     = flag.String("addr", "", "spawn a separate serving process on this address (e.g. 127.0.0.1:0) and drive it over TCP")
 		qps      = flag.Float64("qps", 2000, "target arrival rate (open loop)")
 		duration = flag.Duration("duration", 10*time.Second, "test length")
 		inflight = flag.Int("inflight", 256, "max concurrent requests; arrivals beyond it are shed and counted")
@@ -60,20 +89,34 @@ func main() {
 		out      = flag.String("o", "", "write the JSON report here (default stdout)")
 	)
 	flag.Parse()
-	if err := run(*url, *qps, *duration, *inflight, *model, *out); err != nil {
+	if *url != "" && *addr != "" {
+		fmt.Fprintln(os.Stderr, "aydload: -url and -addr are mutually exclusive")
+		os.Exit(2)
+	}
+	if err := run(*url, *addr, *qps, *duration, *inflight, *model, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "aydload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url string, qps float64, duration time.Duration, inflight int, model, out string) error {
+func run(url, addr string, qps float64, duration time.Duration, inflight int, model, out string) error {
 	if qps <= 0 {
 		return fmt.Errorf("non-positive -qps %g", qps)
 	}
 	res := result{Model: model, TargetQPS: qps, DurationSec: duration.Seconds()}
 
-	if url == "" {
-		srv, err := inProcessServer(model)
+	switch {
+	case url != "":
+		// Externally managed target; nothing to start or stop.
+	case addr != "":
+		childURL, stop, err := spawnChild(addr, model)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		url = childURL
+	default:
+		srv, err := startServer("127.0.0.1:0", model)
 		if err != nil {
 			return err
 		}
@@ -232,10 +275,75 @@ func fetchModelInfo(client *http.Client, url, model string) (*api.ModelInfo, err
 	return nil, fmt.Errorf("model %q not served at %s (have %d models)", model, url, len(infos))
 }
 
-// inProcessServer starts a loopback server with a synthetic 64-point
-// model installed under the given name — the same analytic front the
-// server package's tests and benchmarks use.
-func inProcessServer(model string) (*server.Server, error) {
+// serveChild is the re-executed serving process of -addr mode: it binds
+// the requested address, installs the synthetic model, announces the
+// bound address on stdout, and serves until the parent closes its
+// stdin.
+func serveChild(addr, model string) error {
+	if model == "" {
+		model = "loadtest"
+	}
+	srv, err := startServer(addr, model)
+	if err != nil {
+		return err
+	}
+	// The parent reads this line to learn the bound port (addr may be
+	// ":0").
+	fmt.Printf("AYDLOAD_READY %s\n", srv.Addr())
+	os.Stdout.Close()
+	io.Copy(io.Discard, os.Stdin) //nolint:errcheck // EOF = parent is done
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+// spawnChild re-executes this binary as a separate serving process and
+// waits for its ready line; the returned stop closes the child's stdin
+// (its shutdown signal) and reaps it.
+func spawnChild(addr, model string) (url string, stop func(), err error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", nil, err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), serveEnv+"="+addr, modelEnv+"="+model)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	stop = func() {
+		stdin.Close()
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }() //nolint:errcheck
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill() //nolint:errcheck // drain hung; reap hard
+			<-done
+		}
+	}
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if boundAddr, ok := strings.CutPrefix(sc.Text(), "AYDLOAD_READY "); ok {
+			return "http://" + boundAddr, stop, nil
+		}
+	}
+	stop()
+	return "", nil, fmt.Errorf("serving child exited before announcing readiness")
+}
+
+// startServer starts a serving stack bound to addr with a synthetic
+// 64-point model installed under the given name — the same analytic
+// front the server package's tests and benchmarks use.
+func startServer(addr, model string) (*server.Server, error) {
 	const n = 64
 	pts := make([]core.ParetoPoint, n)
 	for i := range pts {
@@ -255,7 +363,7 @@ func inProcessServer(model string) (*server.Server, error) {
 		return nil, err
 	}
 	srv := server.New(server.Config{
-		Addr:   "127.0.0.1:0",
+		Addr:   addr,
 		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
 	if _, err := srv.Registry().Install(api.DefaultTenant, model, m); err != nil {

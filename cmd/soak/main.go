@@ -1,0 +1,520 @@
+// Command soak is a long-duration stress harness for the ayd service:
+// it drives a *separate* ayd process over real TCP with mixed traffic —
+// open-loop yield queries plus periodic model-building flow submissions
+// — while sampling the server's resident set size, goroutine count and
+// tail latency over time, and fails when any of them drifts beyond its
+// threshold. It is the leak hunter the in-process benchmarks cannot be:
+// a goroutine leaked per request, a connection left undrained or an RSS
+// creep under sustained load only shows up across minutes of wall
+// clock against a real network stack.
+//
+// Usage:
+//
+//	soak -bin ./bin/ayd [-duration 60s] [-qps 500] [-sample 2s]
+//	     [-flow-every 15s] [-o benchmarks/SOAK.json]
+//	soak -addr 127.0.0.1:8080 ...   # target an already-running server
+//
+// With -bin, soak picks a free loopback port, spawns `ayd serve -store
+// mem` on it, reads RSS from the child's /proc entry as well as from
+// its /metrics export, and tears the process down at the end. With
+// -addr it attaches to an externally managed server and relies on
+// /metrics alone.
+//
+// Verdicts (evaluated on samples taken after the warmup fraction, so
+// pool growth and first-touch allocation don't count as leaks):
+//
+//   - goroutines: last sample minus post-warmup baseline must not
+//     exceed -max-goroutine-growth
+//   - RSS: growth over the baseline must stay under -max-rss-pct
+//   - p99: the median of late-window p99s must not exceed the median of
+//     early post-warmup windows by more than -max-p99-drift-pct
+//   - errors: the HTTP error rate must stay under 1%
+//
+// Exit status: 0 pass, 1 threshold exceeded or harness failure.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"analogyield/internal/core"
+	"analogyield/internal/server/api"
+	"analogyield/internal/server/client"
+)
+
+// sample is one periodic observation of the target process.
+type sample struct {
+	ElapsedSec float64 `json:"elapsed_s"`
+	Goroutines int64   `json:"goroutines"`
+	RSSBytes   int64   `json:"rss_bytes"`
+	// Window statistics since the previous sample.
+	WindowRequests int64   `json:"window_requests"`
+	WindowP99Ms    float64 `json:"window_p99_ms"`
+}
+
+// report is the machine-readable outcome (benchmarks/SOAK.json).
+type report struct {
+	Target      string                 `json:"target"`
+	Spawned     bool                   `json:"spawned"`
+	DurationSec float64                `json:"duration_s"`
+	TargetQPS   float64                `json:"target_qps"`
+	Requests    int64                  `json:"requests"`
+	Errors      int64                  `json:"errors"`
+	Shed        int64                  `json:"shed"`
+	Flows       int                    `json:"flows_submitted"`
+	Samples     []sample               `json:"samples"`
+	Latency     core.HistogramSnapshot `json:"latency"`
+
+	BaselineGoroutines int64   `json:"baseline_goroutines"`
+	FinalGoroutines    int64   `json:"final_goroutines"`
+	BaselineRSSBytes   int64   `json:"baseline_rss_bytes"`
+	FinalRSSBytes      int64   `json:"final_rss_bytes"`
+	EarlyP99Ms         float64 `json:"early_p99_ms"`
+	LateP99Ms          float64 `json:"late_p99_ms"`
+
+	Failures []string `json:"failures"`
+	Pass     bool     `json:"pass"`
+}
+
+func main() {
+	var (
+		bin       = flag.String("bin", "", "path to the ayd binary to spawn (exclusive with -addr)")
+		addr      = flag.String("addr", "", "address of an already-running ayd server (exclusive with -bin)")
+		duration  = flag.Duration("duration", 60*time.Second, "soak length")
+		qps       = flag.Float64("qps", 500, "target query arrival rate (open loop)")
+		inflight  = flag.Int("inflight", 128, "max concurrent queries; arrivals beyond it are shed")
+		sampleDur = flag.Duration("sample", 2*time.Second, "sampling cadence for RSS/goroutines/window p99")
+		flowEvery = flag.Duration("flow-every", 15*time.Second, "cadence of flow-job submissions (0 = queries only)")
+		model     = flag.String("model", "soak", "name the synthetic query model is installed under")
+		warmup    = flag.Float64("warmup", 0.25, "fraction of the duration excluded from leak baselines")
+		maxGoro   = flag.Int64("max-goroutine-growth", 50, "max goroutine growth over the post-warmup baseline")
+		maxRSSPct = flag.Float64("max-rss-pct", 35, "max RSS growth percent over the post-warmup baseline")
+		maxP99Pct = flag.Float64("max-p99-drift-pct", 300, "max late-vs-early p99 drift percent")
+		out       = flag.String("o", "", "write the JSON report here (default stdout)")
+		serverLog = flag.Bool("server-log", false, "pass the spawned server's stderr through (one line per request; noisy)")
+	)
+	flag.Parse()
+	if (*bin == "") == (*addr == "") {
+		fmt.Fprintln(os.Stderr, "soak: exactly one of -bin or -addr is required")
+		os.Exit(1)
+	}
+	rep, err := run(*bin, *addr, *duration, *qps, *inflight, *sampleDur, *flowEvery, *model, *warmup, *serverLog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		os.Exit(1)
+	}
+	evaluate(rep, *maxGoro, *maxRSSPct, *maxP99Pct)
+	if err := emit(rep, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		os.Exit(1)
+	}
+	if !rep.Pass {
+		fmt.Fprintf(os.Stderr, "soak: FAIL: %s\n", strings.Join(rep.Failures, "; "))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "soak: PASS — %d requests, goroutines %d→%d, RSS %.1f→%.1f MiB, p99 %.2f→%.2fms\n",
+		rep.Requests, rep.BaselineGoroutines, rep.FinalGoroutines,
+		float64(rep.BaselineRSSBytes)/(1<<20), float64(rep.FinalRSSBytes)/(1<<20),
+		rep.EarlyP99Ms, rep.LateP99Ms)
+}
+
+func run(bin, addr string, duration time.Duration, qps float64, inflight int,
+	sampleDur, flowEvery time.Duration, model string, warmup float64, serverLog bool) (*report, error) {
+
+	rep := &report{DurationSec: duration.Seconds(), TargetQPS: qps}
+	var childPid int
+	if bin != "" {
+		port, err := freePort()
+		if err != nil {
+			return nil, err
+		}
+		addr = fmt.Sprintf("127.0.0.1:%d", port)
+		cmd := exec.Command(bin, "serve", "-addr", addr, "-store", "mem", "-workers", "1")
+		if serverLog {
+			cmd.Stderr = os.Stderr
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("spawning %s: %w", bin, err)
+		}
+		childPid = cmd.Process.Pid
+		rep.Spawned = true
+		defer func() {
+			cmd.Process.Signal(os.Interrupt) //nolint:errcheck
+			done := make(chan struct{})
+			go func() { cmd.Wait(); close(done) }() //nolint:errcheck
+			select {
+			case <-done:
+			case <-time.After(15 * time.Second):
+				cmd.Process.Kill() //nolint:errcheck // drain hung; reap hard
+				<-done
+			}
+		}()
+	}
+	base := "http://" + addr
+	rep.Target = base
+
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        inflight,
+		MaxIdleConnsPerHost: inflight,
+	}}
+	if err := waitReady(hc, base, 10*time.Second); err != nil {
+		return nil, err
+	}
+	cl := client.New(base, client.WithHTTPClient(hc))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := cl.InstallModel(ctx, syntheticModel(model)); err != nil {
+		return nil, fmt.Errorf("installing query model: %w", err)
+	}
+	bodies, err := queryBodies(model)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		total    core.Histogram
+		window   atomic.Pointer[core.Histogram]
+		requests atomic.Int64
+		errs     atomic.Int64
+		shed     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	window.Store(&core.Histogram{})
+
+	// Query loop: open-loop arrivals exactly like cmd/aydload — the
+	// clock schedules request i at start+i·interval regardless of how
+	// the server is doing.
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sem := make(chan struct{}, inflight)
+		var inner sync.WaitGroup
+		defer inner.Wait()
+		endpoint := base + "/v1/yield/query"
+		interval := time.Duration(float64(time.Second) / qps)
+		next := start
+		for i := 0; time.Since(start) < duration; i++ {
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			select {
+			case sem <- struct{}{}:
+			default:
+				shed.Add(1)
+				continue
+			}
+			inner.Add(1)
+			go func(body []byte) {
+				defer inner.Done()
+				defer func() { <-sem }()
+				t0 := time.Now()
+				resp, err := hc.Post(endpoint, "application/json", bytes.NewReader(body))
+				requests.Add(1)
+				if err != nil {
+					errs.Add(1)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+				resp.Body.Close()
+				el := time.Since(t0)
+				total.Observe(el)
+				window.Load().Observe(el)
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+				}
+			}(bodies[i%len(bodies)])
+		}
+	}()
+
+	// Flow loop: periodic small model-building jobs keep the worker
+	// pool, checkpointing and SSE machinery exercised while queries
+	// hammer the hot path. A fixed seed makes every artefact identical,
+	// so the content-addressed store does not grow across submissions —
+	// growth that does show up is a leak, not workload.
+	if flowEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(flowEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if time.Since(start) >= duration {
+						return
+					}
+					_, err := cl.SubmitFlow(ctx, api.FlowRequest{
+						TenantRef:   api.TenantRef{Model: "soakflow"},
+						Problem:     "ota",
+						PopSize:     16,
+						Generations: 3,
+						MCSamples:   16,
+						Workers:     1,
+						Seed:        7,
+					})
+					if err == nil {
+						rep.Flows++
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	// Sampler: swap the window histogram, scrape /metrics, read the
+	// child's /proc entry as the RSS fallback.
+	for elapsed := time.Duration(0); elapsed < duration; {
+		step := sampleDur
+		if rem := duration - elapsed; rem < step {
+			step = rem
+		}
+		time.Sleep(step)
+		elapsed = time.Since(start)
+		prev := window.Swap(&core.Histogram{})
+		snap := prev.Snapshot()
+		goro, rss := scrape(hc, base)
+		if rss == 0 && childPid != 0 {
+			rss = procRSS(childPid)
+		}
+		rep.Samples = append(rep.Samples, sample{
+			ElapsedSec:     elapsed.Seconds(),
+			Goroutines:     goro,
+			RSSBytes:       rss,
+			WindowRequests: snap.Count,
+			WindowP99Ms:    snap.P99Millis,
+		})
+	}
+	wg.Wait()
+	cancel()
+
+	rep.Requests = requests.Load()
+	rep.Errors = errs.Load()
+	rep.Shed = shed.Load()
+	rep.Latency = total.Snapshot()
+	summarize(rep, warmup)
+	return rep, nil
+}
+
+// summarize derives the leak/drift figures from the sample series.
+func summarize(rep *report, warmup float64) {
+	if len(rep.Samples) == 0 {
+		return
+	}
+	warmSec := warmup * rep.DurationSec
+	warm := rep.Samples
+	for i, s := range rep.Samples {
+		if s.ElapsedSec >= warmSec {
+			warm = rep.Samples[i:]
+			break
+		}
+	}
+	baseline, final := warm[0], warm[len(warm)-1]
+	rep.BaselineGoroutines, rep.FinalGoroutines = baseline.Goroutines, final.Goroutines
+	rep.BaselineRSSBytes, rep.FinalRSSBytes = baseline.RSSBytes, final.RSSBytes
+
+	// p99 drift: median of the late half of post-warmup windows vs the
+	// early half — medians so one GC pause or flow start doesn't decide
+	// the verdict.
+	var p99s []float64
+	for _, s := range warm {
+		if s.WindowRequests > 0 {
+			p99s = append(p99s, s.WindowP99Ms)
+		}
+	}
+	if n := len(p99s); n >= 2 {
+		rep.EarlyP99Ms = median(p99s[:n/2])
+		rep.LateP99Ms = median(p99s[n/2:])
+	}
+}
+
+func evaluate(rep *report, maxGoro int64, maxRSSPct, maxP99Pct float64) {
+	fail := func(format string, args ...any) {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
+	}
+	if rep.Requests == 0 {
+		fail("no requests completed")
+	} else if rate := float64(rep.Errors) / float64(rep.Requests); rate > 0.01 {
+		fail("error rate %.2f%% exceeds 1%%", 100*rate)
+	}
+	if g := rep.FinalGoroutines - rep.BaselineGoroutines; g > maxGoro {
+		fail("goroutines grew by %d (baseline %d, max %d)", g, rep.BaselineGoroutines, maxGoro)
+	}
+	if rep.BaselineRSSBytes > 0 {
+		pct := 100 * float64(rep.FinalRSSBytes-rep.BaselineRSSBytes) / float64(rep.BaselineRSSBytes)
+		if pct > maxRSSPct {
+			fail("RSS grew by %.1f%% (baseline %.1f MiB, max %.0f%%)",
+				pct, float64(rep.BaselineRSSBytes)/(1<<20), maxRSSPct)
+		}
+	}
+	if rep.EarlyP99Ms > 0 {
+		pct := 100 * (rep.LateP99Ms - rep.EarlyP99Ms) / rep.EarlyP99Ms
+		if pct > maxP99Pct {
+			fail("p99 drifted by %.0f%% (%.2fms → %.2fms, max %.0f%%)",
+				pct, rep.EarlyP99Ms, rep.LateP99Ms, maxP99Pct)
+		}
+	}
+	rep.Pass = len(rep.Failures) == 0
+	if rep.Failures == nil {
+		rep.Failures = []string{}
+	}
+}
+
+func emit(rep *report, out string) error {
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// scrape pulls go_goroutines and process_resident_memory_bytes out of
+// the target's Prometheus export.
+func scrape(hc *http.Client, base string) (goroutines, rss int64) {
+	resp, err := hc.Get(base + "/metrics")
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "go_goroutines "); ok {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+				goroutines = int64(f)
+			}
+		}
+		if v, ok := strings.CutPrefix(line, "process_resident_memory_bytes "); ok {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+				rss = int64(f)
+			}
+		}
+	}
+	return goroutines, rss
+}
+
+// procRSS reads a process's VmRSS from /proc (Linux; 0 elsewhere).
+func procRSS(pid int) int64 {
+	b, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", pid))
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if v, ok := strings.CutPrefix(line, "VmRSS:"); ok {
+			fields := strings.Fields(v)
+			if len(fields) >= 1 {
+				if kb, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
+					return kb << 10
+				}
+			}
+		}
+	}
+	return 0
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func waitReady(hc *http.Client, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := hc.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("server at %s not ready within %s", base, timeout)
+}
+
+func freePort() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port, nil
+}
+
+// syntheticModel is the same analytic 64-point front cmd/aydload and
+// the server tests use, shipped over the install API.
+func syntheticModel(name string) api.InstallModelRequest {
+	const n = 64
+	pts := make([]api.ModelPoint, n)
+	for i := range pts {
+		x := float64(i) / float64(n-1)
+		pts[i] = api.ModelPoint{
+			Params:   []float64{10 + 50*x, 10, 10},
+			Perf:     [2]float64{45 + 10*x, 85 - 12*x},
+			DeltaPct: [2]float64{1.0 + 0.2*x, 0.5 + 0.1*x},
+		}
+	}
+	return api.InstallModelRequest{
+		Name:           name,
+		ObjectiveNames: []string{"gain_db", "pm_deg"},
+		ParamNames:     []string{"P1", "P2", "P3"},
+		ParamUnits:     []string{"um", "um", "um"},
+		Points:         pts,
+	}
+}
+
+// queryBodies pre-encodes a rotating set of queries over the synthetic
+// model's modelled domains (deterministic: same bodies every run).
+func queryBodies(model string) ([][]byte, error) {
+	rng := rand.New(rand.NewSource(1))
+	bodies := make([][]byte, 64)
+	for i := range bodies {
+		req := api.QueryRequest{
+			TenantRef: api.TenantRef{Model: model},
+			Specs: [2]api.Spec{
+				{Name: "gain_db", Sense: ">=", Bound: 45 + (0.10+0.40*rng.Float64())*10},
+				{Name: "pm_deg", Sense: ">=", Bound: 73 + (0.02+0.10*rng.Float64())*12},
+			},
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}

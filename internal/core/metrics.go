@@ -316,6 +316,34 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return float64(h.maxNano.Load()) / 1e9
 }
 
+// HistogramBucket is one cumulative bucket of Histogram.Export, in
+// Prometheus histogram semantics: CumulativeCount observations were
+// <= UpperBound seconds. The last bucket's bound is +Inf.
+type HistogramBucket struct {
+	UpperBound      float64
+	CumulativeCount int64
+}
+
+// Export returns the full cumulative bucket ladder plus the total count
+// and the sum of observations in seconds — exactly the triplet a
+// Prometheus histogram exposition needs. The count is derived from the
+// bucket reads themselves, so the ladder is always internally monotone
+// and its +Inf bucket always equals the returned count, even while
+// observations race in.
+func (h *Histogram) Export() (buckets []HistogramBucket, count int64, sumSeconds float64) {
+	buckets = make([]HistogramBucket, histBuckets)
+	var cum int64
+	for i := range buckets {
+		cum += h.buckets[i].Load()
+		ub := histBound(i)
+		if i == histBuckets-1 {
+			ub = math.Inf(1)
+		}
+		buckets[i] = HistogramBucket{UpperBound: ub, CumulativeCount: cum}
+	}
+	return buckets, cum, float64(h.sumNano.Load()) / 1e9
+}
+
 // Snapshot summarises the histogram (counts are read atomically; the
 // set is not a single transaction).
 func (h *Histogram) Snapshot() HistogramSnapshot {

@@ -97,3 +97,74 @@ func TestMetricsHistogramRegistry(t *testing.T) {
 		t.Errorf("expvar rendering lost the histogram: %s", m.String())
 	}
 }
+
+func TestHistogramExport(t *testing.T) {
+	var h Histogram
+	buckets, count, sum := h.Export()
+	if count != 0 || sum != 0 {
+		t.Fatalf("empty export: count=%d sum=%g", count, sum)
+	}
+	if len(buckets) != histBuckets {
+		t.Fatalf("bucket ladder length %d, want %d", len(buckets), histBuckets)
+	}
+
+	durations := []time.Duration{
+		10 * time.Microsecond, // under histBase → bucket 0
+		time.Millisecond,
+		time.Millisecond,
+		80 * time.Millisecond,
+		time.Hour, // beyond the ladder → overflow (+Inf) bucket
+	}
+	var wantSum float64
+	for _, d := range durations {
+		h.Observe(d)
+		wantSum += d.Seconds()
+	}
+
+	buckets, count, sum = h.Export()
+	if count != int64(len(durations)) {
+		t.Errorf("count = %d, want %d", count, len(durations))
+	}
+	if math.Abs(sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", sum, wantSum)
+	}
+	var prevCount int64
+	var prevBound float64
+	for i, b := range buckets {
+		if b.CumulativeCount < prevCount {
+			t.Fatalf("ladder not monotone at %d: %d < %d", i, b.CumulativeCount, prevCount)
+		}
+		if i < len(buckets)-1 {
+			if b.UpperBound <= prevBound {
+				t.Fatalf("bounds not increasing at %d: %g <= %g", i, b.UpperBound, prevBound)
+			}
+			if b.UpperBound != histBound(i) {
+				t.Fatalf("bound %d = %g, want %g", i, b.UpperBound, histBound(i))
+			}
+		} else if !math.IsInf(b.UpperBound, 1) {
+			t.Fatalf("last bound = %g, want +Inf", b.UpperBound)
+		}
+		prevCount, prevBound = b.CumulativeCount, b.UpperBound
+	}
+	if last := buckets[len(buckets)-1].CumulativeCount; last != count {
+		t.Fatalf("+Inf bucket %d != count %d", last, count)
+	}
+	// Every cumulative bucket count agrees with Prometheus semantics:
+	// observations <= UpperBound.
+	for i, b := range buckets {
+		var want int64
+		for _, d := range durations {
+			// Observe assigns by histBucket; cumulative count through i
+			// includes every duration whose bucket index <= i.
+			if histBucket(d) <= i {
+				want++
+			}
+		}
+		if b.CumulativeCount != want {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, b.CumulativeCount, want)
+		}
+	}
+	if snap := h.Snapshot(); snap.Count != count {
+		t.Errorf("Snapshot count %d != Export count %d", snap.Count, count)
+	}
+}

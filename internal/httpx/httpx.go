@@ -1,0 +1,402 @@
+// Package httpx is the service-agnostic HTTP hardening layer of the ayd
+// server: the middleware that stands between untrusted network traffic
+// and the handlers. Everything here is pure stdlib and composes as
+// plain http.Handler wrappers, outermost first:
+//
+//	RequestID → RealIP → AccessLog → Recover → CORS →
+//	LimitConcurrency → MaxBytes → mux
+//
+// The package owns three cross-cutting concerns the handlers must not
+// re-implement: request identity (every request gets an X-Request-ID,
+// generated or propagated, carried in the context, the access log and
+// error bodies), failure containment (panics become logged 500s with a
+// captured stack instead of a dropped connection), and resource bounds
+// (global/per-route in-flight caps, request body limits). TLS listener
+// defaults live in tls.go.
+//
+// RequestID and RealIP sit outside AccessLog because context values
+// only flow inward: the logger reads both from the request context.
+package httpx
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/netip"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"analogyield/internal/server/api"
+)
+
+// RequestIDHeader is the header request IDs travel in, both directions.
+const RequestIDHeader = "X-Request-ID"
+
+type ctxKey int
+
+const (
+	reqIDKey ctxKey = iota
+	clientIPKey
+)
+
+// RequestIDFrom returns the request's ID ("" outside the RequestID
+// middleware).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey).(string)
+	return id
+}
+
+// ClientIPFrom returns the trusted client IP ("" outside the RealIP
+// middleware).
+func ClientIPFrom(ctx context.Context) string {
+	ip, _ := ctx.Value(clientIPKey).(string)
+	return ip
+}
+
+// NewRequestID returns a fresh 16-hex-char request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the system is badly broken; a
+		// clock-derived ID keeps requests distinguishable regardless.
+		return strconv.FormatInt(time.Now().UnixNano(), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID bounds what we accept from clients: short, printable,
+// no header-injection or log-forging characters.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// RequestID propagates a valid client-supplied X-Request-ID or
+// generates one, stamps it on the response header, and stores it in the
+// request context for the access log and error bodies.
+func RequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if !validRequestID(id) {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), reqIDKey, id)))
+	})
+}
+
+// writeJSONError emits the service's standard error body. It is a
+// deliberately minimal sibling of the server package's writeError: the
+// middleware cannot import the server (the server imports httpx).
+func writeJSONError(w http.ResponseWriter, status int, msg, requestID string) {
+	b, err := json.Marshal(&api.Error{Status: status, Message: msg, RequestID: requestID})
+	if err != nil {
+		b = []byte(`{"status":500,"error":"internal server error"}`)
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(status)
+	w.Write(b) //nolint:errcheck // client gone: nothing left to do
+}
+
+// headerTracker notes whether the response has started, so Recover
+// knows if a 500 body can still be sent.
+type headerTracker struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *headerTracker) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *headerTracker) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush keeps SSE streaming working through the tracker.
+func (w *headerTracker) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Recover turns a handler panic into a logged 500 (with the captured
+// stack and request ID in the log, and the request ID in the JSON body)
+// instead of a killed connection. http.ErrAbortHandler is re-panicked:
+// it is the stdlib's sanctioned way to abort a response.
+func Recover(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ww := &headerTracker{ResponseWriter: w}
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			id := RequestIDFrom(r.Context())
+			log.Error("panic recovered",
+				"err", fmt.Sprint(p),
+				"method", r.Method,
+				"path", r.URL.Path,
+				"request_id", id,
+				"stack", string(debug.Stack()),
+			)
+			if !ww.wrote {
+				writeJSONError(ww, http.StatusInternalServerError, "internal server error", id)
+			}
+		}()
+		next.ServeHTTP(ww, r)
+	})
+}
+
+// MaxBytes caps every request body at n bytes via http.MaxBytesReader;
+// a handler reading past the cap gets *http.MaxBytesError, which the
+// server maps to 413. n <= 0 disables the cap.
+func MaxBytes(n int64, next http.Handler) http.Handler {
+	if n <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, n)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// ParseProxies parses trusted-proxy entries: CIDRs ("10.0.0.0/8") or
+// bare addresses ("203.0.113.7", treated as single-host prefixes).
+func ParseProxies(entries []string) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for _, e := range entries {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		if p, err := netip.ParsePrefix(e); err == nil {
+			out = append(out, p)
+			continue
+		}
+		a, err := netip.ParseAddr(e)
+		if err != nil {
+			return nil, fmt.Errorf("httpx: bad trusted proxy %q (want CIDR or IP)", e)
+		}
+		out = append(out, netip.PrefixFrom(a, a.BitLen()))
+	}
+	return out, nil
+}
+
+func trusted(proxies []netip.Prefix, a netip.Addr) bool {
+	a = a.Unmap()
+	for _, p := range proxies {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// RealIP resolves the client IP for the access log: the direct peer,
+// unless that peer is a trusted proxy, in which case the rightmost
+// untrusted entry of X-Forwarded-For wins (the standard algorithm — a
+// client cannot spoof its IP by sending its own XFF header, because an
+// untrusted peer's headers are never consulted). The result travels in
+// the context (ClientIPFrom); r.RemoteAddr is left untouched.
+func RealIP(proxies []netip.Prefix, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ip := clientIP(proxies, r)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), clientIPKey, ip)))
+	})
+}
+
+func clientIP(proxies []netip.Prefix, r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	peer, err := netip.ParseAddr(host)
+	if err != nil {
+		return host
+	}
+	if len(proxies) == 0 || !trusted(proxies, peer) {
+		return peer.Unmap().String()
+	}
+	// Walk the forwarded chain right to left, skipping trusted hops;
+	// the first untrusted address is the real client.
+	var chain []string
+	for _, v := range r.Header.Values("X-Forwarded-For") {
+		for _, part := range strings.Split(v, ",") {
+			if p := strings.TrimSpace(part); p != "" {
+				chain = append(chain, p)
+			}
+		}
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		a, err := netip.ParseAddr(chain[i])
+		if err != nil {
+			break // a forged entry poisons everything to its left
+		}
+		if !trusted(proxies, a) {
+			return a.Unmap().String()
+		}
+	}
+	if xr := strings.TrimSpace(r.Header.Get("X-Real-IP")); xr != "" {
+		if a, err := netip.ParseAddr(xr); err == nil {
+			return a.Unmap().String()
+		}
+	}
+	return peer.Unmap().String()
+}
+
+// corsMethods and corsHeaders are what the ayd API actually uses.
+const (
+	corsMethods = "GET, POST, DELETE, OPTIONS"
+	corsHeaders = "Content-Type, Accept, Last-Event-ID, " + RequestIDHeader
+)
+
+// CORS answers cross-origin requests for the listed origins ("*"
+// allows any). Preflights (OPTIONS + Access-Control-Request-Method) are
+// answered directly with 204; other requests gain the allow/expose
+// headers and fall through. An empty origin list disables the
+// middleware entirely — same-origin and non-browser traffic is
+// unaffected either way.
+func CORS(origins []string, next http.Handler) http.Handler {
+	if len(origins) == 0 {
+		return next
+	}
+	allowAll := false
+	allowed := make(map[string]bool, len(origins))
+	for _, o := range origins {
+		if o = strings.TrimSpace(o); o == "*" {
+			allowAll = true
+		} else if o != "" {
+			allowed[o] = true
+		}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		origin := r.Header.Get("Origin")
+		if origin == "" || !(allowAll || allowed[origin]) {
+			// Not cross-origin, or not an origin we serve: no CORS
+			// headers (the browser enforces the rest).
+			next.ServeHTTP(w, r)
+			return
+		}
+		h := w.Header()
+		h.Add("Vary", "Origin")
+		h.Set("Access-Control-Allow-Origin", origin)
+		if r.Method == http.MethodOptions && r.Header.Get("Access-Control-Request-Method") != "" {
+			h.Set("Access-Control-Allow-Methods", corsMethods)
+			h.Set("Access-Control-Allow-Headers", corsHeaders)
+			h.Set("Access-Control-Max-Age", "600")
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		h.Set("Access-Control-Expose-Headers", RequestIDHeader)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// LimitConcurrency caps simultaneous in-flight requests; excess
+// requests are rejected with 503 rather than queued, so overload sheds
+// quickly instead of building invisible latency. It serves both as the
+// server's global cap and as a tighter per-route cap on expensive
+// routes (flow submission, model install).
+func LimitConcurrency(n int, next http.Handler) http.Handler {
+	if n <= 0 {
+		return next
+	}
+	sem := make(chan struct{}, n)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			writeJSONError(w, http.StatusServiceUnavailable, "server at capacity",
+				RequestIDFrom(r.Context()))
+		}
+	})
+}
+
+// statusRecorder captures the response status and size for the access
+// log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// Flush forwards to the underlying writer so SSE streaming keeps
+// working through the recorder.
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog emits one structured line per request, including the
+// request ID and resolved client IP when the inner middleware provided
+// them.
+func AccessLog(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		remote := ClientIPFrom(r.Context())
+		if remote == "" {
+			remote = r.RemoteAddr
+		}
+		log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"duration_ms", float64(time.Since(t0).Microseconds())/1e3,
+			"remote", remote,
+			"request_id", RequestIDFrom(r.Context()),
+		)
+	})
+}

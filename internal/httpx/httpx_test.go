@@ -1,0 +1,322 @@
+package httpx
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+
+	"analogyield/internal/server/api"
+)
+
+func TestRequestIDGenerated(t *testing.T) {
+	var seen string
+	h := RequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFrom(r.Context())
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if seen == "" {
+		t.Fatal("no request ID in context")
+	}
+	if got := rec.Header().Get(RequestIDHeader); got != seen {
+		t.Fatalf("response header %q, context %q", got, seen)
+	}
+	if !validRequestID(seen) {
+		t.Fatalf("generated ID %q is not valid by our own rules", seen)
+	}
+}
+
+func TestRequestIDPropagated(t *testing.T) {
+	var seen string
+	h := RequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFrom(r.Context())
+	}))
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(RequestIDHeader, "client-id-42")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "client-id-42" {
+		t.Fatalf("client-supplied ID not propagated: got %q", seen)
+	}
+
+	// A hostile ID (log forging, over-long) is replaced, not trusted.
+	for _, bad := range []string{"evil\nid", strings.Repeat("x", 65), `a"b`, ""} {
+		req := httptest.NewRequest("GET", "/", nil)
+		req.Header.Set(RequestIDHeader, bad)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if seen == bad {
+			t.Fatalf("hostile ID %q accepted verbatim", bad)
+		}
+		if seen == "" || !validRequestID(seen) {
+			t.Fatalf("replacement for %q invalid: %q", bad, seen)
+		}
+	}
+}
+
+// logBuffer collects slog output for assertions.
+func logBuffer() (*slog.Logger, *bytes.Buffer) {
+	var buf bytes.Buffer
+	return slog.New(slog.NewTextHandler(&buf, nil)), &buf
+}
+
+func TestRecoverPanic(t *testing.T) {
+	log, buf := logBuffer()
+	h := RequestID(Recover(log, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/yield/query", nil))
+
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var apiErr api.Error
+	if err := json.Unmarshal(rec.Body.Bytes(), &apiErr); err != nil {
+		t.Fatalf("500 body is not JSON: %v (%q)", err, rec.Body.String())
+	}
+	id := rec.Header().Get(RequestIDHeader)
+	if id == "" || apiErr.RequestID != id {
+		t.Fatalf("error body request_id %q != header %q", apiErr.RequestID, id)
+	}
+	logged := buf.String()
+	if !strings.Contains(logged, "kaboom") {
+		t.Fatalf("panic value not logged: %s", logged)
+	}
+	if !strings.Contains(logged, "httpx_test.go") && !strings.Contains(logged, "TestRecoverPanic") {
+		t.Fatalf("stack not captured in log: %s", logged)
+	}
+	if !strings.Contains(logged, id) {
+		t.Fatalf("request ID %q not in log: %s", id, logged)
+	}
+}
+
+func TestRecoverAfterWriteDoesNotDoubleRespond(t *testing.T) {
+	log, _ := logBuffer()
+	h := Recover(log, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "partial")
+		panic("late")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "partial" {
+		t.Fatalf("recover rewrote an in-flight response: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestRecoverReraisesAbortHandler(t *testing.T) {
+	log, _ := logBuffer()
+	h := Recover(log, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("ErrAbortHandler was swallowed; the stdlib contract needs it re-panicked")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}
+
+func TestMaxBytes(t *testing.T) {
+	var readErr error
+	h := MaxBytes(16, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, readErr = io.ReadAll(r.Body)
+	}))
+	body := strings.NewReader(strings.Repeat("x", 64))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/", body))
+	var mbe *http.MaxBytesError
+	if !errors.As(readErr, &mbe) {
+		t.Fatalf("oversized read error = %v, want *http.MaxBytesError", readErr)
+	}
+
+	// Under the cap reads cleanly.
+	readErr = nil
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/", strings.NewReader("ok")))
+	if readErr != nil {
+		t.Fatalf("in-bounds body errored: %v", readErr)
+	}
+}
+
+func TestCORSPreflight(t *testing.T) {
+	h := CORS([]string{"https://app.example"}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("preflight must not reach the handler")
+	}))
+	req := httptest.NewRequest("OPTIONS", "/v1/yield/query", nil)
+	req.Header.Set("Origin", "https://app.example")
+	req.Header.Set("Access-Control-Request-Method", "POST")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("preflight status = %d, want 204", rec.Code)
+	}
+	hd := rec.Header()
+	if hd.Get("Access-Control-Allow-Origin") != "https://app.example" {
+		t.Fatalf("Allow-Origin = %q", hd.Get("Access-Control-Allow-Origin"))
+	}
+	if !strings.Contains(hd.Get("Access-Control-Allow-Methods"), "POST") {
+		t.Fatalf("Allow-Methods = %q", hd.Get("Access-Control-Allow-Methods"))
+	}
+	if hd.Get("Access-Control-Allow-Headers") == "" || hd.Get("Access-Control-Max-Age") == "" {
+		t.Fatal("preflight missing Allow-Headers / Max-Age")
+	}
+	if !strings.Contains(strings.Join(hd.Values("Vary"), ","), "Origin") {
+		t.Fatal("preflight missing Vary: Origin")
+	}
+}
+
+func TestCORSActualAndDenied(t *testing.T) {
+	h := CORS([]string{"https://app.example"}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	// Allowed origin on a normal request: allow + expose headers, and
+	// the handler runs.
+	req := httptest.NewRequest("POST", "/", nil)
+	req.Header.Set("Origin", "https://app.example")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if rec.Header().Get("Access-Control-Allow-Origin") != "https://app.example" {
+		t.Fatal("allowed origin got no Allow-Origin header")
+	}
+	if rec.Header().Get("Access-Control-Expose-Headers") != RequestIDHeader {
+		t.Fatalf("Expose-Headers = %q", rec.Header().Get("Access-Control-Expose-Headers"))
+	}
+
+	// Unlisted origin: no CORS headers at all (the browser blocks).
+	req = httptest.NewRequest("POST", "/", nil)
+	req.Header.Set("Origin", "https://evil.example")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Header().Get("Access-Control-Allow-Origin") != "" {
+		t.Fatal("unlisted origin was allowed")
+	}
+
+	// Wildcard config allows anyone, echoing the origin.
+	any := CORS([]string{"*"}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req = httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("Origin", "https://whoever.example")
+	rec = httptest.NewRecorder()
+	any.ServeHTTP(rec, req)
+	if rec.Header().Get("Access-Control-Allow-Origin") != "https://whoever.example" {
+		t.Fatal("wildcard did not echo the origin")
+	}
+}
+
+func TestRealIP(t *testing.T) {
+	proxies, err := ParseProxies([]string{"10.0.0.0/8", "127.0.0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen string
+	h := RealIP(proxies, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = ClientIPFrom(r.Context())
+	}))
+	serve := func(remote string, xff ...string) string {
+		req := httptest.NewRequest("GET", "/", nil)
+		req.RemoteAddr = remote
+		for _, v := range xff {
+			req.Header.Add("X-Forwarded-For", v)
+		}
+		h.ServeHTTP(httptest.NewRecorder(), req)
+		return seen
+	}
+
+	// Untrusted peer: its own address wins, whatever headers it sends.
+	if got := serve("203.0.113.9:1234", "198.51.100.1"); got != "203.0.113.9" {
+		t.Fatalf("untrusted peer: got %q", got)
+	}
+	// Trusted proxy forwards the real client.
+	if got := serve("10.1.2.3:443", "198.51.100.7"); got != "198.51.100.7" {
+		t.Fatalf("trusted proxy: got %q", got)
+	}
+	// Chain: client, intermediate trusted hop — rightmost untrusted wins.
+	if got := serve("127.0.0.1:80", "198.51.100.7, 10.9.9.9"); got != "198.51.100.7" {
+		t.Fatalf("proxy chain: got %q", got)
+	}
+	// Client-forged XFF behind a trusted proxy: the forged (leftmost)
+	// entry is ignored in favour of the rightmost untrusted hop.
+	if got := serve("10.1.2.3:443", "1.2.3.4, 198.51.100.7"); got != "198.51.100.7" {
+		t.Fatalf("forged XFF: got %q", got)
+	}
+
+	if _, err := ParseProxies([]string{"not-an-ip"}); err == nil {
+		t.Fatal("bad proxy entry parsed")
+	}
+	if !trusted(proxies, netip.MustParseAddr("10.255.0.1")) {
+		t.Fatal("10/8 not trusted")
+	}
+}
+
+func TestLimitConcurrency(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	h := LimitConcurrency(1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+	}))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	}()
+	<-started
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity status = %d, want 503", rec.Code)
+	}
+	var apiErr api.Error
+	if err := json.Unmarshal(rec.Body.Bytes(), &apiErr); err != nil || apiErr.Status != 503 {
+		t.Fatalf("shed body = %q", rec.Body.String())
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestAccessLogCarriesIdentity(t *testing.T) {
+	log, buf := logBuffer()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	h := RequestID(RealIP(nil, AccessLog(log, inner)))
+	req := httptest.NewRequest("GET", "/v1/models", nil)
+	req.RemoteAddr = "203.0.113.9:1234"
+	req.Header.Set(RequestIDHeader, "trace-me")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	logged := buf.String()
+	for _, want := range []string{"request_id=trace-me", "remote=203.0.113.9", "status=418"} {
+		if !strings.Contains(logged, want) {
+			t.Fatalf("access log missing %q: %s", want, logged)
+		}
+	}
+}
+
+func TestModernTLSConfig(t *testing.T) {
+	cfg := ModernTLSConfig()
+	if cfg.MinVersion < 0x0303 { // tls.VersionTLS12
+		t.Fatalf("MinVersion = %x, want >= TLS1.2", cfg.MinVersion)
+	}
+	if len(cfg.CipherSuites) == 0 || len(cfg.CurvePreferences) == 0 {
+		t.Fatal("cipher suites / curves not pinned")
+	}
+	if _, err := LoadTLS("", ""); err == nil {
+		t.Fatal("LoadTLS accepted empty paths")
+	}
+	if _, err := LoadTLS("/does/not/exist.pem", "/nope.pem"); err == nil {
+		t.Fatal("LoadTLS accepted missing files")
+	}
+}

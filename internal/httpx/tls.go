@@ -1,0 +1,44 @@
+package httpx
+
+import (
+	"crypto/tls"
+	"fmt"
+)
+
+// ModernTLSConfig returns the server TLS defaults the ayd listener
+// uses: TLS 1.2 minimum, modern curves first, and (for 1.2 — 1.3 suites
+// are not configurable) only ECDHE + AEAD cipher suites. The caller
+// adds certificates.
+func ModernTLSConfig() *tls.Config {
+	return &tls.Config{
+		MinVersion: tls.VersionTLS12,
+		CurvePreferences: []tls.CurveID{
+			tls.X25519,
+			tls.CurveP256,
+			tls.CurveP384,
+		},
+		CipherSuites: []uint16{
+			tls.TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256,
+			tls.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+			tls.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384,
+			tls.TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384,
+			tls.TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305,
+			tls.TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305,
+		},
+	}
+}
+
+// LoadTLS builds a serving tls.Config with modern defaults from a PEM
+// certificate/key pair on disk. Both paths must be set together.
+func LoadTLS(certFile, keyFile string) (*tls.Config, error) {
+	if certFile == "" || keyFile == "" {
+		return nil, fmt.Errorf("httpx: TLS needs both a certificate and a key (cert=%q key=%q)", certFile, keyFile)
+	}
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("httpx: loading TLS key pair: %w", err)
+	}
+	cfg := ModernTLSConfig()
+	cfg.Certificates = []tls.Certificate{cert}
+	return cfg, nil
+}

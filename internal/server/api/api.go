@@ -198,8 +198,8 @@ type JobStatus struct {
 	Model string `json:"model"`
 	// Tenant is the namespace the job's model and checkpoint live in
 	// (empty on old records ⇒ "default").
-	Tenant  string      `json:"tenant,omitempty"`
-	Request FlowRequest `json:"request"`
+	Tenant   string      `json:"tenant,omitempty"`
+	Request  FlowRequest `json:"request"`
 	Created  time.Time   `json:"created"`
 	Started  time.Time   `json:"started"`
 	Finished time.Time   `json:"finished"`
@@ -275,10 +275,14 @@ const (
 	EventJobDone         = "job_done"
 )
 
-// Error is the wire form of a request failure.
+// Error is the wire form of a request failure. RequestID carries the
+// X-Request-ID of the failed request when the middleware produced the
+// error (and is filled in from the response header by the Go client),
+// so a user-reported failure can be matched to the server's log line.
 type Error struct {
-	Status  int    `json:"status"`
-	Message string `json:"error"`
+	Status    int    `json:"status"`
+	Message   string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Error satisfies the error interface so clients can return it

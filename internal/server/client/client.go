@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"analogyield/internal/httpx"
 	"analogyield/internal/server/api"
 )
 
@@ -91,18 +92,29 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Every call carries a fresh request ID; the server propagates it
+	// into its request log and echoes it on the response, so a failed
+	// call's api.Error can be matched to the exact server log line.
+	reqID := httpx.NewRequestID()
+	req.Header.Set(httpx.RequestIDHeader, reqID)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	if id := resp.Header.Get(httpx.RequestIDHeader); id != "" {
+		reqID = id // older servers don't echo; keep what we sent
+	}
 	if resp.StatusCode >= 400 {
 		var apiErr api.Error
 		if jerr := json.NewDecoder(resp.Body).Decode(&apiErr); jerr == nil && apiErr.Message != "" {
 			apiErr.Status = resp.StatusCode
+			if apiErr.RequestID == "" {
+				apiErr.RequestID = reqID
+			}
 			return &apiErr
 		}
-		return &api.Error{Status: resp.StatusCode, Message: resp.Status}
+		return &api.Error{Status: resp.StatusCode, Message: resp.Status, RequestID: reqID}
 	}
 	if out == nil {
 		return nil
@@ -211,6 +223,7 @@ func (c *Client) StreamEvents(ctx context.Context, id string, fromSeq int, fn fu
 		return err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set(httpx.RequestIDHeader, httpx.NewRequestID())
 	if fromSeq > 0 {
 		req.Header.Set("Last-Event-ID", fmt.Sprint(fromSeq))
 	}

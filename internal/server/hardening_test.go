@@ -1,0 +1,316 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/json"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"analogyield/internal/core"
+	"analogyield/internal/httpx"
+	"analogyield/internal/server/api"
+	"analogyield/internal/server/client"
+	"analogyield/internal/telemetry"
+)
+
+// TestOversizedBody413 pushes a body past Config.MaxBodyBytes through
+// the real handler stack and expects a 413 (not a generic 400): the
+// decode error is a *http.MaxBytesError and decodeStatus maps it.
+func TestOversizedBody413(t *testing.T) {
+	srv := New(Config{
+		ModelsDir:    t.TempDir(),
+		Metrics:      &core.Metrics{},
+		Logger:       quietLog(),
+		MaxBodyBytes: 256,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	big := api.InstallModelRequest{Name: "huge"}
+	for i := 0; i < 200; i++ {
+		big.Points = append(big.Points, api.ModelPoint{Params: []float64{1, 2, 3}})
+	}
+	body, _ := json.Marshal(big)
+	resp, err := http.Post(ts.URL+"/v1/models", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (body %d bytes > cap 256)", resp.StatusCode, len(body))
+	}
+	var apiErr api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatalf("413 body not JSON: %v", err)
+	}
+	if apiErr.Status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("error body status = %d", apiErr.Status)
+	}
+
+	// A small request on the same server still works.
+	resp2, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("small request status = %d", resp2.StatusCode)
+	}
+}
+
+// recordingTransport captures the headers of every request it sends.
+type recordingTransport struct {
+	base http.RoundTripper
+	sent []http.Header
+}
+
+func (rt *recordingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	rt.sent = append(rt.sent, r.Header.Clone())
+	return rt.base.RoundTrip(r)
+}
+
+// TestRequestIDRoundTrip drives the Go client against a real server and
+// checks the full identity loop: the client generates an X-Request-ID,
+// the server echoes it on the response, and a failing call's api.Error
+// carries it back so the user can quote it.
+func TestRequestIDRoundTrip(t *testing.T) {
+	srv := New(Config{ModelsDir: t.TempDir(), Metrics: &core.Metrics{}, Logger: quietLog()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rt := &recordingTransport{base: http.DefaultTransport}
+	cl := client.New(ts.URL, client.WithHTTPClient(&http.Client{Transport: rt}))
+
+	_, err := cl.Query(context.Background(), api.QueryRequest{
+		TenantRef: api.TenantRef{Model: "no-such-model"},
+		Specs:     [2]api.Spec{{Name: "gain_db", Bound: 50}, {Name: "pm_deg", Bound: 80}},
+	})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *api.Error, got %v", err)
+	}
+	if len(rt.sent) != 1 {
+		t.Fatalf("recorded %d requests", len(rt.sent))
+	}
+	sentID := rt.sent[0].Get(httpx.RequestIDHeader)
+	if sentID == "" {
+		t.Fatal("client sent no X-Request-ID")
+	}
+	if apiErr.RequestID != sentID {
+		t.Fatalf("api.Error.RequestID = %q, want the sent ID %q", apiErr.RequestID, sentID)
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics after real traffic and pins the
+// exposition's counters against the same registry's expvar snapshot.
+func TestMetricsEndpoint(t *testing.T) {
+	metrics := &core.Metrics{}
+	srv := New(Config{ModelsDir: t.TempDir(), Metrics: metrics, Logger: quietLog()})
+	if _, err := srv.Registry().Install(api.DefaultTenant, "demo", synthModel(t, 16)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cl := client.New(ts.URL)
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Query(context.Background(), api.QueryRequest{
+			TenantRef: api.TenantRef{Model: "demo"},
+			Specs:     [2]api.Spec{{Name: "gain_db", Bound: 50}, {Name: "pm_deg", Bound: 75}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, telemetry.ContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	// The query route histogram must have counted the 5 queries, and the
+	// scalar counters must match the registry snapshot (the expvar view).
+	snap := metrics.Snapshot()
+	var routeCount int64
+	for name, hs := range snap.Latencies {
+		if strings.Contains(name, "query") {
+			routeCount += hs.Count
+		}
+	}
+	if routeCount < 5 {
+		t.Fatalf("snapshot query-route count = %d, want >= 5", routeCount)
+	}
+	for _, want := range []string{
+		"# TYPE ayd_http_request_duration_seconds histogram",
+		`ayd_http_request_duration_seconds_bucket{route=`,
+		fmt.Sprintf("ayd_flows_total %d", snap.Flows),
+		fmt.Sprintf("ayd_evaluations_total %d", snap.Evaluations),
+		"go_goroutines ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The histogram count line for the query route must report the
+	// snapshot's number.
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "ayd_http_request_duration_seconds_count") && strings.Contains(line, "query") {
+			found = true
+			if !strings.HasSuffix(line, fmt.Sprint(routeCount)) {
+				t.Errorf("count line %q, want suffix %d", line, routeCount)
+			}
+		}
+	}
+	if !found {
+		t.Error("no _count series for the query route")
+	}
+}
+
+// selfSigned writes a throwaway ECDSA certificate for 127.0.0.1 and
+// returns the cert/key paths plus a pool trusting it.
+func selfSigned(t *testing.T) (certFile, keyFile string, pool *x509.CertPool) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "ayd-test"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IPAddresses:           []net.IP{net.ParseIP("127.0.0.1")},
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	certFile = filepath.Join(dir, "cert.pem")
+	keyFile = filepath.Join(dir, "key.pem")
+	certPEM := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	if err := os.WriteFile(certFile, certPEM, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyFile, pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	pool = x509.NewCertPool()
+	pool.AppendCertsFromPEM(certPEM)
+	return certFile, keyFile, pool
+}
+
+// TestTLSServe boots the server with a self-signed certificate and runs
+// a real HTTPS round trip, asserting the negotiated protocol meets the
+// modern floor.
+func TestTLSServe(t *testing.T) {
+	certFile, keyFile, pool := selfSigned(t)
+	srv := New(Config{
+		Addr:        "127.0.0.1:0",
+		ModelsDir:   t.TempDir(),
+		Metrics:     &core.Metrics{},
+		Logger:      quietLog(),
+		TLSCertFile: certFile,
+		TLSKeyFile:  keyFile,
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	hc := &http.Client{Transport: &http.Transport{
+		TLSClientConfig: &tls.Config{RootCAs: pool},
+	}}
+	resp, err := hc.Get("https://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("HTTPS round trip: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if resp.TLS == nil || resp.TLS.Version < tls.VersionTLS12 {
+		t.Fatalf("TLS state %+v, want >= TLS1.2", resp.TLS)
+	}
+
+	// Plain HTTP against the TLS port must not be served — Go's TLS
+	// listener answers it with a 400, never the handler.
+	if resp, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("plaintext request served by a TLS listener")
+		}
+	}
+}
+
+// TestShutdownUsesDrainTimeout checks that a deadline-free Shutdown is
+// bounded by Config.DrainTimeout instead of hanging on a stuck client.
+func TestShutdownUsesDrainTimeout(t *testing.T) {
+	srv := New(Config{
+		Addr:         "127.0.0.1:0",
+		ModelsDir:    t.TempDir(),
+		Metrics:      &core.Metrics{},
+		Logger:       quietLog(),
+		DrainTimeout: 150 * time.Millisecond,
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park a raw connection with an unfinished request so the drain can
+	// never complete on its own.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /v1/models HTTP/1.1\r\nHost: x\r\nContent-Length: 1000\r\n\r\n")
+
+	start := time.Now()
+	srv.Shutdown(context.Background())
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Shutdown took %s; DrainTimeout not applied", elapsed)
+	}
+}

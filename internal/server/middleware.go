@@ -1,85 +1,20 @@
 package server
 
 import (
-	"log/slog"
 	"net/http"
 	"time"
 
 	"analogyield/internal/core"
 )
 
-// statusRecorder captures the response status for logging and metrics.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-	bytes  int
-}
-
-func (w *statusRecorder) WriteHeader(code int) {
-	if w.status == 0 {
-		w.status = code
-	}
-	w.ResponseWriter.WriteHeader(code)
-}
-
-func (w *statusRecorder) Write(b []byte) (int, error) {
-	if w.status == 0 {
-		w.status = http.StatusOK
-	}
-	n, err := w.ResponseWriter.Write(b)
-	w.bytes += n
-	return n, err
-}
-
-// Flush forwards to the underlying writer so SSE streaming keeps
-// working through the recorder.
-func (w *statusRecorder) Flush() {
-	if f, ok := w.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// logRequests emits one structured line per request.
-func logRequests(log *slog.Logger, next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		rec := &statusRecorder{ResponseWriter: w}
-		t0 := time.Now()
-		next.ServeHTTP(rec, r)
-		if rec.status == 0 {
-			rec.status = http.StatusOK
-		}
-		log.Info("request",
-			"method", r.Method,
-			"path", r.URL.Path,
-			"status", rec.status,
-			"bytes", rec.bytes,
-			"duration_ms", float64(time.Since(t0).Microseconds())/1e3,
-			"remote", r.RemoteAddr,
-		)
-	})
-}
-
-// limitConcurrency caps simultaneous in-flight requests; excess
-// requests are rejected with 503 rather than queued, so overload sheds
-// quickly instead of building invisible latency.
-func limitConcurrency(n int, next http.Handler) http.Handler {
-	if n <= 0 {
-		return next
-	}
-	sem := make(chan struct{}, n)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		select {
-		case sem <- struct{}{}:
-			defer func() { <-sem }()
-			next.ServeHTTP(w, r)
-		default:
-			writeError(w, http.StatusServiceUnavailable, "server at capacity")
-		}
-	})
-}
+// Request logging, panic recovery, request IDs, client-IP resolution,
+// CORS, body limits and in-flight caps all live in internal/httpx and
+// are assembled around the mux in Server.Handler. This file keeps only
+// the two route-level wrappers that need server state.
 
 // observeLatency records route latency into a registry histogram (the
-// p50/p95 figures exported through the core.Metrics expvar variable).
+// p50/p95 figures exported through the core.Metrics expvar variable and
+// the bucket ladders exported at /metrics).
 func observeLatency(h *core.Histogram, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()

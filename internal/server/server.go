@@ -33,6 +33,7 @@ package server
 
 import (
 	"context"
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -40,12 +41,15 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/netip"
 	"time"
 
 	"analogyield/internal/core"
+	"analogyield/internal/httpx"
 	"analogyield/internal/process"
 	"analogyield/internal/server/api"
 	"analogyield/internal/store"
+	"analogyield/internal/telemetry"
 )
 
 // Config assembles a Server. Zero values select the documented
@@ -72,8 +76,31 @@ type Config struct {
 	FlowQueue   int
 	// MaxInFlight caps concurrent HTTP requests (0 → 256).
 	MaxInFlight int
+	// HeavyInFlight is a tighter per-route cap on the expensive routes
+	// (flow submission, model install), so a burst of uploads cannot
+	// starve the cheap query path (0 → 32).
+	HeavyInFlight int
+	// MaxBodyBytes caps request body size; oversized bodies are
+	// rejected with 413 (0 → 4 MiB, negative → unlimited).
+	MaxBodyBytes int64
 	// QueryTimeout bounds non-streaming routes (0 → 30s).
 	QueryTimeout time.Duration
+	// DrainTimeout bounds Shutdown's graceful drain when the caller's
+	// context carries no deadline of its own (0 → 30s).
+	DrainTimeout time.Duration
+	// TrustedProxies lists CIDRs (or bare IPs) of reverse proxies whose
+	// X-Forwarded-For is honoured when resolving the client IP for the
+	// request log. Empty = no proxy is trusted (the TCP peer is the
+	// client).
+	TrustedProxies []string
+	// CORSOrigins enables cross-origin browser access for the listed
+	// origins ("*" allows any). Empty = no CORS headers are emitted.
+	CORSOrigins []string
+	// TLSCertFile/TLSKeyFile enable TLS on Start with modern defaults
+	// (TLS 1.2+, ECDHE+AEAD suites — see httpx.ModernTLSConfig). Both
+	// must be set together.
+	TLSCertFile string
+	TLSKeyFile  string
 	// DefaultMCStrategy is the Monte Carlo estimator used by flow
 	// submissions that leave mc_strategy empty: "naive" (default, also
 	// when empty), "is", "surrogate" or "is+surrogate".
@@ -110,8 +137,17 @@ func (c Config) withDefaults() Config {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 256
 	}
+	if c.HeavyInFlight <= 0 {
+		c.HeavyInFlight = 32
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
 	if c.QueryTimeout <= 0 {
 		c.QueryTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
 	}
 	if c.Problems == nil {
 		c.Problems = map[string]ProblemFactory{
@@ -132,10 +168,11 @@ func (c Config) withDefaults() Config {
 
 // Server ties the registry, job manager and HTTP front-end together.
 type Server struct {
-	cfg  Config
-	reg  *Registry
-	jobs *JobManager
-	log  *slog.Logger
+	cfg     Config
+	reg     *Registry
+	jobs    *JobManager
+	log     *slog.Logger
+	proxies []netip.Prefix // parsed Config.TrustedProxies
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -155,10 +192,18 @@ func New(cfg Config) *Server {
 			cfg.Logger.Info("legacy models imported", "dir", cfg.ModelsDir, "count", n)
 		}
 	}
+	proxies, err := httpx.ParseProxies(cfg.TrustedProxies)
+	if err != nil {
+		// A typo'd proxy CIDR must not silently widen trust: trust
+		// nothing and say so.
+		cfg.Logger.Warn("ignoring trusted proxies", "err", err)
+		proxies = nil
+	}
 	s := &Server{
 		cfg:        cfg,
 		reg:        reg,
 		log:        cfg.Logger,
+		proxies:    proxies,
 		shutdownCh: make(chan struct{}),
 	}
 	s.jobs = NewJobManager(cfg.DataDir, cfg.FlowWorkers, cfg.FlowQueue, reg,
@@ -194,12 +239,18 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle(method+" /v1/"+suffix, h)
 		mux.Handle(method+" /v1/t/{tenant}/"+suffix, h)
 	}
+	// The expensive routes (flow submission, model install/delete) get
+	// their own tighter in-flight cap on top of the global one, so a
+	// burst of uploads degrades uploads, not the query path.
+	heavy := func(h http.Handler) http.Handler {
+		return httpx.LimitConcurrency(s.cfg.HeavyInFlight, h)
+	}
 	both("POST", "yield/query", timed("query", s.handleQuery))
 	both("GET", "models", timed("models", s.handleModels))
 	both("GET", "models/{name}", timed("models", s.handleModel))
-	both("POST", "models", timed("model_install", s.handleInstallModel))
-	both("DELETE", "models/{name}", timed("model_install", s.handleDeleteModel))
-	both("POST", "flows", timed("flow_submit", s.handleSubmit))
+	both("POST", "models", heavy(timed("model_install", s.handleInstallModel)))
+	both("DELETE", "models/{name}", heavy(timed("model_install", s.handleDeleteModel)))
+	both("POST", "flows", heavy(timed("flow_submit", s.handleSubmit)))
 	both("GET", "flows", timed("flow_status", s.handleJobs))
 	both("GET", "flows/{id}", timed("flow_status", s.handleJob))
 	both("DELETE", "flows/{id}", timed("flow_status", s.handleCancel))
@@ -210,16 +261,41 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/tenants", timed("models", s.handleTenants))
 	mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealth))
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.Handle("GET /metrics", telemetry.Handler(m))
 
-	return logRequests(s.log, limitConcurrency(s.cfg.MaxInFlight, mux))
+	// Hardening chain, innermost (closest to the mux) first: body
+	// limits, global in-flight cap, CORS, then panic recovery, the
+	// access log, and — outermost, so the context values they set reach
+	// everything below including the log line — client-IP resolution
+	// and request IDs.
+	var h http.Handler = mux
+	h = httpx.MaxBytes(s.cfg.MaxBodyBytes, h)
+	h = httpx.LimitConcurrency(s.cfg.MaxInFlight, h)
+	h = httpx.CORS(s.cfg.CORSOrigins, h)
+	h = httpx.Recover(s.log, h)
+	h = httpx.AccessLog(s.log, h)
+	h = httpx.RealIP(s.proxies, h)
+	h = httpx.RequestID(h)
+	return h
 }
 
-// Start binds Config.Addr and serves until Shutdown. It returns once
-// the listener is bound; serving continues in the background.
+// Start binds Config.Addr and serves until Shutdown — over TLS with
+// modern defaults when Config.TLSCertFile/TLSKeyFile are set. It
+// returns once the listener is bound; serving continues in the
+// background.
 func (s *Server) Start() error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return err
+	}
+	useTLS := s.cfg.TLSCertFile != "" || s.cfg.TLSKeyFile != ""
+	if useTLS {
+		tc, err := httpx.LoadTLS(s.cfg.TLSCertFile, s.cfg.TLSKeyFile)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		ln = tls.NewListener(ln, tc)
 	}
 	s.ln = ln
 	go func() {
@@ -227,7 +303,7 @@ func (s *Server) Start() error {
 			s.log.Error("serve", "err", err)
 		}
 	}()
-	s.log.Info("listening", "addr", ln.Addr().String())
+	s.log.Info("listening", "addr", ln.Addr().String(), "tls", useTLS)
 	return nil
 }
 
@@ -242,13 +318,19 @@ func (s *Server) Addr() string {
 // Shutdown drains the server gracefully: new connections stop, SSE
 // streams close, in-flight requests finish, running flows checkpoint
 // and cancel, and the model registry empties. The ctx bounds the whole
-// drain.
+// drain; when it carries no deadline of its own, Config.DrainTimeout
+// applies.
 func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-s.shutdownCh:
 		return nil // already shut down
 	default:
 		close(s.shutdownCh)
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DrainTimeout)
+		defer cancel()
 	}
 	var firstErr error
 	if s.ln != nil {
@@ -269,6 +351,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, &api.Error{Status: status, Message: fmt.Sprintf(format, args...)})
+}
+
+// decodeStatus maps a request-body decode error to an HTTP status: a
+// body truncated by the httpx.MaxBytes cap is 413, anything else
+// malformed is 400.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // errStatus maps a service error to an HTTP status.
@@ -326,7 +419,7 @@ type queryBody struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var body queryBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, decodeStatus(err), "bad request body: %v", err)
 		return
 	}
 	if err := resolveTenant(r, &body.TenantRef); err != nil {
@@ -390,7 +483,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleInstallModel(w http.ResponseWriter, r *http.Request) {
 	var req api.InstallModelRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, decodeStatus(err), "bad request body: %v", err)
 		return
 	}
 	tenant := tenantFromPath(r)
@@ -431,7 +524,7 @@ func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.FlowRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, decodeStatus(err), "bad request body: %v", err)
 		return
 	}
 	if err := resolveTenant(r, &req.TenantRef); err != nil {

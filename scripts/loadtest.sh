@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Drive the yield-query serving path with the open-loop load generator
-# and record the latency/throughput report.
+# and record the latency/throughput reports — once against an in-process
+# server (pure handler cost) and once over real TCP against a spawned
+# server process (what a network client actually sees).
 #
-#   scripts/loadtest.sh                  10s at 2000 qps, in-process server
+#   scripts/loadtest.sh                  10s at 2000 qps, both modes
 #   QPS=5000 DURATION=30s scripts/loadtest.sh
 #   URL=http://host:8080 scripts/loadtest.sh   # against a running ayd
 #
-# The report lands in benchmarks/BENCH_serve.json (p50/p95/p99 latency,
-# achieved qps, error/shed counts — what the CI smoke job uploads).
+# Reports land in benchmarks/BENCH_serve.json (in-process) and
+# benchmarks/BENCH_serve_net.json (over-the-wire) — p50/p95/p99 latency,
+# achieved qps, error/shed counts; what the CI smoke job uploads.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,6 +20,7 @@ DURATION="${DURATION:-10s}"
 INFLIGHT="${INFLIGHT:-256}"
 URL="${URL:-}"
 OUT=benchmarks/BENCH_serve.json
+OUT_NET=benchmarks/BENCH_serve_net.json
 
 mkdir -p benchmarks
 
@@ -24,3 +28,12 @@ echo "== load test: qps=$QPS duration=$DURATION inflight=$INFLIGHT url=${URL:-<i
 go run ./cmd/aydload -qps "$QPS" -duration "$DURATION" -inflight "$INFLIGHT" \
     ${URL:+-url "$URL"} -o "$OUT"
 echo "== wrote $OUT"
+
+# The over-the-wire run spawns its own server child, so it only makes
+# sense when no external URL was given.
+if [ -z "$URL" ]; then
+    echo "== load test (TCP): qps=$QPS duration=$DURATION inflight=$INFLIGHT"
+    go run ./cmd/aydload -qps "$QPS" -duration "$DURATION" -inflight "$INFLIGHT" \
+        -addr 127.0.0.1:0 -o "$OUT_NET"
+    echo "== wrote $OUT_NET"
+fi

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Short soak of the real binary: build ayd (race detector on by
+# default), let cmd/soak spawn it, and hold mixed query/flow load on it
+# long enough to see a leak trend — goroutine count, RSS and tail
+# latency are sampled over the run and the thresholds fail the script.
+#
+#   scripts/soak-smoke.sh                30s at 300 qps, -race build
+#   DURATION=10m QPS=1000 scripts/soak-smoke.sh
+#   RACE=0 scripts/soak-smoke.sh         # plain build (faster, quieter)
+#
+# The report lands in benchmarks/SOAK.json (what the CI soak job
+# uploads).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-30s}"
+QPS="${QPS:-300}"
+INFLIGHT="${INFLIGHT:-64}"
+RACE="${RACE:-1}"
+OUT=benchmarks/SOAK.json
+
+mkdir -p benchmarks bin
+
+BUILD_FLAGS=()
+if [ "$RACE" = "1" ]; then
+    BUILD_FLAGS+=(-race)
+fi
+
+echo "== building ayd (race=$RACE)"
+go build "${BUILD_FLAGS[@]}" -o bin/ayd-soak ./cmd/ayd
+
+echo "== soak: duration=$DURATION qps=$QPS inflight=$INFLIGHT"
+go run ./cmd/soak -bin bin/ayd-soak \
+    -duration "$DURATION" -qps "$QPS" -inflight "$INFLIGHT" \
+    -o "$OUT"
+echo "== wrote $OUT"
