@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race test-store e2e-store vet lint check bench bench-paper bench-perf loadtest soak-smoke examples cover
+.PHONY: build test test-race test-store e2e-store vet lint check bench bench-paper bench-perf loadtest capacity profile soak-smoke examples cover
 
 build:
 	go build ./...
@@ -45,6 +45,23 @@ bench-perf:
 # URL is given, an over-the-wire run to benchmarks/BENCH_serve_net.json.
 loadtest:
 	scripts/loadtest.sh
+
+# Capacity sweep over real TCP: ramp the offered rate until the p99
+# SLO breaks, bisect the knee, write the qps-vs-latency curves —
+# batched optimizer-loop requests (benchmarks/BENCH_capacity.json) and
+# one-query-per-request (benchmarks/BENCH_capacity_single.json). See
+# scripts/capacity.sh for knobs.
+capacity:
+	scripts/capacity.sh
+	BATCH=1 OUT=benchmarks/BENCH_capacity_single.json scripts/capacity.sh
+
+# One profiled load run: CPU and heap profiles of the load generator
+# (which, in the default in-process mode, include the full serving
+# path). Inspect with `go tool pprof cpu.prof`.
+profile:
+	go run ./cmd/aydload -qps $${QPS:-8000} -duration $${DURATION:-5s} \
+	    -cpuprofile cpu.prof -memprofile mem.prof -o /dev/null
+	@echo "wrote cpu.prof and mem.prof"
 
 # Short soak of the real binary under -race: spawn ayd, hold mixed
 # query/flow load, fail on goroutine/RSS growth or p99 drift; writes

@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	ayd serve [-addr :8080] [-store disk|mem] [-models DIR] [-data DIR]
-//	          [-workers N] [-max-models N] [-max-inflight N]
-//	          [-max-inflight-heavy N] [-max-body BYTES]
+//	ayd serve [-addr :8080] [-listeners N] [-store disk|mem]
+//	          [-models DIR] [-data DIR] [-workers N] [-max-models N]
+//	          [-max-inflight N] [-max-inflight-heavy N] [-max-body BYTES]
 //	          [-query-timeout D] [-drain-timeout D]
+//	          [-read-header-timeout D] [-idle-timeout D]
+//	          [-max-header-bytes N]
 //	          [-tls-cert FILE -tls-key FILE] [-trusted-proxies CIDRS]
 //	          [-cors-origin ORIGINS] [-pprof 127.0.0.1:6060]
+//
+// -listeners N > 1 opens N SO_REUSEPORT sockets on -addr, each with
+// its own accept loop and http.Server over the shared handler, so the
+// kernel spreads connections across cores instead of funneling them
+// through one accept queue (unsupported platforms fall back to 1).
 //
 // The HTTP layer is hardened for untrusted traffic (internal/httpx):
 // panic recovery, request IDs, body limits, per-route and global
@@ -61,6 +68,10 @@ func serve(args []string) int {
 	fs := flag.NewFlagSet("ayd serve", flag.ExitOnError)
 	var (
 		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
+		listeners   = fs.Int("listeners", 1, "SO_REUSEPORT listener shards on -addr (each with its own accept loop; >1 needs kernel support, falls back to 1)")
+		readHdrTO   = fs.Duration("read-header-timeout", 5*time.Second, "slowloris guard: max time a connection may take to send request headers (negative = unlimited)")
+		idleTO      = fs.Duration("idle-timeout", 120*time.Second, "keep-alive: max idle time between requests on a connection (negative = unlimited)")
+		maxHdr      = fs.Int("max-header-bytes", 0, "max request header bytes per connection (0 = Go default, 1 MiB)")
 		storeKind   = fs.String("store", "disk", "artefact store backend: disk (durable, shareable) or mem (in-process)")
 		models      = fs.String("models", "ayd-models", "artefact store root; legacy per-directory models here are imported at boot")
 		data        = fs.String("data", "", "job state directory (checkpoints); defaults to -models")
@@ -113,7 +124,12 @@ func serve(args []string) int {
 	}
 
 	srv := server.New(server.Config{
-		Addr:           *addr,
+		Addr:              *addr,
+		Listeners:         *listeners,
+		ReadHeaderTimeout: *readHdrTO,
+		IdleTimeout:       *idleTO,
+		MaxHeaderBytes:    *maxHdr,
+
 		Store:          st,
 		ModelsDir:      *models,
 		DataDir:        *data,

@@ -17,15 +17,22 @@ import (
 //
 // Metrics implements expvar.Var; Publish exports a registry under a
 // global expvar name for scraping alongside memstats.
+// Counters that sit on hot paths (per-evaluation, per-sample, or — via
+// the server — per-request) are ShardedCounters: increments scatter
+// across cache-line-padded shards and are only summed when the registry
+// is read, so concurrent writers on different cores do not serialize on
+// one cache line (see sharded.go). The stage clocks and ESS
+// accumulators stay plain atomics — they are touched once per stage or
+// per flow.
 type Metrics struct {
-	evaluations    atomic.Int64
-	mcSimulations  atomic.Int64
-	solverFailures atomic.Int64
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	droppedPoints  atomic.Int64
-	checkpoints    atomic.Int64
-	flows          atomic.Int64
+	evaluations    ShardedCounter
+	mcSimulations  ShardedCounter
+	solverFailures ShardedCounter
+	cacheHits      ShardedCounter
+	cacheMisses    ShardedCounter
+	droppedPoints  ShardedCounter
+	checkpoints    ShardedCounter
+	flows          ShardedCounter
 	mooNanos       atomic.Int64
 	mcNanos        atomic.Int64
 	tablesNanos    atomic.Int64
@@ -41,7 +48,7 @@ type Metrics struct {
 	// strategies: surrogate-answered samples, the accumulated effective
 	// sample size with its point count (for the mean), and the most
 	// recent strategy name.
-	mcPredicted  atomic.Int64
+	mcPredicted  ShardedCounter
 	mcESSMilli   atomic.Int64 // Σ ESS across points, in thousandths
 	mcESSPoints  atomic.Int64
 	mcStrategyMu sync.Mutex
@@ -227,17 +234,54 @@ const (
 	histGrowth  = 1.4
 )
 
-// Histogram is a fixed-bucket exponential latency histogram with
-// lock-free recording, designed for hot request paths: Observe is a
-// single atomic increment (plus an atomic max update). Quantiles are
-// estimated by linear interpolation inside the matched bucket, which is
-// accurate to the bucket's ±20% resolution — plenty for p50/p95 alerts.
-// The zero value is ready to use.
-type Histogram struct {
+// histShards is the number of independent bucket arrays per Histogram.
+// Eight padded shards of ~450 bytes each keep a histogram under 4 KiB
+// while giving concurrent observers on different cores distinct cache
+// lines to increment. Must be a power of two no larger than
+// counterShards (the shard hash is shared).
+const histShards = 8
+
+// histShard is one observer lane: its own count, sum and bucket array,
+// padded so the next shard starts on a fresh cache line.
+type histShard struct {
 	count   atomic.Int64
 	sumNano atomic.Int64
-	maxNano atomic.Int64
 	buckets [histBuckets]atomic.Int64
+	_       [48]byte // 50 int64s + 48B pad = 448B = 7 cache lines exactly
+}
+
+// Histogram is a fixed-bucket exponential latency histogram with
+// lock-free recording, designed for hot request paths: Observe is two
+// atomic increments and a bucket increment on a per-goroutine shard
+// (plus a read-mostly atomic max update), so concurrent observers on
+// different cores do not contend on shared cache lines. Readers sum
+// the shards — Snapshot/Export are rare (scrapes) and pay the
+// aggregation cost so Observe doesn't have to. Quantiles are estimated
+// by linear interpolation inside the matched bucket, which is accurate
+// to the bucket's ±20% resolution — plenty for p50/p95 alerts. The
+// zero value is ready to use.
+type Histogram struct {
+	maxNano atomic.Int64
+	shards  [histShards]histShard
+}
+
+// totals sums the shard counts and duration sums (each shard read
+// atomically; the set is not a single transaction).
+func (h *Histogram) totals() (count, sumNano int64) {
+	for i := range h.shards {
+		count += h.shards[i].count.Load()
+		sumNano += h.shards[i].sumNano.Load()
+	}
+	return count, sumNano
+}
+
+// bucketLoad sums bucket i across shards.
+func (h *Histogram) bucketLoad(i int) int64 {
+	var n int64
+	for s := range h.shards {
+		n += h.shards[s].buckets[i].Load()
+	}
+	return n
 }
 
 // HistogramSnapshot is a point-in-time quantile summary, in
@@ -274,9 +318,13 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	h.count.Add(1)
-	h.sumNano.Add(int64(d))
-	h.buckets[histBucket(d)].Add(1)
+	sh := &h.shards[shardIndex()&(histShards-1)]
+	sh.count.Add(1)
+	sh.sumNano.Add(int64(d))
+	sh.buckets[histBucket(d)].Add(1)
+	// The max cell stays unsharded: it is read on every Observe but
+	// written only when a new maximum appears, so the line lives in the
+	// shared (read-only) cache state almost all the time.
 	for {
 		cur := h.maxNano.Load()
 		if int64(d) <= cur || h.maxNano.CompareAndSwap(cur, int64(d)) {
@@ -288,14 +336,14 @@ func (h *Histogram) Observe(d time.Duration) {
 // Quantile estimates the q-th quantile (0 < q < 1) in seconds; it
 // returns 0 when nothing has been observed.
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
+	total, _ := h.totals()
 	if total == 0 {
 		return 0
 	}
 	rank := q * float64(total)
 	var cum float64
 	for i := 0; i < histBuckets; i++ {
-		n := float64(h.buckets[i].Load())
+		n := float64(h.bucketLoad(i))
 		if n == 0 {
 			continue
 		}
@@ -334,28 +382,30 @@ func (h *Histogram) Export() (buckets []HistogramBucket, count int64, sumSeconds
 	buckets = make([]HistogramBucket, histBuckets)
 	var cum int64
 	for i := range buckets {
-		cum += h.buckets[i].Load()
+		cum += h.bucketLoad(i)
 		ub := histBound(i)
 		if i == histBuckets-1 {
 			ub = math.Inf(1)
 		}
 		buckets[i] = HistogramBucket{UpperBound: ub, CumulativeCount: cum}
 	}
-	return buckets, cum, float64(h.sumNano.Load()) / 1e9
+	_, sumNano := h.totals()
+	return buckets, cum, float64(sumNano) / 1e9
 }
 
 // Snapshot summarises the histogram (counts are read atomically; the
 // set is not a single transaction).
 func (h *Histogram) Snapshot() HistogramSnapshot {
+	count, sumNano := h.totals()
 	s := HistogramSnapshot{
-		Count:     h.count.Load(),
+		Count:     count,
 		P50Millis: 1e3 * h.Quantile(0.50),
 		P95Millis: 1e3 * h.Quantile(0.95),
 		P99Millis: 1e3 * h.Quantile(0.99),
 		MaxMillis: float64(h.maxNano.Load()) / 1e6,
 	}
 	if s.Count > 0 {
-		s.MeanMillis = float64(h.sumNano.Load()) / 1e6 / float64(s.Count)
+		s.MeanMillis = float64(sumNano) / 1e6 / float64(s.Count)
 	}
 	return s
 }

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestShardedCounterConcurrentSum(t *testing.T) {
+	var c ShardedCounter
+	const goroutines, each = 16, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*each {
+		t.Fatalf("Load = %d, want %d", got, goroutines*each)
+	}
+	c.Store(7)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("Load after Store = %d, want 7", got)
+	}
+}
+
+func TestShardedCounterAddAllocFree(t *testing.T) {
+	var c ShardedCounter
+	if n := testing.AllocsPerRun(1000, func() { c.Add(1) }); n != 0 {
+		t.Fatalf("Add allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestHistogramObserveAllocFree(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(time.Millisecond) }); n != 0 {
+		t.Fatalf("Observe allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// TestHistogramExportMonotoneUnderWriters is the sharding race hammer:
+// while writers pour observations in, every Export must still produce
+// an internally monotone cumulative ladder whose +Inf bucket equals the
+// returned count, and consecutive exports must never go backwards —
+// the guarantees the Prometheus exposition depends on.
+func TestHistogramExportMonotoneUnderWriters(t *testing.T) {
+	var h Histogram
+	var stop atomic.Bool
+	durations := []time.Duration{
+		10 * time.Microsecond, time.Millisecond, 7 * time.Millisecond,
+		80 * time.Millisecond, 2 * time.Second, time.Hour,
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				h.Observe(durations[(g+i)%len(durations)])
+			}
+		}(g)
+	}
+
+	var prevCount int64
+	var prevSum float64
+	prevLadder := make([]int64, 0, histBuckets)
+	for round := 0; round < 200; round++ {
+		buckets, count, sum := h.Export()
+		var cum int64
+		for i, b := range buckets {
+			if b.CumulativeCount < cum {
+				t.Fatalf("round %d: ladder decreases at bucket %d: %d < %d",
+					round, i, b.CumulativeCount, cum)
+			}
+			cum = b.CumulativeCount
+			if len(prevLadder) == histBuckets && b.CumulativeCount < prevLadder[i] {
+				t.Fatalf("round %d: bucket %d went backwards: %d < %d",
+					round, i, b.CumulativeCount, prevLadder[i])
+			}
+		}
+		if last := buckets[len(buckets)-1].CumulativeCount; last != count {
+			t.Fatalf("round %d: +Inf bucket %d != count %d", round, last, count)
+		}
+		if count < prevCount {
+			t.Fatalf("round %d: count went backwards: %d < %d", round, count, prevCount)
+		}
+		if sum < prevSum {
+			t.Fatalf("round %d: sum went backwards: %g < %g", round, sum, prevSum)
+		}
+		prevCount, prevSum = count, sum
+		prevLadder = prevLadder[:0]
+		for _, b := range buckets {
+			prevLadder = append(prevLadder, b.CumulativeCount)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Quiescent: everything must reconcile exactly.
+	_, count, _ := h.Export()
+	if snap := h.Snapshot(); snap.Count != count {
+		t.Fatalf("quiescent Snapshot count %d != Export count %d", snap.Count, count)
+	}
+}
+
+// TestMetricsSnapshotEqualsShardSum hammers the registry's sharded
+// counters from many goroutines and checks the quiescent Snapshot is
+// the exact sum of what was written — no increment may be lost to a
+// shard the aggregation misses.
+func TestMetricsSnapshotEqualsShardSum(t *testing.T) {
+	var m Metrics
+	const goroutines, each = 12, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				m.evaluations.Add(1)
+				m.mcSimulations.Add(2)
+				m.cacheHits.Add(1)
+				m.cacheMisses.Add(1)
+				m.Histogram("hammer").Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if want := int64(goroutines * each); s.Evaluations != want {
+		t.Errorf("Evaluations = %d, want %d", s.Evaluations, want)
+	}
+	if want := int64(2 * goroutines * each); s.MCSimulations != want {
+		t.Errorf("MCSimulations = %d, want %d", s.MCSimulations, want)
+	}
+	if s.CacheHitRate != 0.5 {
+		t.Errorf("CacheHitRate = %g, want 0.5", s.CacheHitRate)
+	}
+	if got := s.Latencies["hammer"].Count; got != int64(goroutines*each) {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*each)
+	}
+}
+
+// TestShardIndexInRange pins the hash to its contract: always a valid
+// shard, and the same goroutine gets a stable enough answer that its
+// increments do not wander over every shard (locality, not correctness
+// — any index is correct).
+func TestShardIndexInRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		if idx := shardIndex(); idx < 0 || idx >= counterShards {
+			t.Fatalf("shardIndex = %d, want [0,%d)", idx, counterShards)
+		}
+	}
+}
+
+func BenchmarkShardedCounterParallel(b *testing.B) {
+	var c ShardedCounter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+	if c.Load() != int64(b.N) {
+		b.Fatalf("lost increments: %d != %d", c.Load(), b.N)
+	}
+}
+
+func BenchmarkAtomicCounterParallel(b *testing.B) {
+	var c atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(300 * time.Microsecond)
+		}
+	})
+}

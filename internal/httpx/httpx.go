@@ -379,6 +379,14 @@ func (w *statusRecorder) Flush() {
 // them.
 func AccessLog(log *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// When Info is filtered out (production at Warn, benchmarks with a
+		// silenced logger), skip the recorder and attribute boxing
+		// entirely — otherwise every request pays for a log line nobody
+		// will see.
+		if !log.Enabled(r.Context(), slog.LevelInfo) {
+			next.ServeHTTP(w, r)
+			return
+		}
 		rec := &statusRecorder{ResponseWriter: w}
 		t0 := time.Now()
 		next.ServeHTTP(rec, r)

@@ -1,0 +1,73 @@
+package httpx
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// Listener sharding. One accept loop on one socket is a bottleneck two
+// ways at high connection rates: every accept serializes through the
+// socket's lock, and the single accept goroutine wakes on one core no
+// matter how many are idle. SO_REUSEPORT lets N sockets bind the same
+// address, with the kernel hashing incoming connections across them —
+// each socket gets its own accept queue, its own accept loop, and (with
+// one http.Server per listener) its own connection-tracking mutex.
+//
+// The syscall package on linux/amd64 predates SO_REUSEPORT and never
+// gained the constant (it exists on arm64 and most other arches), so
+// the platform files define the option value themselves rather than
+// pulling in golang.org/x/sys.
+
+// ReusePortSupported reports whether this platform can shard one
+// listen address across multiple SO_REUSEPORT sockets.
+func ReusePortSupported() bool { return reusePortAvailable }
+
+// ListenReusePort opens n TCP listeners on addr that share the port
+// via SO_REUSEPORT, so the kernel spreads incoming connections across
+// their accept queues. n < 2 — or any n on a platform without
+// SO_REUSEPORT — degrades to a single plain listener; callers that
+// care can check ReusePortSupported and warn. addr may leave the port
+// to the kernel (":0"): the port the first listener is given is what
+// the remaining n-1 bind.
+func ListenReusePort(addr string, n int) ([]net.Listener, error) {
+	if n < 2 || !reusePortAvailable {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return []net.Listener{ln}, nil
+	}
+	lc := net.ListenConfig{Control: reusePortControl}
+	lns := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := lc.Listen(context.Background(), "tcp", addr)
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			return nil, fmt.Errorf("httpx: reuseport shard %d/%d on %s: %w", i+1, n, addr, err)
+		}
+		lns = append(lns, ln)
+		if i == 0 {
+			// Resolve a kernel-assigned port once; every further shard
+			// must bind the same one.
+			addr = ln.Addr().String()
+		}
+	}
+	return lns, nil
+}
+
+// reusePortControl is the ListenConfig.Control hook setting
+// SO_REUSEPORT before bind.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) { serr = setReusePort(fd) }); err != nil {
+		return err
+	}
+	if serr != nil {
+		return fmt.Errorf("httpx: SO_REUSEPORT on %s: %w", address, serr)
+	}
+	return serr
+}

@@ -1,0 +1,14 @@
+//go:build !linux && !darwin
+
+package httpx
+
+import "errors"
+
+const reusePortAvailable = false
+
+// setReusePort is never reached on platforms without SO_REUSEPORT
+// support — ListenReusePort falls back to a single plain listener
+// first.
+func setReusePort(fd uintptr) error {
+	return errors.New("httpx: SO_REUSEPORT not supported on this platform")
+}

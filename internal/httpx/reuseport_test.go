@@ -1,0 +1,125 @@
+package httpx
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestListenReusePortSingle(t *testing.T) {
+	lns, err := ListenReusePort("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(lns)
+	if len(lns) != 1 {
+		t.Fatalf("n=1 opened %d listeners", len(lns))
+	}
+	// n < 1 is clamped, not an error.
+	lns0, err := ListenReusePort("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(lns0)
+	if len(lns0) != 1 {
+		t.Fatalf("n=0 opened %d listeners", len(lns0))
+	}
+}
+
+// TestListenReusePortShardsShareTraffic opens several listeners on one
+// port, serves a shard-identifying HTTP response from each, and checks
+// that (a) they all bound the same address and (b) the kernel's
+// connection hashing actually spreads distinct connections across every
+// shard — the property the server's -listeners flag depends on.
+func TestListenReusePortShardsShareTraffic(t *testing.T) {
+	if !ReusePortSupported() {
+		t.Skip("SO_REUSEPORT not supported on this platform")
+	}
+	const shards = 4
+	lns, err := ListenReusePort("127.0.0.1:0", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(lns)
+	if len(lns) != shards {
+		t.Fatalf("opened %d listeners, want %d", len(lns), shards)
+	}
+	addr := lns[0].Addr().String()
+	for i, ln := range lns {
+		if got := ln.Addr().String(); got != addr {
+			t.Fatalf("shard %d bound %s, want %s", i, got, addr)
+		}
+	}
+
+	var hits [shards]atomic.Int64
+	servers := make([]*http.Server, shards)
+	for i := range lns {
+		i := i
+		servers[i] = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			fmt.Fprintf(w, "%d", i)
+		})}
+		go servers[i].Serve(lns[i]) //nolint:errcheck // closed by closeAll
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	// Each request on its own connection: a fresh source port per
+	// request gives the kernel a fresh 4-tuple to hash. With 200
+	// connections over 4 shards, a silent shard is a broken shard, not
+	// bad luck (P ≈ 4·(3/4)^200 ≈ 1e-24).
+	client := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   5 * time.Second,
+	}
+	for i := 0; i < 200; i++ {
+		resp, err := client.Get("http://" + addr + "/")
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}
+	for i := range hits {
+		if hits[i].Load() == 0 {
+			counts := make([]int64, shards)
+			for j := range hits {
+				counts[j] = hits[j].Load()
+			}
+			t.Fatalf("shard %d received no connections (distribution %v)", i, counts)
+		}
+	}
+}
+
+// TestListenReusePortCleanupOnError ensures a failed shard bind closes
+// the shards already opened instead of leaking them.
+func TestListenReusePortCleanupOnError(t *testing.T) {
+	if !ReusePortSupported() {
+		t.Skip("SO_REUSEPORT not supported on this platform")
+	}
+	// Occupy a port WITHOUT SO_REUSEPORT: the plain listener blocks
+	// reuseport binds to the same port, so shard 1 of the sharded bind
+	// fails... except the first reuseport shard also fails, which is
+	// what we want — the error path must not leak a half-open set.
+	plain, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := ListenReusePort(plain.Addr().String(), 4); err == nil {
+		t.Fatal("bind over a non-reuseport listener unexpectedly succeeded")
+	}
+}
+
+func closeAll(lns []net.Listener) {
+	for _, ln := range lns {
+		ln.Close()
+	}
+}

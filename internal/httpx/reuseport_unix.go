@@ -1,0 +1,30 @@
+//go:build linux || darwin
+
+package httpx
+
+import (
+	"runtime"
+	"syscall"
+)
+
+const reusePortAvailable = true
+
+// soReusePort is the SO_REUSEPORT socket option value. The syscall
+// package never gained the constant on linux/amd64 (a generated-file
+// artifact — arm64 and friends have it), so it is spelled out here:
+// 0xf on linux except the mips family's 0x200, and BSD-derived 0x200
+// on darwin.
+var soReusePort = func() int {
+	if runtime.GOOS == "darwin" {
+		return 0x200
+	}
+	switch runtime.GOARCH {
+	case "mips", "mipsle", "mips64", "mips64le":
+		return 0x200
+	}
+	return 0xf
+}()
+
+func setReusePort(fd uintptr) error {
+	return syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+}

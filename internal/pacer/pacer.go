@@ -1,0 +1,60 @@
+// Package pacer provides a high-resolution absolute-deadline sleeper
+// for open-loop load generation.
+//
+// time.Sleep is the wrong primitive for sub-millisecond pacing: on
+// Linux the runtime parks the idle P in epoll_pwait, whose timeout
+// argument has whole-millisecond resolution, so a sleeper with a
+// 250µs deadline reliably wakes ~750µs late — and a load generator
+// that measures latency from the scheduled arrival time (as any
+// coordination-omission-aware one must) charges that lag to every
+// single request, burying the server's true latency under the
+// client's timer noise.
+//
+// A timerfd expiry, by contrast, is an hrtimer interrupt: it makes the
+// fd readable and wakes epoll event-driven, with no timeout
+// quantisation. On this path a Waiter wakes within tens of
+// microseconds of the deadline. Platforms without timerfd (and any
+// environment where creating one fails, e.g. a tight seccomp profile)
+// fall back to time.Sleep transparently.
+package pacer
+
+import "time"
+
+// Waiter sleeps until absolute deadlines with the best resolution the
+// platform offers. A Waiter is owned by one goroutine: SleepUntil must
+// not be called concurrently. Close releases the platform resources;
+// the zero-value-like fallback Waiter tolerates Close and keeps
+// working via time.Sleep.
+type Waiter struct {
+	platformWaiter
+}
+
+// New returns a ready Waiter. It never fails: when the
+// high-resolution primitive is unavailable the Waiter silently
+// degrades to time.Sleep (check HighRes to know which you got).
+func New() *Waiter {
+	w := &Waiter{}
+	w.init()
+	return w
+}
+
+// SleepUntil blocks until the deadline has passed. Deadlines already
+// in the past return immediately.
+func (w *Waiter) SleepUntil(t time.Time) {
+	d := time.Until(t)
+	if d <= 0 {
+		return
+	}
+	if !w.sleep(d) {
+		time.Sleep(d)
+	}
+	// The primitive can wake a hair early (clock rounding); never
+	// return before the deadline.
+	for time.Until(t) > 0 {
+		time.Sleep(time.Until(t))
+	}
+}
+
+// HighRes reports whether this Waiter wakes on the platform's
+// high-resolution timer rather than the time.Sleep fallback.
+func (w *Waiter) HighRes() bool { return w.highRes() }

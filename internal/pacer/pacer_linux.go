@@ -1,0 +1,76 @@
+//go:build linux
+
+package pacer
+
+import (
+	"os"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// platformWaiter wraps a timerfd. The fd is created non-blocking so
+// os.NewFile registers it with the runtime netpoller: a Read parks
+// only this goroutine, and the hrtimer expiry wakes it event-driven —
+// epoll's millisecond timeout quantisation never enters the picture.
+type platformWaiter struct {
+	f *os.File
+	// fd is kept from timerfd_create for the settime syscall:
+	// os.File.Fd() would flip the file into blocking mode and
+	// deregister it from the netpoller, losing exactly the property we
+	// created it for.
+	fd  uintptr
+	buf [8]byte // expiry counter, read and discarded
+}
+
+const (
+	clockMonotonic = 1
+	tfdNonblock    = 0x800   // O_NONBLOCK
+	tfdCloexec     = 0x80000 // O_CLOEXEC
+)
+
+// itimerspec mirrors struct itimerspec; Interval stays zero — every
+// arm is a one-shot relative timer.
+type itimerspec struct {
+	Interval syscall.Timespec
+	Value    syscall.Timespec
+}
+
+func (w *platformWaiter) init() {
+	fd, _, errno := syscall.Syscall(syscall.SYS_TIMERFD_CREATE,
+		clockMonotonic, tfdNonblock|tfdCloexec, 0)
+	if errno != 0 {
+		return // f stays nil: time.Sleep fallback
+	}
+	w.fd = fd
+	w.f = os.NewFile(fd, "timerfd")
+}
+
+// sleep arms the timer for d and blocks on the fd; false means the
+// caller must fall back to time.Sleep.
+func (w *platformWaiter) sleep(d time.Duration) bool {
+	if w.f == nil {
+		return false
+	}
+	spec := itimerspec{Value: syscall.NsecToTimespec(d.Nanoseconds())}
+	_, _, errno := syscall.Syscall6(syscall.SYS_TIMERFD_SETTIME,
+		w.fd, 0, uintptr(unsafe.Pointer(&spec)), 0, 0, 0)
+	if errno != 0 {
+		return false
+	}
+	_, err := w.f.Read(w.buf[:])
+	return err == nil
+}
+
+func (w *platformWaiter) highRes() bool { return w.f != nil }
+
+// Close releases the timerfd; the Waiter keeps working via the
+// fallback afterwards.
+func (w *platformWaiter) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

@@ -1,0 +1,108 @@
+package pacer
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSleepUntilNeverEarly is the hard contract: whatever the platform
+// primitive does, SleepUntil must not return before the deadline.
+func TestSleepUntilNeverEarly(t *testing.T) {
+	w := New()
+	defer w.Close() //nolint:errcheck
+	for _, d := range []time.Duration{0, 50 * time.Microsecond, 500 * time.Microsecond, 5 * time.Millisecond} {
+		deadline := time.Now().Add(d)
+		w.SleepUntil(deadline)
+		if now := time.Now(); now.Before(deadline) {
+			t.Fatalf("woke %v early for a %v sleep", deadline.Sub(now), d)
+		}
+	}
+}
+
+// TestSleepUntilPastDeadline must return immediately, not arm a
+// zero/negative timer (timerfd_settime with a zero it_value would
+// DISARM the timer and block forever).
+func TestSleepUntilPastDeadline(t *testing.T) {
+	w := New()
+	defer w.Close() //nolint:errcheck
+	done := make(chan struct{})
+	go func() {
+		w.SleepUntil(time.Now().Add(-time.Second))
+		w.SleepUntil(time.Now())
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("SleepUntil blocked on a deadline in the past")
+	}
+}
+
+// TestCloseFallback pins the degradation contract: a closed Waiter
+// keeps honouring deadlines via time.Sleep.
+func TestCloseFallback(t *testing.T) {
+	w := New()
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if w.HighRes() {
+		t.Fatal("HighRes still true after Close")
+	}
+	deadline := time.Now().Add(2 * time.Millisecond)
+	w.SleepUntil(deadline)
+	if time.Now().Before(deadline) {
+		t.Fatal("closed Waiter woke early")
+	}
+}
+
+// TestManyWaitersConcurrent exercises the load-generator shape — many
+// goroutines, each owning a Waiter, sleeping staggered sub-millisecond
+// deadlines — and reports the observed wake lag. Only gross failures
+// fail the test (lag is environment-dependent); the median is logged
+// so a regression to epoll-quantised sleeps (~1ms median) is visible
+// in test output.
+func TestManyWaitersConcurrent(t *testing.T) {
+	const (
+		workers  = 32
+		perG     = 20
+		interval = 500 * time.Microsecond
+	)
+	var (
+		mu   sync.Mutex
+		lags []time.Duration
+		wg   sync.WaitGroup
+	)
+	start := time.Now().Add(5 * time.Millisecond)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := New()
+			defer w.Close() //nolint:errcheck
+			for i := 0; i < perG; i++ {
+				sched := start.Add(time.Duration(g*perG+i) * interval / workers)
+				w.SleepUntil(sched)
+				lag := time.Since(sched)
+				if lag < 0 {
+					t.Errorf("woke %v early", -lag)
+					return
+				}
+				mu.Lock()
+				lags = append(lags, lag)
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	med := lags[len(lags)/2]
+	t.Logf("highres=%v wake lag: p50 %v p99 %v", New().HighRes(), med, lags[len(lags)*99/100])
+	if med > 250*time.Millisecond {
+		t.Fatalf("median wake lag %v: the waiter is not waking at all sanely", med)
+	}
+}

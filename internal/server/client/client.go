@@ -51,10 +51,24 @@ func WithTenant(tenant string) Option {
 
 // New creates a client for the server at base (e.g.
 // "http://127.0.0.1:8080").
+//
+// The default transport is tuned for a service client rather than a
+// browser: net/http's DefaultTransport keeps only 2 idle connections
+// per host, so any caller issuing more than 2 concurrent requests
+// churns through TCP handshakes and TIME_WAIT sockets on every burst.
+// Compression stays off — the payloads are small JSON and gzip costs
+// more than it saves on a loopback or rack-local link. Override with
+// WithHTTPClient when a proxy or custom TLS setup is needed.
 func New(base string, opts ...Option) *Client {
 	c := &Client{
 		base: strings.TrimRight(base, "/"),
-		hc:   &http.Client{},
+		hc: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 64,
+			MaxConnsPerHost:     256,
+			IdleConnTimeout:     90 * time.Second,
+			DisableCompression:  true,
+		}},
 	}
 	for _, o := range opts {
 		o(c)

@@ -42,6 +42,7 @@ import (
 	"net"
 	"net/http"
 	"net/netip"
+	"sync"
 	"time"
 
 	"analogyield/internal/core"
@@ -74,6 +75,23 @@ type Config struct {
 	// (0 → 64).
 	FlowWorkers int
 	FlowQueue   int
+	// Listeners is the number of SO_REUSEPORT listener shards Start
+	// opens on Addr, each with its own accept loop and http.Server over
+	// the shared handler, so accepts spread across cores instead of
+	// serializing on one socket (0/1 → a single listener; >1 degrades
+	// to 1 with a warning on platforms without SO_REUSEPORT).
+	Listeners int
+	// ReadHeaderTimeout bounds how long a connection may dribble its
+	// request headers before being dropped — the slowloris guard
+	// (0 → 5s, negative → no limit).
+	ReadHeaderTimeout time.Duration
+	// IdleTimeout is how long a keep-alive connection may sit idle
+	// between requests before the server closes it (0 → 120s,
+	// negative → no limit).
+	IdleTimeout time.Duration
+	// MaxHeaderBytes caps request header size per connection
+	// (0 → the stdlib's 1 MiB default).
+	MaxHeaderBytes int
 	// MaxInFlight caps concurrent HTTP requests (0 → 256).
 	MaxInFlight int
 	// HeavyInFlight is a tighter per-route cap on the expensive routes
@@ -134,6 +152,15 @@ func (c Config) withDefaults() Config {
 	if c.FlowWorkers <= 0 {
 		c.FlowWorkers = 2
 	}
+	if c.Listeners <= 0 {
+		c.Listeners = 1
+	}
+	if c.ReadHeaderTimeout == 0 {
+		c.ReadHeaderTimeout = 5 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 120 * time.Second
+	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 256
 	}
@@ -174,8 +201,9 @@ type Server struct {
 	log     *slog.Logger
 	proxies []netip.Prefix // parsed Config.TrustedProxies
 
-	httpSrv *http.Server
-	ln      net.Listener
+	handler http.Handler   // built once in New, shared by every listener shard
+	srvs    []*http.Server // one per listener shard
+	lns     []net.Listener
 
 	shutdownCh chan struct{} // closed when Shutdown begins; ends SSE streams
 }
@@ -209,7 +237,7 @@ func New(cfg Config) *Server {
 	s.jobs = NewJobManager(cfg.DataDir, cfg.FlowWorkers, cfg.FlowQueue, reg,
 		cfg.Problems, cfg.Processes, cfg.Metrics, cfg.Logger)
 	s.jobs.defaultMCStrategy = cfg.DefaultMCStrategy
-	s.httpSrv = &http.Server{Handler: s.Handler()}
+	s.handler = s.Handler()
 	return s
 }
 
@@ -228,7 +256,13 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	m := s.cfg.Metrics
 
+	// Hot read routes get the inline deadline guard; the heavy mutating
+	// routes below keep http.TimeoutHandler's hard 503 cut-off (their
+	// handlers can genuinely stall, and they are far off the fast path).
 	timed := func(name string, h http.HandlerFunc) http.Handler {
+		return observeLatency(m.Histogram(name), withDeadline(s.cfg.QueryTimeout, h))
+	}
+	timedHard := func(name string, h http.HandlerFunc) http.Handler {
 		return observeLatency(m.Histogram(name), withTimeout(s.cfg.QueryTimeout, h))
 	}
 	// Every route is registered twice: tenant-scoped under
@@ -248,9 +282,9 @@ func (s *Server) Handler() http.Handler {
 	both("POST", "yield/query", timed("query", s.handleQuery))
 	both("GET", "models", timed("models", s.handleModels))
 	both("GET", "models/{name}", timed("models", s.handleModel))
-	both("POST", "models", heavy(timed("model_install", s.handleInstallModel)))
-	both("DELETE", "models/{name}", heavy(timed("model_install", s.handleDeleteModel)))
-	both("POST", "flows", heavy(timed("flow_submit", s.handleSubmit)))
+	both("POST", "models", heavy(timedHard("model_install", s.handleInstallModel)))
+	both("DELETE", "models/{name}", heavy(timedHard("model_install", s.handleDeleteModel)))
+	both("POST", "flows", heavy(timedHard("flow_submit", s.handleSubmit)))
 	both("GET", "flows", timed("flow_status", s.handleJobs))
 	both("GET", "flows/{id}", timed("flow_status", s.handleJob))
 	both("DELETE", "flows/{id}", timed("flow_status", s.handleCancel))
@@ -280,11 +314,19 @@ func (s *Server) Handler() http.Handler {
 }
 
 // Start binds Config.Addr and serves until Shutdown — over TLS with
-// modern defaults when Config.TLSCertFile/TLSKeyFile are set. It
-// returns once the listener is bound; serving continues in the
-// background.
+// modern defaults when Config.TLSCertFile/TLSKeyFile are set, and
+// across Config.Listeners SO_REUSEPORT shards when asked for more than
+// one. Every shard runs its own http.Server (own accept loop, own
+// connection-tracking lock) over the one shared handler. It returns
+// once the listeners are bound; serving continues in the background.
 func (s *Server) Start() error {
-	ln, err := net.Listen("tcp", s.cfg.Addr)
+	n := s.cfg.Listeners
+	if n > 1 && !httpx.ReusePortSupported() {
+		s.log.Warn("SO_REUSEPORT not supported on this platform; using one listener",
+			"requested", n)
+		n = 1
+	}
+	lns, err := httpx.ListenReusePort(s.cfg.Addr, n)
 	if err != nil {
 		return err
 	}
@@ -292,28 +334,60 @@ func (s *Server) Start() error {
 	if useTLS {
 		tc, err := httpx.LoadTLS(s.cfg.TLSCertFile, s.cfg.TLSKeyFile)
 		if err != nil {
-			ln.Close()
+			for _, ln := range lns {
+				ln.Close()
+			}
 			return err
 		}
-		ln = tls.NewListener(ln, tc)
-	}
-	s.ln = ln
-	go func() {
-		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			s.log.Error("serve", "err", err)
+		for i := range lns {
+			lns[i] = tls.NewListener(lns[i], tc)
 		}
-	}()
-	s.log.Info("listening", "addr", ln.Addr().String(), "tls", useTLS)
+	}
+	s.lns = lns
+	for _, ln := range lns {
+		hs := s.newHTTPServer()
+		s.srvs = append(s.srvs, hs)
+		go func(hs *http.Server, ln net.Listener) {
+			if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				s.log.Error("serve", "err", err)
+			}
+		}(hs, ln)
+	}
+	s.log.Info("listening", "addr", lns[0].Addr().String(), "tls", useTLS,
+		"listeners", len(lns))
 	return nil
 }
 
-// Addr reports the bound listen address (valid after Start).
+// newHTTPServer builds one listener shard's http.Server with the
+// configured keep-alive and header limits (negative timeouts disable
+// the limit).
+func (s *Server) newHTTPServer() *http.Server {
+	hs := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+		MaxHeaderBytes:    s.cfg.MaxHeaderBytes,
+	}
+	if hs.ReadHeaderTimeout < 0 {
+		hs.ReadHeaderTimeout = 0
+	}
+	if hs.IdleTimeout < 0 {
+		hs.IdleTimeout = 0
+	}
+	return hs
+}
+
+// Addr reports the bound listen address (valid after Start; every
+// listener shard shares it).
 func (s *Server) Addr() string {
-	if s.ln == nil {
+	if len(s.lns) == 0 {
 		return s.cfg.Addr
 	}
-	return s.ln.Addr().String()
+	return s.lns[0].Addr().String()
 }
+
+// NumListeners reports how many listener shards Start actually opened.
+func (s *Server) NumListeners() int { return len(s.lns) }
 
 // Shutdown drains the server gracefully: new connections stop, SSE
 // streams close, in-flight requests finish, running flows checkpoint
@@ -332,10 +406,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.DrainTimeout)
 		defer cancel()
 	}
+	// Every listener shard drains in parallel inside the one budget — a
+	// slow shard must not serialize behind its siblings.
 	var firstErr error
-	if s.ln != nil {
-		if err := s.httpSrv.Shutdown(ctx); err != nil && firstErr == nil {
-			firstErr = err
+	if len(s.srvs) > 0 {
+		errs := make([]error, len(s.srvs))
+		var wg sync.WaitGroup
+		for i, hs := range s.srvs {
+			wg.Add(1)
+			go func(i int, hs *http.Server) {
+				defer wg.Done()
+				errs[i] = hs.Shutdown(ctx)
+			}(i, hs)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	if err := s.jobs.Shutdown(ctx); err != nil && firstErr == nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net/http/httptest"
+	"os"
 	"regexp"
 	"strconv"
 	"strings"
@@ -245,6 +246,60 @@ func TestWriteExpositionFormat(t *testing.T) {
 
 	if v := find(t, samples, "go_goroutines", nil).value; v < 1 {
 		t.Errorf("go_goroutines = %v", v)
+	}
+}
+
+// TestWriteGoldenBytes pins the deterministic prefix of the exposition
+// — every family up to the process-level gauges — byte-for-byte against
+// testdata/exposition.golden. The golden file was captured from the
+// pre-sharding (single-atomic) metrics implementation, so this test is
+// the contract that sharding counters and histogram buckets changed
+// nothing observable: same families, same order, same numbers, same
+// formatting. Regenerate with UPDATE_GOLDEN=1 go test ./internal/telemetry/.
+func TestWriteGoldenBytes(t *testing.T) {
+	var m core.Metrics
+	m.AddBusyWorkers(3)
+	m.AddBusyWorkers(-1)
+	m.AddQueueDepth(7)
+	m.AddQueueDepth(-2)
+	m.AddPointsInFlight(4)
+	h := m.Histogram("query")
+	for _, d := range []time.Duration{
+		10 * time.Microsecond, // bucket 0
+		80 * time.Microsecond,
+		2 * time.Millisecond,
+		2 * time.Millisecond,
+		40 * time.Millisecond,
+		3 * time.Second,
+		time.Hour, // +Inf overflow bucket
+	} {
+		h.Observe(d)
+	}
+	m.Histogram("flow_submit").Observe(10 * time.Millisecond)
+
+	var buf bytes.Buffer
+	Write(&buf, &m)
+	text := buf.String()
+	// Everything from go_goroutines on is process state, different on
+	// every run; the prefix is fully deterministic.
+	cut := strings.Index(text, "# HELP go_goroutines")
+	if cut < 0 {
+		t.Fatalf("exposition lost the go_goroutines family:\n%s", text)
+	}
+	got := text[:cut]
+
+	const golden = "testdata/exposition.golden"
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }
 

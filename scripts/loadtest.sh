@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 QPS="${QPS:-2000}"
 DURATION="${DURATION:-10s}"
-INFLIGHT="${INFLIGHT:-256}"
+INFLIGHT="${INFLIGHT:-64}"
 URL="${URL:-}"
 OUT=benchmarks/BENCH_serve.json
 OUT_NET=benchmarks/BENCH_serve_net.json
