@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race test-store e2e-store vet lint check bench bench-paper bench-perf loadtest capacity profile soak-smoke examples cover
+.PHONY: build test test-race test-store e2e-store vet lint check bench bench-paper bench-perf loadtest capacity profile soak-smoke examples cover cluster cluster-down cluster-smoke cluster-bench
 
 build:
 	go build ./...
@@ -68,6 +68,25 @@ profile:
 # benchmarks/SOAK.json.
 soak-smoke:
 	scripts/soak-smoke.sh
+
+# Local multi-replica cluster on a shared store: REPLICAS (default 2)
+# ayd processes with lease coordination and Monte Carlo shard dispatch.
+# Base URLs land in .cluster/urls; `make cluster-down` tears it down.
+cluster:
+	scripts/cluster.sh up $${REPLICAS:-2}
+
+cluster-down:
+	scripts/cluster.sh down
+
+# Crash-takeover e2e through the real binary: two replicas, one flow,
+# SIGKILL the owner mid-run, require the survivor to adopt and finish.
+cluster-smoke:
+	scripts/cluster-smoke.sh
+
+# Cluster scaling benchmark: capacity knee of 1/2/4 CPU-sliced replicas
+# measured the same way; writes benchmarks/BENCH_cluster.json.
+cluster-bench:
+	scripts/cluster_bench.sh
 
 # Regenerate every paper table/figure at scaled-down budgets (~1 min).
 bench:

@@ -12,6 +12,14 @@
 //	          [-max-header-bytes N]
 //	          [-tls-cert FILE -tls-key FILE] [-trusted-proxies CIDRS]
 //	          [-cors-origin ORIGINS] [-pprof 127.0.0.1:6060]
+//	          [-replica-id ID] [-peers URLS] [-lease-ttl D]
+//
+// -replica-id enables cluster mode: replicas sharing one -models
+// directory coordinate flow-job ownership through store leases, adopt a
+// crashed or drained peer's jobs from their mirrored checkpoints, and —
+// when -peers lists the other replicas' base URLs — spread each job's
+// Monte Carlo stage across the fleet (results stay bit-identical to a
+// single-node run regardless of shard placement).
 //
 // -listeners N > 1 opens N SO_REUSEPORT sockets on -addr, each with
 // its own accept loop and http.Server over the shared handler, so the
@@ -88,6 +96,9 @@ func serve(args []string) int {
 		corsOrigins = fs.String("cors-origin", "", "comma-separated origins allowed cross-origin browser access (\"*\" = any; default off)")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; default off)")
 		mcStrategy  = fs.String("mc-strategy", "", "default Monte Carlo estimator for submitted flows: naive (default), is, surrogate, is+surrogate")
+		replicaID   = fs.String("replica-id", "", "cluster mode: this replica's unique id (empty = single-node, no leases)")
+		peers       = fs.String("peers", "", "cluster mode: comma-separated peer base URLs for Monte Carlo shard dispatch (e.g. http://10.0.0.2:8080)")
+		leaseTTL    = fs.Duration("lease-ttl", 0, "cluster mode: job lease TTL; a crashed replica's jobs are adoptable after this long (0 = 15s default)")
 	)
 	fs.Parse(args)
 
@@ -95,6 +106,10 @@ func serve(args []string) int {
 
 	if _, err := montecarlo.ParseStrategy(*mcStrategy); err != nil {
 		log.Error("bad -mc-strategy", "err", err)
+		return 2
+	}
+	if *peers != "" && *replicaID == "" {
+		log.Error("-peers requires -replica-id (cluster mode is off without one)")
 		return 2
 	}
 
@@ -148,6 +163,10 @@ func serve(args []string) int {
 		Logger:         log,
 
 		DefaultMCStrategy: *mcStrategy,
+
+		ReplicaID: *replicaID,
+		Peers:     splitList(*peers),
+		LeaseTTL:  *leaseTTL,
 	})
 	if err := srv.Start(); err != nil {
 		log.Error("start", "err", err)

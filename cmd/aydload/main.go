@@ -46,6 +46,13 @@
 // measurement (in_process: false) recorded in
 // benchmarks/BENCH_serve_net.json and BENCH_capacity.json. -url still
 // targets any externally managed server.
+//
+// Both -url and -addr accept a comma-separated list, which is the
+// cluster measurement mode: workers (and their persistent connections)
+// are striped round-robin across the targets, the rates and the SLO
+// apply to the aggregate, and the report records the target count —
+// scripts/cluster_bench.sh uses this to measure how the capacity knee
+// scales from 1 to N replicas (benchmarks/BENCH_cluster.json).
 package main
 
 import (
@@ -88,7 +95,8 @@ type result struct {
 	Errors      int64                  `json:"errors"`
 	Shed        int64                  `json:"shed"` // arrivals dropped at the in-flight cap
 	AchievedQPS float64                `json:"achieved_qps"`
-	Batch       int                    `json:"batch,omitempty"` // >1: queries per request; qps counts queries
+	Batch       int                    `json:"batch,omitempty"`   // >1: queries per request; qps counts queries
+	Targets     int                    `json:"targets,omitempty"` // >1: replicas driven round-robin; qps is the aggregate
 	Latency     core.HistogramSnapshot `json:"latency"`
 	InProcess   bool                   `json:"in_process,omitempty"`
 }
@@ -116,7 +124,8 @@ type capacityResult struct {
 	Listeners     int     `json:"listeners"`
 	Conns         int     `json:"conns"`
 	Inflight      int     `json:"inflight"`
-	Batch         int     `json:"batch,omitempty"` // >1: queries per request; qps counts queries
+	Batch         int     `json:"batch,omitempty"`   // >1: queries per request; qps counts queries
+	Targets       int     `json:"targets,omitempty"` // >1: replicas driven round-robin; rates and knee are aggregate
 	StepSec       float64 `json:"step_duration_s"`
 	WarmupSec     float64 `json:"warmup_s"`
 	SLOP99Millis  float64 `json:"slo_p99_ms"`
@@ -159,8 +168,8 @@ func main() {
 		return
 	}
 	var (
-		url      = flag.String("url", "", "target server base URL (empty: start an in-process server)")
-		addr     = flag.String("addr", "", "spawn a separate serving process on this address (e.g. 127.0.0.1:0) and drive it over TCP")
+		url      = flag.String("url", "", "target server base URL(s), comma-separated; workers round-robin across them (empty: start an in-process server)")
+		addr     = flag.String("addr", "", "spawn a separate serving process per comma-separated address (e.g. 127.0.0.1:0,127.0.0.1:0) and drive them over TCP")
 		qps      = flag.Float64("qps", 2000, "target arrival rate (open loop; single-run mode)")
 		duration = flag.Duration("duration", 10*time.Second, "test length (per step in -sweep mode)")
 		warmup   = flag.Duration("warmup", time.Second, "unrecorded warm-up before each measured run/step (0 = none)")
@@ -228,20 +237,20 @@ func main() {
 }
 
 type runConfig struct {
-	url, addr            string
-	qps                  float64
-	duration, warmup     time.Duration
-	inflight, conns      int
-	batch                int
-	listeners            int
-	model, out           string
-	sweep                bool
-	sweepStart           float64
+	url, addr             string
+	qps                   float64
+	duration, warmup      time.Duration
+	inflight, conns       int
+	batch                 int
+	listeners             int
+	model, out            string
+	sweep                 bool
+	sweepStart            float64
 	sweepFactor, sweepMax float64
-	sweepRefine          int
-	sweepRetries         int
-	sloP99               time.Duration
-	errBudget            float64
+	sweepRefine           int
+	sweepRetries          int
+	sloP99                time.Duration
+	errBudget             float64
 }
 
 func run(cfg runConfig) error {
@@ -258,18 +267,21 @@ func run(cfg runConfig) error {
 		return fmt.Errorf("non-positive -batch %d", cfg.batch)
 	}
 
-	url := cfg.url
+	urls := splitList(cfg.url)
 	inProcess := false
 	switch {
-	case url != "":
-		// Externally managed target; nothing to start or stop.
+	case len(urls) > 0:
+		// Externally managed target(s); nothing to start or stop.
 	case cfg.addr != "":
-		childURL, stop, err := spawnChild(cfg.addr, cfg.model, cfg.listeners)
-		if err != nil {
-			return err
+		// One spawned serving child per comma-separated address.
+		for _, a := range splitList(cfg.addr) {
+			childURL, stop, err := spawnChild(a, cfg.model, cfg.listeners)
+			if err != nil {
+				return err
+			}
+			defer stop()
+			urls = append(urls, childURL)
 		}
-		defer stop()
-		url = childURL
 	default:
 		srv, err := startServer("127.0.0.1:0", cfg.model, cfg.listeners)
 		if err != nil {
@@ -280,7 +292,7 @@ func run(cfg runConfig) error {
 			defer cancel()
 			srv.Shutdown(ctx) //nolint:errcheck // best-effort drain on exit
 		}()
-		url = "http://" + srv.Addr()
+		urls = []string{"http://" + srv.Addr()}
 		inProcess = true
 	}
 
@@ -296,21 +308,26 @@ func run(cfg runConfig) error {
 		MaxConnsPerHost:     cfg.conns,
 		DisableCompression:  true,
 	}}
-	bodies, err := queryBodies(client, url, cfg.model, cfg.batch)
+	// The bodies come from the first target's catalog; every target in a
+	// cluster run serves the same model (shared store or identically
+	// seeded children), which each target's own queryBodies would verify
+	// redundantly.
+	bodies, err := queryBodies(client, urls[0], cfg.model, cfg.batch)
 	if err != nil {
 		return err
 	}
-	if !strings.HasPrefix(url, "http://") {
-		return fmt.Errorf("the data plane speaks plain HTTP/1.1; got %q (TLS termination belongs in front of the server under test, not in its load generator)", url)
-	}
-	hostport := strings.TrimPrefix(url, "http://")
 	lg := &loadgen{
 		client:   client,
-		endpoint: url + "/v1/yield/query",
-		hostport: hostport,
-		reqs:     renderRequests(hostport, bodies),
 		inflight: cfg.inflight,
 		batch:    cfg.batch,
+	}
+	for _, u := range urls {
+		if !strings.HasPrefix(u, "http://") {
+			return fmt.Errorf("the data plane speaks plain HTTP/1.1; got %q (TLS termination belongs in front of the server under test, not in its load generator)", u)
+		}
+		hostport := strings.TrimPrefix(u, "http://")
+		lg.hostports = append(lg.hostports, hostport)
+		lg.reqs = append(lg.reqs, renderRequests(hostport, bodies))
 	}
 	defer func() {
 		for _, c := range lg.conns {
@@ -323,9 +340,12 @@ func run(cfg runConfig) error {
 	var report any
 	if cfg.sweep {
 		cap := sweepCapacity(lg, cfg)
-		cap.URL = url
+		cap.URL = strings.Join(urls, ",")
 		cap.Model = cfg.model
 		cap.InProcess = inProcess
+		if len(urls) > 1 {
+			cap.Targets = len(urls)
+		}
 		report = cap
 	} else {
 		if cfg.warmup > 0 {
@@ -337,7 +357,7 @@ func run(cfg runConfig) error {
 		runtime.GC()
 		st, elapsed := lg.fire(cfg.qps, cfg.duration, true)
 		res := result{
-			URL: url, Model: cfg.model, TargetQPS: cfg.qps,
+			URL: strings.Join(urls, ","), Model: cfg.model, TargetQPS: cfg.qps,
 			DurationSec: cfg.duration.Seconds(),
 			Requests:    st.Requests, Errors: st.Errors, Shed: st.Shed,
 			AchievedQPS: st.AchievedQPS,
@@ -345,6 +365,9 @@ func run(cfg runConfig) error {
 		}
 		if cfg.batch > 1 {
 			res.Batch = cfg.batch
+		}
+		if len(urls) > 1 {
+			res.Targets = len(urls)
 		}
 		fmt.Fprintf(os.Stderr, "aydload: %d requests (%d errors, %d shed) in %.1fs — %.0f qps, p50 %.3fms p95 %.3fms p99 %.3fms\n",
 			res.Requests, res.Errors, res.Shed, elapsed.Seconds(), res.AchievedQPS,
@@ -373,22 +396,27 @@ func writeReport(out string, report any) error {
 	return enc.Encode(report)
 }
 
-// loadgen drives one endpoint with pre-rendered requests. The data
-// plane speaks raw HTTP/1.1 over one persistent TCP connection per
+// loadgen drives one or more endpoints with pre-rendered requests. The
+// data plane speaks raw HTTP/1.1 over one persistent TCP connection per
 // worker (wrk-style): at five-figure rates the net/http client's
 // per-request machinery — request and header allocation, URL parsing,
 // the round-trip bookkeeping — costs more CPU and GC pressure than the
 // server spends answering, and on a small machine that overhead would
 // be billed to the server's measured latency. Control-plane calls
 // (model discovery) still go through the tuned net/http client.
+//
+// With several targets (cluster mode) worker w pins target
+// w mod len(hostports): the workers stripe evenly across the replicas,
+// each keeps its one persistent connection, and the open-loop schedule
+// stays global — the target rate is the aggregate the cluster must
+// absorb, exactly how a fleet behind a round-robin balancer is loaded.
 type loadgen struct {
-	client   *http.Client
-	endpoint string
-	hostport string
-	reqs     [][]byte   // pre-rendered POST /v1/yield/query requests
-	conns    []*rawConn // worker-indexed; persist across warm-up and steps
-	inflight int
-	batch    int // queries per request (≥1); rates count queries
+	client    *http.Client
+	hostports []string   // target-indexed
+	reqs      [][][]byte // [target][body] pre-rendered POST /v1/yield/query requests
+	conns     []*rawConn // worker-indexed; persist across warm-up and steps
+	inflight  int
+	batch     int // queries per request (≥1); rates count queries
 }
 
 // reqTimeout bounds one data-plane request on the wire; a server stall
@@ -532,6 +560,8 @@ func (lg *loadgen) fire(qps float64, duration time.Duration, record bool) (step,
 			// CO-aware accounting would charge to every request.
 			wt := pacer.New()
 			defer wt.Close() //nolint:errcheck
+			tgt := w % len(lg.hostports)
+			reqs := lg.reqs[tgt]
 			for i := int64(w); ; i += int64(workers) {
 				offset := time.Duration(float64(i) * interval)
 				if offset >= duration {
@@ -547,14 +577,14 @@ func (lg *loadgen) fire(qps float64, duration time.Duration, record bool) (step,
 				c := lg.conns[w]
 				if c == nil {
 					var err error
-					if c, err = dialRaw(lg.hostport); err != nil {
+					if c, err = dialRaw(lg.hostports[tgt]); err != nil {
 						requests.Add(1)
 						errs.Add(1)
 						continue
 					}
 					lg.conns[w] = c
 				}
-				ok, err := c.do(lg.reqs[i%int64(len(lg.reqs))])
+				ok, err := c.do(reqs[i%int64(len(reqs))])
 				requests.Add(1)
 				if err != nil {
 					// The connection state is unknown; drop it and let the
@@ -755,6 +785,18 @@ func fetchModelInfo(client *http.Client, url, model string) (*api.ModelInfo, err
 		}
 	}
 	return nil, fmt.Errorf("model %q not served at %s (have %d models)", model, url, len(infos))
+}
+
+// splitList parses a comma-separated flag value into its non-empty
+// trimmed entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // serveChild is the re-executed serving process of -addr mode: it binds

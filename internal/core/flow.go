@@ -37,6 +37,17 @@ type FlowConfig struct {
 	// wbga default, negative disables; see wbga.Options.CacheSize).
 	CacheSize int
 
+	// MCDispatcher, when non-nil, spreads each Pareto point's Monte
+	// Carlo sample range across peer replicas
+	// (montecarlo.RunBatchDistributed); the server wires one up in
+	// cluster mode. Only the naive strategy distributes — the
+	// variance-reduced estimators keep per-point adaptive state that
+	// must see every sample locally. Results are bit-identical to a
+	// local run for any shard layout, and the field is deliberately
+	// excluded from the checkpoint fingerprint: a job checkpointed on
+	// one cluster shape resumes on any other.
+	MCDispatcher montecarlo.ShardDispatcher
+
 	Model ModelOptions
 
 	// MaxDroppedFraction bounds the tolerated fraction of Pareto points
@@ -457,58 +468,69 @@ func (f *flowRun) runMC(ctx context.Context) error {
 	}
 	var essSum float64
 	essPoints := 0
-	// StrategyNaive delegates inside RunVarianceBatch to the exact
-	// RunBatch scheduler, so the default configuration reproduces
-	// earlier releases bit for bit.
-	err := montecarlo.RunVarianceBatch(ctx, montecarlo.BatchOptions{
+	batchOpts := montecarlo.BatchOptions{
 		Proc:    cfg.Proc,
 		Workers: cfg.Workers,
 		Metrics: objNames,
 		Gauges:  f.metrics,
-	}, montecarlo.VarianceOptions{Strategy: strategy},
-		specs, mcBatchFactory(cfg.Problem, genes), func(point int, mcRes *montecarlo.Result, merr error) error {
-			pos := start + point
-			rec := mcPointRecord{FrontPos: pos}
-			if merr != nil {
-				// The point's MC failed outright: record the drop rather
-				// than silently thinning the front.
-				rec.Dropped = true
-				rec.DropMsg = merr.Error()
-				f.metrics.droppedPoints.Add(1)
-				f.metrics.mcSimulations.Add(int64(cfg.MCSamples))
-				f.metrics.solverFailures.Add(int64(cfg.MCSamples))
-			} else {
-				ev := res.Archive[res.FrontIdx[pos]]
-				phys, derr := cfg.Problem.Denormalize(genes[point])
-				if derr != nil {
-					return derr
-				}
-				rec.Point = ParetoPoint{
-					Params:   phys,
-					Perf:     [2]float64{ev.Objectives[0], ev.Objectives[1]},
-					DeltaPct: [2]float64{mcRes.Stats[0].DeltaPct, mcRes.Stats[1].DeltaPct},
-				}
-				// MCSims records simulations actually run: the full budget
-				// under naive/IS, fewer when the surrogate filter answered
-				// part of it.
-				rec.MCSims = cfg.MCSamples
-				if strategy != montecarlo.StrategyNaive {
-					rec.MCSims = mcRes.FullEvals
-					f.metrics.mcPredicted.Add(int64(mcRes.Predicted))
-					essSum += mcRes.ESS
-					essPoints++
-				}
-				rec.Failures = mcRes.Failed
-				f.metrics.mcSimulations.Add(int64(rec.MCSims))
-				f.metrics.solverFailures.Add(int64(mcRes.Failed))
+	}
+	factory := mcBatchFactory(cfg.Problem, genes)
+	deliver := func(point int, mcRes *montecarlo.Result, merr error) error {
+		pos := start + point
+		rec := mcPointRecord{FrontPos: pos}
+		if merr != nil {
+			// The point's MC failed outright: record the drop rather
+			// than silently thinning the front.
+			rec.Dropped = true
+			rec.DropMsg = merr.Error()
+			f.metrics.droppedPoints.Add(1)
+			f.metrics.mcSimulations.Add(int64(cfg.MCSamples))
+			f.metrics.solverFailures.Add(int64(cfg.MCSamples))
+		} else {
+			ev := res.Archive[res.FrontIdx[pos]]
+			phys, derr := cfg.Problem.Denormalize(genes[point])
+			if derr != nil {
+				return derr
 			}
-			f.ck.Done = append(f.ck.Done, rec)
-			apply(rec, false)
-			if cfg.CheckpointEvery > 0 && len(f.ck.Done)%cfg.CheckpointEvery == 0 && pos != total-1 {
-				return f.save()
+			rec.Point = ParetoPoint{
+				Params:   phys,
+				Perf:     [2]float64{ev.Objectives[0], ev.Objectives[1]},
+				DeltaPct: [2]float64{mcRes.Stats[0].DeltaPct, mcRes.Stats[1].DeltaPct},
 			}
-			return nil
-		})
+			// MCSims records simulations actually run: the full budget
+			// under naive/IS, fewer when the surrogate filter answered
+			// part of it.
+			rec.MCSims = cfg.MCSamples
+			if strategy != montecarlo.StrategyNaive {
+				rec.MCSims = mcRes.FullEvals
+				f.metrics.mcPredicted.Add(int64(mcRes.Predicted))
+				essSum += mcRes.ESS
+				essPoints++
+			}
+			rec.Failures = mcRes.Failed
+			f.metrics.mcSimulations.Add(int64(rec.MCSims))
+			f.metrics.solverFailures.Add(int64(mcRes.Failed))
+		}
+		f.ck.Done = append(f.ck.Done, rec)
+		apply(rec, false)
+		if cfg.CheckpointEvery > 0 && len(f.ck.Done)%cfg.CheckpointEvery == 0 && pos != total-1 {
+			return f.save()
+		}
+		return nil
+	}
+
+	// StrategyNaive delegates inside RunVarianceBatch to the exact
+	// RunBatch scheduler, so the default configuration reproduces
+	// earlier releases bit for bit. In cluster mode the naive strategy
+	// runs through the distributed scheduler instead — same samples,
+	// same derivation, bit-identical results for any shard layout.
+	var err error
+	if cfg.MCDispatcher != nil && cfg.MCDispatcher.Shards() > 0 && strategy == montecarlo.StrategyNaive {
+		err = montecarlo.RunBatchDistributed(ctx, batchOpts, specs, genes, factory, cfg.MCDispatcher, deliver)
+	} else {
+		err = montecarlo.RunVarianceBatch(ctx, batchOpts,
+			montecarlo.VarianceOptions{Strategy: strategy}, specs, factory, deliver)
+	}
 	if err != nil {
 		// On cancellation the scheduler has delivered a prefix of completed
 		// points, so the checkpoint written here resumes exactly where

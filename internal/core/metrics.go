@@ -54,6 +54,21 @@ type Metrics struct {
 	mcStrategyMu sync.Mutex
 	mcStrategy   string
 
+	// Cluster counters, populated only when the server runs with a
+	// replica identity: lease traffic (jobs claimed, takeovers of
+	// crashed peers' jobs, fenced writes rejected) and remote
+	// Monte Carlo shard flow in both directions (dispatched to peers,
+	// degraded to local fallback, served on behalf of peers).
+	replicaMu          sync.Mutex
+	replica            string
+	leasesHeld         atomic.Int64
+	leaseAcquired      ShardedCounter
+	leaseTakeovers     ShardedCounter
+	leaseRejections    ShardedCounter
+	mcShardsDispatched ShardedCounter
+	mcShardsFallback   ShardedCounter
+	mcShardsServed     ShardedCounter
+
 	histMu sync.Mutex
 	hists  map[string]*Histogram
 }
@@ -87,6 +102,16 @@ type MetricsSnapshot struct {
 	MCStrategy  string  `json:"mc_strategy,omitempty"`
 	MCPredicted int64   `json:"mc_predicted,omitempty"`
 	MCMeanESS   float64 `json:"mc_mean_ess,omitempty"`
+	// Cluster counters; all omitted for single-node registries, so the
+	// snapshot JSON of earlier releases is unchanged.
+	Replica            string `json:"replica,omitempty"`
+	LeasesHeld         int64  `json:"leases_held,omitempty"`
+	LeaseAcquired      int64  `json:"lease_acquired,omitempty"`
+	LeaseTakeovers     int64  `json:"lease_takeovers,omitempty"`
+	LeaseRejections    int64  `json:"lease_rejections,omitempty"`
+	MCShardsDispatched int64  `json:"mc_shards_dispatched,omitempty"`
+	MCShardsFallback   int64  `json:"mc_shards_fallback,omitempty"`
+	MCShardsServed     int64  `json:"mc_shards_served,omitempty"`
 	// Latencies carries one snapshot per named latency histogram (see
 	// Metrics.Histogram); nil when the registry has none.
 	Latencies map[string]HistogramSnapshot `json:"latencies,omitempty"`
@@ -121,6 +146,33 @@ func (m *Metrics) setMCStrategy(name string) {
 	m.mcStrategy = name
 	m.mcStrategyMu.Unlock()
 }
+
+// SetReplica records this process's replica identity for cluster-mode
+// exposition; single-node deployments never call it and keep the
+// pre-cluster snapshot shape.
+func (m *Metrics) SetReplica(id string) {
+	m.replicaMu.Lock()
+	m.replica = id
+	m.replicaMu.Unlock()
+}
+
+// Replica returns the recorded replica identity ("" when single-node).
+func (m *Metrics) Replica() string {
+	m.replicaMu.Lock()
+	defer m.replicaMu.Unlock()
+	return m.replica
+}
+
+// AddLeasesHeld moves the held-lease gauge (+1 on acquire/adopt, -1 on
+// release); the remaining cluster counters are monotone event counts.
+func (m *Metrics) AddLeasesHeld(delta int64) { m.leasesHeld.Add(delta) }
+func (m *Metrics) LeasesHeld() int64         { return m.leasesHeld.Load() }
+func (m *Metrics) IncLeaseAcquired()         { m.leaseAcquired.Add(1) }
+func (m *Metrics) IncLeaseTakeovers()        { m.leaseTakeovers.Add(1) }
+func (m *Metrics) IncLeaseRejections()       { m.leaseRejections.Add(1) }
+func (m *Metrics) IncMCShardsDispatched()    { m.mcShardsDispatched.Add(1) }
+func (m *Metrics) IncMCShardsFallback()      { m.mcShardsFallback.Add(1) }
+func (m *Metrics) IncMCShardsServed()        { m.mcShardsServed.Add(1) }
 
 // addMCESS folds one flow's accumulated per-point ESS into the
 // registry (stored in thousandths so the hot path stays a plain atomic
@@ -192,6 +244,16 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.mcStrategyMu.Lock()
 	s.MCStrategy = m.mcStrategy
 	m.mcStrategyMu.Unlock()
+	m.replicaMu.Lock()
+	s.Replica = m.replica
+	m.replicaMu.Unlock()
+	s.LeasesHeld = m.leasesHeld.Load()
+	s.LeaseAcquired = m.leaseAcquired.Load()
+	s.LeaseTakeovers = m.leaseTakeovers.Load()
+	s.LeaseRejections = m.leaseRejections.Load()
+	s.MCShardsDispatched = m.mcShardsDispatched.Load()
+	s.MCShardsFallback = m.mcShardsFallback.Load()
+	s.MCShardsServed = m.mcShardsServed.Load()
 	m.histMu.Lock()
 	if len(m.hists) > 0 {
 		s.Latencies = make(map[string]HistogramSnapshot, len(m.hists))

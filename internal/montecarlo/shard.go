@@ -1,0 +1,278 @@
+// Distributed extension of the batch scheduler. RunBatchDistributed
+// splits every point's sample range into contiguous shards, evaluates
+// shard 0 on the local worker pool (the exact RunBatch machinery) and
+// farms the rest to a ShardDispatcher — in the ayd server, peer
+// replicas reached over an internal HTTP route. Because sample i of
+// point p is ALWAYS process sample (points[p].Seed, i) no matter which
+// machine computes it, and because the merged sample array is assembled
+// by absolute index before statistics run, a point's Result is
+// bit-identical for ANY shard layout — 1, 2 or 4 replicas, or a peer
+// failing over to local evaluation mid-batch. That invariant is the
+// correctness contract of cluster mode and is pinned by tests.
+package montecarlo
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardDispatcher farms sample shards to remote evaluators.
+// Implementations must be safe for concurrent use.
+type ShardDispatcher interface {
+	// Shards reports how many remote shards to peel off each point (0
+	// disables distribution; each point is then fully local).
+	Shards() int
+	// EvalShard evaluates samples [lo, hi) of one point remotely and
+	// returns hi-lo rows: rows[k] holds the metrics of sample lo+k,
+	// computed from process sample (seed, lo+k); a nil row marks a
+	// failed sample. A non-nil error means the whole shard is unserved —
+	// the scheduler then evaluates the range locally, preserving
+	// bit-identical results.
+	EvalShard(ctx context.Context, genes []float64, seed int64, lo, hi int) ([][]float64, error)
+}
+
+// shardRanges splits [0, n) into parts contiguous ranges, sized as
+// evenly as possible (the first n%parts ranges get one extra sample).
+// Purely a function of (n, parts), so every replica computes the same
+// layout.
+func shardRanges(n, parts int) [][2]int {
+	if parts <= 1 || n <= 0 {
+		return [][2]int{{0, n}}
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([][2]int, 0, parts)
+	base, rem := n/parts, n%parts
+	lo := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, [2]int{lo, lo + size})
+		lo += size
+	}
+	return out
+}
+
+// RunBatchDistributed is RunBatch with the sample space of every point
+// spread across the local pool and the dispatcher's remote shards. With
+// a nil dispatcher (or Shards() == 0) it IS RunBatch. genes[p] carries
+// point p's genome for the remote side; the local evaluator keeps
+// receiving the batch position exactly as in RunBatch.
+//
+// Delivery, cancellation and error semantics match RunBatch: done runs
+// once per point in point order, a done error aborts the batch, and a
+// remote failure silently degrades that shard to local evaluation (the
+// dispatcher records the fallback for observability).
+func RunBatchDistributed(ctx context.Context, opts BatchOptions, points []PointSpec, genes [][]float64, factory BatchFactory, disp ShardDispatcher, done func(point int, res *Result, err error) error) error {
+	if disp == nil || disp.Shards() <= 0 {
+		return RunBatch(ctx, opts, points, factory, done)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Proc == nil {
+		return fmt.Errorf("montecarlo: nil process")
+	}
+	if factory == nil {
+		return fmt.Errorf("montecarlo: nil evaluator factory")
+	}
+	if done == nil {
+		return fmt.Errorf("montecarlo: nil done callback")
+	}
+	if len(genes) != len(points) {
+		return fmt.Errorf("montecarlo: %d gene vectors for %d points", len(genes), len(points))
+	}
+	for p, spec := range points {
+		if spec.Samples <= 0 {
+			return fmt.Errorf("montecarlo: point %d: Samples must be positive, got %d", p, spec.Samples)
+		}
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunk := opts.ChunkSize
+	if chunk <= 0 {
+		chunk = 32
+	}
+	gauges := opts.Gauges
+	if gauges == nil {
+		gauges = nopGauges{}
+	}
+	shards := disp.Shards()
+
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	state := make([]batchPoint, len(points))
+	for p := range state {
+		state[p].res = &Result{Samples: make([][]float64, points[p].Samples)}
+		state[p].remaining.Store(int64(points[p].Samples))
+	}
+
+	type item struct{ p, lo, hi int }
+	work := make(chan item, 2*workers)
+	completed := make(chan int, len(points))
+
+	var started atomic.Int64
+	delivered := 0
+	defer func() {
+		gauges.AddPointsInFlight(int64(delivered) - started.Load())
+	}()
+
+	// enqueueLocal chunks [lo, hi) of point p onto the local pool.
+	enqueueLocal := func(p, lo, hi int) {
+		for ; lo < hi; lo += chunk {
+			end := lo + chunk
+			if end > hi {
+				end = hi
+			}
+			select {
+			case work <- item{p, lo, end}:
+				gauges.AddQueueDepth(1)
+			case <-ictx.Done():
+				return
+			}
+		}
+	}
+
+	// producers covers the dispatch loop and every remote fetcher: the
+	// work channel closes only when no goroutine can still enqueue local
+	// items (fetchers enqueue their range as a fallback on error).
+	var producers sync.WaitGroup
+	// remoteSem bounds concurrent remote calls so a thousand-point batch
+	// doesn't open a thousand simultaneous requests per peer.
+	remoteSem := make(chan struct{}, 4*shards)
+
+	producers.Add(1)
+	go func() {
+		defer producers.Done()
+		for p, spec := range points {
+			started.Add(1)
+			gauges.AddPointsInFlight(1)
+			ranges := shardRanges(spec.Samples, shards+1)
+			for ri, r := range ranges {
+				lo, hi := r[0], r[1]
+				if hi <= lo {
+					continue
+				}
+				if ri == 0 {
+					// Shard 0 stays local: the owning replica always
+					// contributes, and a batch never stalls on peers alone.
+					enqueueLocal(p, lo, hi)
+					continue
+				}
+				select {
+				case remoteSem <- struct{}{}:
+				case <-ictx.Done():
+					return
+				}
+				producers.Add(1)
+				go func(p, lo, hi int) {
+					defer producers.Done()
+					defer func() { <-remoteSem }()
+					rows, err := disp.EvalShard(ictx, genes[p], points[p].Seed, lo, hi)
+					if err != nil || len(rows) != hi-lo {
+						// Unserved shard: evaluate it here. Same samples,
+						// same derivation — the result cannot differ.
+						enqueueLocal(p, lo, hi)
+						return
+					}
+					st := &state[p]
+					for k, row := range rows {
+						if row == nil {
+							st.failed.Add(1)
+							continue
+						}
+						st.res.Samples[lo+k] = row
+					}
+					if st.remaining.Add(int64(lo-hi)) == 0 {
+						completed <- p
+					}
+				}(p, lo, hi)
+			}
+			if ictx.Err() != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		producers.Wait()
+		close(work)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eval := factory()
+			for it := range work {
+				gauges.AddQueueDepth(-1)
+				gauges.AddBusyWorkers(1)
+				st := &state[it.p]
+				for i := it.lo; i < it.hi; i++ {
+					if eval == nil {
+						st.failed.Add(1)
+						continue
+					}
+					s := opts.Proc.NewSample(points[it.p].Seed, i)
+					m, err := eval(it.p, s)
+					if err != nil {
+						st.failed.Add(1)
+						continue
+					}
+					st.res.Samples[i] = m
+				}
+				gauges.AddBusyWorkers(-1)
+				if st.remaining.Add(int64(it.lo-it.hi)) == 0 {
+					completed <- it.p
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(completed)
+	}()
+
+	// In-order delivery, exactly as RunBatch: done sees points 0, 1, 2…
+	// whatever the completion order across machines.
+	isDone := make([]bool, len(points))
+	frontier := 0
+	var firstErr error
+	for p := range completed {
+		isDone[p] = true
+		for firstErr == nil && ctx.Err() == nil && frontier < len(points) && isDone[frontier] {
+			st := &state[frontier]
+			st.res.Failed = int(st.failed.Load())
+			err := finishStats(st.res, opts.Metrics)
+			var derr error
+			if err != nil {
+				derr = done(frontier, nil, err)
+			} else {
+				derr = done(frontier, st.res, nil)
+			}
+			delivered++
+			gauges.AddPointsInFlight(-1)
+			frontier++
+			if derr != nil {
+				firstErr = derr
+				cancel()
+			}
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

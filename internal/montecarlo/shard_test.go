@@ -1,0 +1,249 @@
+package montecarlo
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"analogyield/internal/process"
+)
+
+// peerDispatcher simulates remote replicas: it evaluates shards with
+// the same per-(seed, index) sample derivation a peer would use, on its
+// own process instance (a peer has its own).
+type peerDispatcher struct {
+	shards int
+	proc   *process.Process
+	eval   func(genes []float64, s *process.Sample) ([]float64, error)
+	calls  atomic.Int64
+}
+
+func (d *peerDispatcher) Shards() int { return d.shards }
+
+func (d *peerDispatcher) EvalShard(ctx context.Context, genes []float64, seed int64, lo, hi int) ([][]float64, error) {
+	d.calls.Add(1)
+	rows := make([][]float64, hi-lo)
+	for i := lo; i < hi; i++ {
+		m, err := d.eval(genes, d.proc.NewSample(seed, i))
+		if err != nil {
+			continue // nil row = failed sample
+		}
+		rows[i-lo] = m
+	}
+	return rows, nil
+}
+
+// failingDispatcher refuses every shard, forcing full local fallback.
+type failingDispatcher struct{ shards int }
+
+func (d failingDispatcher) Shards() int { return d.shards }
+func (d failingDispatcher) EvalShard(context.Context, []float64, int64, int, int) ([][]float64, error) {
+	return nil, errors.New("peer unreachable")
+}
+
+// flakyDispatcher serves every other shard call and fails the rest.
+type flakyDispatcher struct {
+	peerDispatcher
+	n atomic.Int64
+}
+
+func (d *flakyDispatcher) EvalShard(ctx context.Context, genes []float64, seed int64, lo, hi int) ([][]float64, error) {
+	if d.n.Add(1)%2 == 0 {
+		return nil, errors.New("peer flaked")
+	}
+	return d.peerDispatcher.EvalShard(ctx, genes, seed, lo, hi)
+}
+
+// genesEval routes the shared batchEval through a genes vector whose
+// first element is the point index, so local and remote evaluation see
+// identical inputs per point.
+func genesEval(genes []float64, s *process.Sample) ([]float64, error) {
+	sh := s.DeviceShift(process.NMOS, 10e-6, 10e-6)
+	if sh.DVth > 0.8e-3 {
+		return nil, errors.New("sample failed") // deterministic per sample
+	}
+	return []float64{genes[0] + sh.DVth, 1 - sh.DVth}, nil
+}
+
+func shardGenes(n int) [][]float64 {
+	out := make([][]float64, n)
+	for p := range out {
+		out[p] = []float64{float64(p)}
+	}
+	return out
+}
+
+// referenceResults computes the batch through plain RunBatch — the
+// single-node truth every shard layout must reproduce bit for bit.
+func referenceResults(t *testing.T, specs []PointSpec, genes [][]float64) []*Result {
+	t.Helper()
+	var out []*Result
+	err := RunBatch(context.Background(),
+		BatchOptions{Proc: proc(), Workers: 1, Metrics: []string{"a", "b"}},
+		specs,
+		func() PointEvaluator {
+			return func(point int, s *process.Sample) ([]float64, error) { return genesEval(genes[point], s) }
+		},
+		func(point int, res *Result, err error) error {
+			if err != nil {
+				return err
+			}
+			out = append(out, res)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func runDistributed(t *testing.T, specs []PointSpec, genes [][]float64, disp ShardDispatcher, workers, chunk int) ([]*Result, []int) {
+	t.Helper()
+	var got []*Result
+	var order []int
+	err := RunBatchDistributed(context.Background(),
+		BatchOptions{Proc: proc(), Workers: workers, ChunkSize: chunk, Metrics: []string{"a", "b"}},
+		specs, genes,
+		func() PointEvaluator {
+			return func(point int, s *process.Sample) ([]float64, error) { return genesEval(genes[point], s) }
+		},
+		disp,
+		func(point int, res *Result, err error) error {
+			if err != nil {
+				return err
+			}
+			order = append(order, point)
+			got = append(got, res)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, order
+}
+
+// TestRunBatchDistributedBitIdentical pins the cluster correctness
+// contract: for ANY shard layout (0/1/2/3 remote shards — i.e. 1, 2, 3
+// or 4 replicas' worth of splitting), any worker count and any chunk
+// size, every point's Result is bit-identical to the single-node run.
+func TestRunBatchDistributedBitIdentical(t *testing.T) {
+	specs := batchSpecs()
+	genes := shardGenes(len(specs))
+	want := referenceResults(t, specs, genes)
+	for _, shards := range []int{0, 1, 2, 3} {
+		for _, workers := range []int{1, 4} {
+			for _, chunk := range []int{5, 32} {
+				var disp ShardDispatcher
+				if shards > 0 {
+					disp = &peerDispatcher{shards: shards, proc: proc(), eval: genesEval}
+				}
+				got, order := runDistributed(t, specs, genes, disp, workers, chunk)
+				if wantOrder := []int{0, 1, 2, 3}; !reflect.DeepEqual(order, wantOrder) {
+					t.Fatalf("shards=%d workers=%d chunk=%d: delivery order %v", shards, workers, chunk, order)
+				}
+				for p := range specs {
+					if !reflect.DeepEqual(got[p], want[p]) {
+						t.Errorf("shards=%d workers=%d chunk=%d: point %d differs from single-node run (failed %d vs %d)",
+							shards, workers, chunk, p, got[p].Failed, want[p].Failed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunBatchDistributedRemoteActuallyUsed guards against a scheduler
+// that silently evaluates everything locally (which would also pass the
+// bit-identity test).
+func TestRunBatchDistributedRemoteActuallyUsed(t *testing.T) {
+	specs := batchSpecs()
+	genes := shardGenes(len(specs))
+	disp := &peerDispatcher{shards: 2, proc: proc(), eval: genesEval}
+	runDistributed(t, specs, genes, disp, 2, 16)
+	if disp.calls.Load() == 0 {
+		t.Fatal("dispatcher never called")
+	}
+}
+
+// TestRunBatchDistributedFallback pins degraded-mode correctness: with
+// every peer down (or flaking), results still match the single-node run
+// bit for bit — the failed shards are re-evaluated locally.
+func TestRunBatchDistributedFallback(t *testing.T) {
+	specs := batchSpecs()
+	genes := shardGenes(len(specs))
+	want := referenceResults(t, specs, genes)
+
+	dispatchers := map[string]ShardDispatcher{
+		"all-peers-down": failingDispatcher{shards: 3},
+		"flaky-peers":    &flakyDispatcher{peerDispatcher: peerDispatcher{shards: 2, proc: proc(), eval: genesEval}},
+	}
+	for name, disp := range dispatchers {
+		t.Run(name, func(t *testing.T) {
+			got, _ := runDistributed(t, specs, genes, disp, 2, 16)
+			for p := range specs {
+				if !reflect.DeepEqual(got[p], want[p]) {
+					t.Errorf("point %d differs from single-node run", p)
+				}
+			}
+		})
+	}
+}
+
+// TestRunBatchDistributedCancel mirrors RunBatch's cancellation
+// semantics: the scheduler unwinds promptly and reports ctx.Err().
+func TestRunBatchDistributedCancel(t *testing.T) {
+	specs := []PointSpec{{Seed: 1, Samples: 400}, {Seed: 2, Samples: 400}, {Seed: 3, Samples: 400}}
+	genes := shardGenes(len(specs))
+	ctx, cancel := context.WithCancel(context.Background())
+	disp := &peerDispatcher{shards: 2, proc: proc(), eval: genesEval}
+	delivered := 0
+	err := RunBatchDistributed(ctx,
+		BatchOptions{Proc: proc(), Workers: 2, ChunkSize: 8, Metrics: []string{"a", "b"}},
+		specs, genes,
+		func() PointEvaluator {
+			return func(point int, s *process.Sample) ([]float64, error) {
+				cancel() // first evaluation pulls the plug
+				return genesEval(genes[point], s)
+			}
+		},
+		disp,
+		func(point int, res *Result, err error) error {
+			delivered++
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestShardRanges(t *testing.T) {
+	cases := []struct {
+		n, parts int
+		want     [][2]int
+	}{
+		{10, 1, [][2]int{{0, 10}}},
+		{10, 2, [][2]int{{0, 5}, {5, 10}}},
+		{10, 3, [][2]int{{0, 4}, {4, 7}, {7, 10}}},
+		{3, 5, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{200, 4, [][2]int{{0, 50}, {50, 100}, {100, 150}, {150, 200}}},
+	}
+	for _, c := range cases {
+		got := shardRanges(c.n, c.parts)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("shardRanges(%d,%d) = %v, want %v", c.n, c.parts, got, c.want)
+		}
+		// Ranges must tile [0, n) exactly.
+		lo := 0
+		for _, r := range got {
+			if r[0] != lo {
+				t.Errorf("shardRanges(%d,%d): gap at %d", c.n, c.parts, lo)
+			}
+			lo = r[1]
+		}
+		if lo != c.n {
+			t.Errorf("shardRanges(%d,%d) covers [0,%d), want [0,%d)", c.n, c.parts, lo, c.n)
+		}
+	}
+}

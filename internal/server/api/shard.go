@@ -1,0 +1,64 @@
+// Wire types of the internal replica-to-replica Monte Carlo shard
+// route (POST /internal/mc/shard). Float vectors travel as base64 of
+// their little-endian IEEE-754 bytes, not as JSON numbers: the cluster
+// correctness contract is that a shard evaluated remotely is
+// bit-identical to one evaluated locally, and a decimal round trip
+// would quietly break that for NaN payloads and signalling values
+// while wasting bytes on full-precision floats.
+package api
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ShardRequest asks a peer replica to evaluate Monte Carlo samples
+// [Lo, Hi) of one Pareto point. Problem and Process name entries in the
+// peer's registries (every replica in a cluster registers the same
+// set); Genes is the point's genome (EncodeFloats); sample i must be
+// evaluated at process sample (Seed, i) — the same derivation the
+// owner would use locally, which is what makes the shard placement
+// invisible in the results.
+type ShardRequest struct {
+	Tenant  string `json:"tenant,omitempty"`
+	Problem string `json:"problem"`
+	Process string `json:"process"`
+	Genes   string `json:"genes"`
+	Seed    int64  `json:"seed"`
+	Lo      int    `json:"lo"`
+	Hi      int    `json:"hi"`
+}
+
+// ShardResponse returns Hi-Lo rows: Rows[k] holds the encoded metrics
+// of sample Lo+k, or "" for a sample whose evaluation failed (the
+// owner counts it failed exactly as a local failure).
+type ShardResponse struct {
+	Rows []string `json:"rows"`
+}
+
+// EncodeFloats renders a float vector as base64 little-endian bytes.
+func EncodeFloats(v []float64) string {
+	buf := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(f))
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+// DecodeFloats reverses EncodeFloats, bit for bit.
+func DecodeFloats(s string) ([]float64, error) {
+	buf, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("api: bad float encoding: %w", err)
+	}
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("api: float payload length %d not a multiple of 8", len(buf))
+	}
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out, nil
+}

@@ -2,12 +2,15 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"analogyield/internal/core"
@@ -48,8 +51,26 @@ type job struct {
 	nextSeq  int
 	notify   map[chan struct{}]struct{}
 	cancel   context.CancelFunc
+	// lease is the job's ownership lease in cluster mode (Token 0 =
+	// single-node, no lease). The heartbeat goroutine refreshes it; the
+	// checkpoint mirror reads it for fenced writes.
+	lease store.Lease
 
 	done chan struct{} // closed when the job reaches a terminal state
+}
+
+// leaseHandle returns the job's current lease, reporting whether one is
+// held.
+func (j *job) leaseHandle() (store.Lease, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lease, j.lease.Token != 0
+}
+
+func (j *job) setLease(l store.Lease) {
+	j.mu.Lock()
+	j.lease = l
+	j.mu.Unlock()
 }
 
 // JobManager runs submitted flows on a bounded worker pool. Jobs queue
@@ -73,6 +94,17 @@ type JobManager struct {
 	// defaultMCStrategy applies when a FlowRequest leaves MCStrategy
 	// empty (Config.DefaultMCStrategy; empty = naive).
 	defaultMCStrategy string
+
+	// cluster, when non-nil, makes this manager one replica of a fleet
+	// sharing the artefact store: jobs are claimed through store leases,
+	// checkpoints are written fenced, and a takeover scanner adopts jobs
+	// whose owner stopped heartbeating. See EnableCluster.
+	cluster *clusterState
+	// crashForTest, when set, makes terminal-state and shutdown handling
+	// skip lease release and job-record cleanup — simulating a replica
+	// whose process died without unwinding (the chaos test's SIGKILL
+	// stand-in; the CI cluster-smoke script kills a real process).
+	crashForTest atomic.Bool
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -120,6 +152,115 @@ func NewJobManager(dataDir string, workers, queueDepth int, reg *Registry,
 	return m
 }
 
+// clusterState carries a replica's cluster-mode identity and wiring.
+type clusterState struct {
+	id     string
+	peers  []string
+	ttl    time.Duration
+	client *http.Client
+}
+
+// EnableCluster turns the manager into one replica of a fleet sharing
+// the artefact store: id names this replica (the lease owner string),
+// peers lists the other replicas' base URLs (empty = lease coordination
+// without MC distribution), and ttl is the job-lease heartbeat window
+// (0 → 15s). Must be called before the first submission; it also
+// starts the takeover scanner that adopts jobs whose owner's lease
+// lapsed.
+func (m *JobManager) EnableCluster(id string, peers []string, ttl time.Duration) {
+	if ttl <= 0 {
+		ttl = defaultLeaseTTL
+	}
+	m.cluster = &clusterState{
+		id:    id,
+		peers: peers,
+		ttl:   ttl,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+			MaxConnsPerHost:     256,
+			IdleConnTimeout:     90 * time.Second,
+			DisableCompression:  true,
+		}},
+	}
+	m.metrics.SetReplica(id)
+	m.wg.Add(1)
+	go m.takeoverLoop()
+}
+
+// takeoverLoop periodically scans the shared store for job records
+// whose lease can be acquired — jobs whose owner crashed (TTL lapsed)
+// or drained (released on shutdown) — and adopts them.
+func (m *JobManager) takeoverLoop() {
+	defer m.wg.Done()
+	interval := m.cluster.ttl / 2
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case <-t.C:
+			m.scanTakeovers()
+		}
+	}
+}
+
+func (m *JobManager) scanTakeovers() {
+	tenants, err := m.st.Tenants()
+	if err != nil {
+		m.log.Warn("takeover scan failed", "err", err)
+		return
+	}
+	for _, tenant := range tenants {
+		infos, err := m.st.List(tenant, store.KindJob)
+		if err != nil {
+			continue
+		}
+		for _, info := range infos {
+			m.tryAdopt(tenant, info.Name)
+		}
+	}
+}
+
+// tryAdopt claims one orphaned job record. Acquisition failure is the
+// common case (the owner is alive and heartbeating — including this
+// replica itself) and not an error.
+func (m *JobManager) tryAdopt(tenant, name string) {
+	if m.baseCtx.Err() != nil {
+		return
+	}
+	l, err := m.st.AcquireLease(tenant, name, m.cluster.id, m.cluster.ttl)
+	if err != nil {
+		return
+	}
+	data, _, err := m.st.Get(store.Key{Tenant: tenant, Kind: store.KindJob, Name: name})
+	if err != nil {
+		// The record vanished between List and the claim (the owner
+		// finished and cleaned up); nothing to adopt.
+		m.st.ReleaseLease(l)
+		return
+	}
+	var req api.FlowRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		m.log.Warn("corrupt job record", "tenant", tenant, "model", name, "err", err)
+		m.st.ReleaseLease(l)
+		return
+	}
+	req.Tenant, req.Model = wireTenant(tenant), name
+	m.metrics.IncLeaseTakeovers()
+	m.metrics.IncLeaseAcquired()
+	m.metrics.AddLeasesHeld(1)
+	m.log.Info("adopting orphaned job", "tenant", tenant, "model", name)
+	// submit owns the lease from here: every one of its failure paths
+	// releases it.
+	if _, err := m.submit(req, &l); err != nil {
+		m.log.Warn("job adoption failed", "tenant", tenant, "model", name, "err", err)
+	}
+}
+
 // Shutdown cancels running flows (each checkpoints and stops at its
 // next generation / MC-point boundary) and waits for the pool to drain,
 // or for ctx to expire.
@@ -132,19 +273,57 @@ func (m *JobManager) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		m.releaseHeldLeases()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: job pool did not drain: %w", ctx.Err())
 	}
 }
 
+// releaseHeldLeases frees every lease still held after the drain —
+// jobs that were cancelled mid-run settle their own lease, so this
+// catches the ones that never ran (still queued at shutdown). Records
+// stay in the store: a peer replica's scanner adopts them immediately
+// instead of waiting out the TTL.
+func (m *JobManager) releaseHeldLeases() {
+	if m.cluster == nil || m.crashForTest.Load() {
+		return
+	}
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		m.settleLease(j, true)
+	}
+}
+
 // Submit validates and enqueues a flow request; the embedded TenantRef
 // names the tenant whose catalog receives the finished model.
 func (m *JobManager) Submit(req api.FlowRequest) (*api.JobStatus, error) {
+	return m.submit(req, nil)
+}
+
+// submit is the shared submission path. adopted, when non-nil, is a
+// lease already claimed by the takeover scanner — the job reuses it
+// instead of acquiring its own.
+func (m *JobManager) submit(req api.FlowRequest, adopted *store.Lease) (*api.JobStatus, error) {
 	tenant := req.TenantOrDefault()
+	// fail unwinds an adopted lease on the early validation paths — the
+	// scanner handed us ownership, so failing to start the job must not
+	// strand the lease until its TTL.
+	fail := func(err error) (*api.JobStatus, error) {
+		if adopted != nil {
+			m.st.ReleaseLease(*adopted)
+			m.metrics.AddLeasesHeld(-1)
+		}
+		return nil, err
+	}
 	pf, ok := m.problems[req.Problem]
 	if !ok {
-		return nil, fmt.Errorf("server: unknown problem %q", req.Problem)
+		return fail(fmt.Errorf("server: unknown problem %q", req.Problem))
 	}
 	procName := req.Process
 	if procName == "" {
@@ -152,7 +331,7 @@ func (m *JobManager) Submit(req api.FlowRequest) (*api.JobStatus, error) {
 	}
 	prf, ok := m.procs[procName]
 	if !ok {
-		return nil, fmt.Errorf("server: unknown process %q", procName)
+		return fail(fmt.Errorf("server: unknown process %q", procName))
 	}
 	strategy := req.MCStrategy
 	if strategy == "" {
@@ -171,9 +350,10 @@ func (m *JobManager) Submit(req api.FlowRequest) (*api.JobStatus, error) {
 		CheckpointEvery: req.CheckpointEvery,
 		MCStrategy:      strategy,
 		Metrics:         m.metrics,
+		MCDispatcher:    m.newShardDispatcher(tenant, req.Problem, procName),
 	}
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	m.mu.Lock()
@@ -186,7 +366,7 @@ func (m *JobManager) Submit(req api.FlowRequest) (*api.JobStatus, error) {
 	if err := validRef(tenant, modelName); err != nil {
 		m.seq--
 		m.mu.Unlock()
-		return nil, err
+		return fail(err)
 	}
 	// The checkpoint is keyed by (tenant, model name), not job id, so
 	// cancelling a job (or losing it to a shutdown) and resubmitting the
@@ -208,6 +388,38 @@ func (m *JobManager) Submit(req api.FlowRequest) (*api.JobStatus, error) {
 		notify: make(map[chan struct{}]struct{}),
 		done:   make(chan struct{}),
 	}
+	m.mu.Unlock()
+
+	// Cluster mode: claim the job before it can run. The lease makes
+	// (tenant, model) exclusive across the fleet — a second replica
+	// submitting the same model is refused with ErrLeaseHeld — and the
+	// job record in the shared store is what a peer adopts if this
+	// replica dies or drains.
+	if m.cluster != nil {
+		if adopted != nil {
+			j.lease = *adopted
+		} else {
+			l, err := m.st.AcquireLease(tenant, modelName, m.cluster.id, m.cluster.ttl)
+			if err != nil {
+				return nil, fmt.Errorf("server: job %s/%s: %w", tenant, modelName, err)
+			}
+			j.lease = l
+			m.metrics.IncLeaseAcquired()
+			m.metrics.AddLeasesHeld(1)
+		}
+		rec := req
+		rec.Tenant, rec.Model = wireTenant(tenant), modelName
+		recJSON, err := json.Marshal(rec)
+		if err == nil {
+			_, err = m.st.PutIfLeased(j.lease, store.KindJob, modelName, recJSON)
+		}
+		if err != nil {
+			m.settleLease(j, false)
+			return nil, fmt.Errorf("server: job record write: %w", err)
+		}
+	}
+
+	m.mu.Lock()
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	m.mu.Unlock()
@@ -224,6 +436,7 @@ func (m *JobManager) Submit(req api.FlowRequest) (*api.JobStatus, error) {
 		delete(m.jobs, id)
 		m.order = m.order[:len(m.order)-1]
 		m.mu.Unlock()
+		m.settleLease(j, false)
 		return nil, ErrQueueFull
 	}
 	j.emit(api.Event{Type: api.EventJobQueued})
@@ -263,6 +476,22 @@ func (m *JobManager) run(j *job) {
 	j.emit(api.Event{Type: api.EventJobStarted})
 	m.log.Info("job started", "job", j.id, "problem", cfg.Problem.ObjectiveNames(), "model", j.status.Model)
 
+	// Cluster mode: heartbeat the job's lease while the flow runs. A
+	// renew failure means another replica fenced us out (we stalled past
+	// the TTL and it adopted the job) — the flow is cancelled so this
+	// zombie stops burning CPU on work it can no longer commit. The
+	// heartbeat is stopped AND joined before the lease is settled below,
+	// so a late renew can never resurrect a lease the settle released.
+	stopHB := func() {}
+	if _, ok := j.leaseHandle(); ok {
+		hbStop, hbDone := make(chan struct{}), make(chan struct{})
+		go m.heartbeat(j, cancel, hbStop, hbDone)
+		stopHB = func() {
+			close(hbStop)
+			<-hbDone
+		}
+	}
+
 	cfg.Obs = core.ObserverFunc(func(e core.Event) {
 		j.observe(e)
 		// Mirror every checkpoint into the artefact store as soon as the
@@ -273,6 +502,7 @@ func (m *JobManager) run(j *job) {
 		}
 	})
 	res, err := core.RunFlow(ctx, cfg)
+	stopHB()
 
 	final := api.Event{Type: api.EventJobDone}
 	j.mu.Lock()
@@ -317,6 +547,13 @@ func (m *JobManager) run(j *job) {
 		}
 	}
 
+	// Settle the lease. A drain-cancellation (shutdown, not user intent)
+	// keeps the job record so a peer adopts the job immediately; every
+	// other terminal state retires the record before the release, so a
+	// finished job can never be "adopted".
+	drain := state == api.JobCancelled && m.baseCtx.Err() != nil
+	m.settleLease(j, drain)
+
 	final.State = state
 	if err != nil {
 		final.Error = err.Error()
@@ -324,6 +561,61 @@ func (m *JobManager) run(j *job) {
 	j.emit(final)
 	close(j.done)
 	m.log.Info("job finished", "job", j.id, "state", state, "err", err)
+}
+
+// heartbeat renews the job's lease at a third of its TTL until stop
+// closes; a failed renew cancels the flow (zombie fencing). done is
+// closed on exit so the caller can join before settling the lease.
+func (m *JobManager) heartbeat(j *job, cancelFlow context.CancelFunc, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ttl := m.cluster.ttl
+	t := time.NewTicker(ttl / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			l, ok := j.leaseHandle()
+			if !ok {
+				return
+			}
+			nl, err := m.st.RenewLease(l, ttl)
+			if err != nil {
+				m.metrics.IncLeaseRejections()
+				m.log.Warn("job lease lost; cancelling flow", "job", j.id, "err", err)
+				cancelFlow()
+				return
+			}
+			j.setLease(nl)
+		}
+	}
+}
+
+// settleLease settles a job's lease at its terminal state. keepRecord
+// leaves the job record in the store for a peer to adopt (the drain
+// path); otherwise the record is deleted before the release, so the
+// released lease never exposes a claimable record of a finished job.
+// A simulated crash (crashForTest) leaves both behind, exactly as a
+// SIGKILLed process would.
+func (m *JobManager) settleLease(j *job, keepRecord bool) {
+	l, ok := j.leaseHandle()
+	if !ok {
+		return
+	}
+	if m.crashForTest.Load() {
+		return
+	}
+	if !keepRecord {
+		if err := m.st.Delete(store.Key{Tenant: j.tenant, Kind: store.KindJob, Name: j.status.Model}); err != nil && !errors.Is(err, store.ErrNotFound) {
+			m.log.Warn("job record cleanup failed", "job", j.id, "err", err)
+		}
+	}
+	if err := m.st.ReleaseLease(l); err != nil && !errors.Is(err, store.ErrLeaseLost) {
+		m.log.Warn("lease release failed", "job", j.id, "err", err)
+	}
+	m.metrics.AddLeasesHeld(-1)
+	j.setLease(store.Lease{})
 }
 
 // persistCheckpoint mirrors a freshly written checkpoint file into the
@@ -334,6 +626,16 @@ func (m *JobManager) persistCheckpoint(j *job, path string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		m.log.Warn("checkpoint read-back failed", "job", j.id, "path", path, "err", err)
+		return
+	}
+	// In cluster mode the mirror write is fenced: a zombie replica whose
+	// lease was taken over is refused, so it can never clobber the
+	// successor's (strictly newer) checkpoint.
+	if l, ok := j.leaseHandle(); ok {
+		if _, err := m.st.PutIfLeased(l, store.KindCheckpoint, j.status.Model, data); err != nil {
+			m.metrics.IncLeaseRejections()
+			m.log.Warn("fenced checkpoint write refused", "job", j.id, "err", err)
+		}
 		return
 	}
 	if _, err := m.st.Put(j.tenant, store.KindCheckpoint, j.status.Model, data); err != nil {
@@ -525,6 +827,7 @@ func (m *JobManager) Cancel(tenant, id string) (*api.JobStatus, error) {
 		j.status.State = api.JobCancelled
 		j.status.Finished = time.Now()
 		j.mu.Unlock()
+		m.settleLease(j, false)
 		j.emit(api.Event{Type: api.EventJobDone, State: api.JobCancelled})
 		close(j.done)
 	case api.JobRunning:

@@ -123,6 +123,22 @@ type Config struct {
 	// submissions that leave mc_strategy empty: "naive" (default, also
 	// when empty), "is", "surrogate" or "is+surrogate".
 	DefaultMCStrategy string
+	// ReplicaID names this process in a multi-replica deployment and
+	// turns on cluster mode: flow jobs are claimed through store leases
+	// (the Store must be shared across replicas — a Disk store on a
+	// common directory), checkpoints are written fenced, and a takeover
+	// scanner adopts jobs whose owner stopped heartbeating. Empty =
+	// single-node, byte-identical behaviour to earlier releases.
+	ReplicaID string
+	// Peers lists the other replicas' base URLs (e.g.
+	// "http://127.0.0.1:8081"). When non-empty, each flow job's Monte
+	// Carlo stage is sharded across them (results stay bit-identical to
+	// a single-node run — see montecarlo.RunBatchDistributed). Ignored
+	// without ReplicaID.
+	Peers []string
+	// LeaseTTL is the job-lease heartbeat window: a replica silent for
+	// this long loses its jobs to a peer (0 → 15s).
+	LeaseTTL time.Duration
 	// Problems and Processes name what flows may be submitted against.
 	// Nil selects the built-ins: problem "ota", process "c35".
 	Problems  map[string]ProblemFactory
@@ -237,6 +253,9 @@ func New(cfg Config) *Server {
 	s.jobs = NewJobManager(cfg.DataDir, cfg.FlowWorkers, cfg.FlowQueue, reg,
 		cfg.Problems, cfg.Processes, cfg.Metrics, cfg.Logger)
 	s.jobs.defaultMCStrategy = cfg.DefaultMCStrategy
+	if cfg.ReplicaID != "" {
+		s.jobs.EnableCluster(cfg.ReplicaID, cfg.Peers, cfg.LeaseTTL)
+	}
 	s.handler = s.Handler()
 	return s
 }
@@ -293,6 +312,11 @@ func (s *Server) Handler() http.Handler {
 	// neither.
 	both("GET", "flows/{id}/events", http.HandlerFunc(s.handleEvents))
 	mux.Handle("GET /v1/tenants", timed("models", s.handleTenants))
+	// Replica-to-replica Monte Carlo shard evaluation (cluster mode).
+	// Registered unconditionally — a single-node server simply never
+	// receives the route — and capped like the other compute-heavy
+	// routes so a misbehaving peer cannot starve the query path.
+	mux.Handle("POST /internal/mc/shard", heavy(timedHard("mc_shard", s.handleShardEval)))
 	mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealth))
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.Handle("GET /metrics", telemetry.Handler(m))
@@ -462,6 +486,10 @@ func errStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, store.ErrCorrupt):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, store.ErrLeaseHeld):
+		// Another replica owns the job; the submitter should retry there
+		// (or wait for the owner to finish).
+		return http.StatusConflict
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -679,6 +707,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"strategy":  ms.MCStrategy,
 			"predicted": ms.MCPredicted,
 			"mean_ess":  ms.MCMeanESS,
+		}
+	}
+	// Present only in cluster mode (ReplicaID set), so single-node
+	// deployments keep the pre-cluster health shape.
+	if ms.Replica != "" {
+		body["replica"] = map[string]any{
+			"id":                   ms.Replica,
+			"peers":                len(s.cfg.Peers),
+			"leases_held":          ms.LeasesHeld,
+			"lease_takeovers":      ms.LeaseTakeovers,
+			"lease_rejections":     ms.LeaseRejections,
+			"mc_shards_dispatched": ms.MCShardsDispatched,
+			"mc_shards_fallback":   ms.MCShardsFallback,
+			"mc_shards_served":     ms.MCShardsServed,
 		}
 	}
 	writeJSON(w, http.StatusOK, body)

@@ -1,0 +1,129 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// memLease is one name's lease state: the live claim plus the highest
+// token ever issued (kept even after release so tokens never regress).
+type memLease struct {
+	owner   string
+	token   uint64 // highest token ever issued for the name
+	expires time.Time
+}
+
+// leaseKey namespaces leases per tenant.
+type leaseKey struct {
+	tenant, name string
+}
+
+// fenceKey identifies one fenced artefact.
+type fenceKey struct {
+	tenant string
+	kind   Kind
+	name   string
+}
+
+// memLeases is the Memory backend's lease table, lazily allocated.
+type memLeases struct {
+	mu     sync.Mutex
+	leases map[leaseKey]*memLease
+	fences map[fenceKey]uint64 // highest token that has written the artefact
+}
+
+func (t *memLeases) init() {
+	if t.leases == nil {
+		t.leases = make(map[leaseKey]*memLease)
+		t.fences = make(map[fenceKey]uint64)
+	}
+}
+
+// AcquireLease implements Store.
+func (s *Memory) AcquireLease(tenant, name, owner string, ttl time.Duration) (Lease, error) {
+	if err := validLeaseArgs(tenant, name, owner, ttl); err != nil {
+		return Lease{}, err
+	}
+	ttl = clampTTL(ttl)
+	s.leases.mu.Lock()
+	defer s.leases.mu.Unlock()
+	s.leases.init()
+	now := time.Now()
+	k := leaseKey{tenant, name}
+	l, ok := s.leases.leases[k]
+	if ok && now.Before(l.expires) {
+		return Lease{}, fmt.Errorf("%w: %s/%s by %q until %s", ErrLeaseHeld, tenant, name, l.owner, l.expires.Format(time.RFC3339Nano))
+	}
+	if !ok {
+		l = &memLease{}
+		s.leases.leases[k] = l
+	}
+	l.token++ // monotonic: survives expiry and release
+	l.owner = owner
+	l.expires = now.Add(ttl)
+	return Lease{Tenant: tenant, Name: name, Owner: owner, Token: l.token, Expires: l.expires}, nil
+}
+
+// RenewLease implements Store.
+func (s *Memory) RenewLease(lease Lease, ttl time.Duration) (Lease, error) {
+	if !lease.Valid() {
+		return Lease{}, fmt.Errorf("%w: not a lease", ErrInvalidKey)
+	}
+	ttl = clampTTL(ttl)
+	s.leases.mu.Lock()
+	defer s.leases.mu.Unlock()
+	s.leases.init()
+	l, ok := s.leases.leases[leaseKey{lease.Tenant, lease.Name}]
+	if !ok || l.token != lease.Token || l.owner != lease.Owner {
+		return Lease{}, fmt.Errorf("%w: %s/%s token %d", ErrLeaseLost, lease.Tenant, lease.Name, lease.Token)
+	}
+	l.expires = time.Now().Add(ttl)
+	lease.Expires = l.expires
+	return lease, nil
+}
+
+// ReleaseLease implements Store.
+func (s *Memory) ReleaseLease(lease Lease) error {
+	if !lease.Valid() {
+		return fmt.Errorf("%w: not a lease", ErrInvalidKey)
+	}
+	s.leases.mu.Lock()
+	defer s.leases.mu.Unlock()
+	s.leases.init()
+	l, ok := s.leases.leases[leaseKey{lease.Tenant, lease.Name}]
+	if !ok || l.token != lease.Token || l.owner != lease.Owner {
+		return fmt.Errorf("%w: %s/%s token %d", ErrLeaseLost, lease.Tenant, lease.Name, lease.Token)
+	}
+	// Expire immediately; the entry stays so the token counter never
+	// regresses.
+	l.expires = time.Time{}
+	return nil
+}
+
+// PutIfLeased implements Store. The whole check-write-mark sequence
+// runs under the lease table lock, so for the Memory backend fenced
+// writes are truly atomic.
+func (s *Memory) PutIfLeased(lease Lease, kind Kind, name string, payload []byte) (Info, error) {
+	if !lease.Valid() {
+		return Info{}, fmt.Errorf("%w: not a lease", ErrInvalidKey)
+	}
+	s.leases.mu.Lock()
+	defer s.leases.mu.Unlock()
+	s.leases.init()
+	l, ok := s.leases.leases[leaseKey{lease.Tenant, lease.Name}]
+	if !ok || l.token != lease.Token || l.owner != lease.Owner || !time.Now().Before(l.expires) {
+		return Info{}, fmt.Errorf("%w: %s/%s token %d", ErrLeaseLost, lease.Tenant, lease.Name, lease.Token)
+	}
+	fk := fenceKey{lease.Tenant, kind, name}
+	if highest := s.leases.fences[fk]; highest > lease.Token {
+		return Info{}, fmt.Errorf("%w: %s/%s/%s fenced at token %d > %d",
+			ErrLeaseLost, lease.Tenant, kind, name, highest, lease.Token)
+	}
+	info, err := s.Put(lease.Tenant, kind, name, payload)
+	if err != nil {
+		return Info{}, err
+	}
+	s.leases.fences[fk] = lease.Token
+	return info, nil
+}

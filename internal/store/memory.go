@@ -14,6 +14,10 @@ import (
 type Memory struct {
 	mu      sync.RWMutex
 	tenants map[string]map[Kind]map[string]*memName
+
+	// leases is the lease table (lease_mem.go); it has its own lock,
+	// acquired strictly before mu (PutIfLeased calls Put under it).
+	leases memLeases
 }
 
 // memName is one (tenant, kind, name)'s version history.

@@ -36,6 +36,11 @@ const (
 	// stream written by core.RunFlow), persisted so any replica can
 	// resume any job after a crash.
 	KindCheckpoint Kind = "checkpoints"
+	// KindJob holds pending flow-job records (the serialized submission
+	// request): a replica writes one at submission and deletes it when
+	// the job reaches a terminal state, so a surviving peer can discover
+	// and adopt jobs whose owner crashed or drained.
+	KindJob Kind = "jobs"
 )
 
 // Key identifies one stored artefact. An empty Version addresses the
@@ -91,6 +96,34 @@ type Store interface {
 	// Backend names the implementation ("memory", "disk") for health
 	// reporting.
 	Backend() string
+
+	// AcquireLease claims exclusive, TTL-bounded ownership of
+	// (tenant, name) for owner. It fails with ErrLeaseHeld while a live
+	// lease exists (held by anyone — re-entry goes through RenewLease).
+	// The returned lease's fencing token is strictly greater than every
+	// token previously issued for the name. See lease.go for the
+	// protocol.
+	AcquireLease(tenant, name, owner string, ttl time.Duration) (Lease, error)
+
+	// RenewLease extends a held lease by ttl from now, returning the
+	// updated lease. It fails with ErrLeaseLost once a higher token has
+	// been issued for the name (a peer took over) or the owner does not
+	// match.
+	RenewLease(l Lease, ttl time.Duration) (Lease, error)
+
+	// ReleaseLease ends a held claim immediately, making the name
+	// acquirable without waiting out the TTL. Releasing a lease that was
+	// already lost reports ErrLeaseLost (harmless — the claim is gone
+	// either way).
+	ReleaseLease(l Lease) error
+
+	// PutIfLeased writes payload under (l.Tenant, kind, name) like Put,
+	// but fenced by l: the write is refused with ErrLeaseLost when the
+	// lease is no longer the live claim on (l.Tenant, l.Name), or when a
+	// successor holding a higher fencing token has already begun writing
+	// this artefact — so a zombie holder cannot regress its successor's
+	// progress.
+	PutIfLeased(l Lease, kind Kind, name string, payload []byte) (Info, error)
 }
 
 // Sentinel errors. Corruption sub-errors (bad magic, truncation,
@@ -148,7 +181,7 @@ func validKey(key Key) error {
 		return fmt.Errorf("name: %w", err)
 	}
 	switch key.Kind {
-	case KindModel, KindCheckpoint:
+	case KindModel, KindCheckpoint, KindJob:
 	default:
 		return fmt.Errorf("%w: unknown kind %q", ErrInvalidKey, key.Kind)
 	}

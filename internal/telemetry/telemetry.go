@@ -99,6 +99,28 @@ func Write(w io.Writer, m *core.Metrics) {
 		b.sample("ayd_mc_mean_ess", "", s.MCMeanESS)
 	}
 
+	// Cluster families appear only when this process runs as a named
+	// replica, so single-node expositions stay byte-identical to the
+	// pre-cluster layout.
+	if s.Replica != "" {
+		b.family("ayd_replica_info", "gauge", "Replica identity (value is always 1).")
+		b.sample("ayd_replica_info", `replica="`+escapeLabel(s.Replica)+`"`, 1)
+		b.family("ayd_leases_held", "gauge", "Job leases currently held by this replica.")
+		b.sample("ayd_leases_held", "", float64(s.LeasesHeld))
+		b.family("ayd_lease_acquired_total", "counter", "Job leases acquired (submissions plus takeovers).")
+		b.sample("ayd_lease_acquired_total", "", float64(s.LeaseAcquired))
+		b.family("ayd_lease_takeovers_total", "counter", "Jobs adopted from a crashed or drained peer.")
+		b.sample("ayd_lease_takeovers_total", "", float64(s.LeaseTakeovers))
+		b.family("ayd_lease_rejections_total", "counter", "Fenced writes or renewals refused because the lease was lost.")
+		b.sample("ayd_lease_rejections_total", "", float64(s.LeaseRejections))
+		b.family("ayd_mc_shards_dispatched_total", "counter", "MC shards successfully evaluated by peer replicas.")
+		b.sample("ayd_mc_shards_dispatched_total", "", float64(s.MCShardsDispatched))
+		b.family("ayd_mc_shards_fallback_total", "counter", "MC shards that fell back to local evaluation after a peer failure.")
+		b.sample("ayd_mc_shards_fallback_total", "", float64(s.MCShardsFallback))
+		b.family("ayd_mc_shards_served_total", "counter", "MC shard requests this replica evaluated for peers.")
+		b.sample("ayd_mc_shards_served_total", "", float64(s.MCShardsServed))
+	}
+
 	writeHistograms(b, m, s)
 
 	b.family("go_goroutines", "gauge", "Number of goroutines.")

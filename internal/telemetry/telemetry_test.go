@@ -200,6 +200,14 @@ func TestWriteExpositionFormat(t *testing.T) {
 			t.Errorf("unexpected strategy series %s with no strategy set", s.name)
 		}
 	}
+	// Likewise the cluster families: a single-node process exports none.
+	for _, s := range samples {
+		if strings.HasPrefix(s.name, "ayd_replica_") ||
+			strings.HasPrefix(s.name, "ayd_lease") ||
+			strings.HasPrefix(s.name, "ayd_mc_shards_") {
+			t.Errorf("unexpected cluster series %s with no replica id set", s.name)
+		}
+	}
 
 	// Histogram semantics per route.
 	const fam = "ayd_http_request_duration_seconds"
@@ -300,6 +308,63 @@ func TestWriteGoldenBytes(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Fatalf("exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteClusterFamilies pins the cluster-mode additions: once a
+// replica id is set, the lease and shard families appear with the
+// registry's numbers, and every value round-trips through the parser.
+func TestWriteClusterFamilies(t *testing.T) {
+	var m core.Metrics
+	m.SetReplica("replica-1")
+	m.AddLeasesHeld(3)
+	m.AddLeasesHeld(-1)
+	m.IncLeaseAcquired()
+	m.IncLeaseAcquired()
+	m.IncLeaseTakeovers()
+	m.IncLeaseRejections()
+	for i := 0; i < 5; i++ {
+		m.IncMCShardsDispatched()
+	}
+	m.IncMCShardsFallback()
+	for i := 0; i < 7; i++ {
+		m.IncMCShardsServed()
+	}
+
+	var buf bytes.Buffer
+	Write(&buf, &m)
+	samples, types := parseExposition(t, buf.String())
+
+	info := find(t, samples, "ayd_replica_info", map[string]string{"replica": "replica-1"})
+	if info.value != 1 {
+		t.Errorf("ayd_replica_info = %v, want 1", info.value)
+	}
+	for name, want := range map[string]float64{
+		"ayd_leases_held":                2,
+		"ayd_lease_acquired_total":       2,
+		"ayd_lease_takeovers_total":      1,
+		"ayd_lease_rejections_total":     1,
+		"ayd_mc_shards_dispatched_total": 5,
+		"ayd_mc_shards_fallback_total":   1,
+		"ayd_mc_shards_served_total":     7,
+	} {
+		if got := find(t, samples, name, nil).value; got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	for name, wantType := range map[string]string{
+		"ayd_replica_info":               "gauge",
+		"ayd_leases_held":                "gauge",
+		"ayd_lease_acquired_total":       "counter",
+		"ayd_lease_takeovers_total":      "counter",
+		"ayd_lease_rejections_total":     "counter",
+		"ayd_mc_shards_dispatched_total": "counter",
+		"ayd_mc_shards_fallback_total":   "counter",
+		"ayd_mc_shards_served_total":     "counter",
+	} {
+		if types[name] != wantType {
+			t.Errorf("%s TYPE = %q, want %q", name, types[name], wantType)
+		}
 	}
 }
 

@@ -1,0 +1,170 @@
+#!/usr/bin/env bash
+# Cluster scaling benchmark: measure the yield-query capacity knee of
+# 1, 2 and 4 ayd replicas the same way on the same host and record how
+# the aggregate knee scales with the replica count
+# (benchmarks/BENCH_cluster.json).
+#
+#   scripts/cluster_bench.sh
+#   COUNTS="1 2" STEP=2s OUT=/tmp/c.json scripts/cluster_bench.sh   # CI smoke shape
+#
+# Methodology — honest scaling on a small host:
+#
+# The interesting question is "does adding a replica add capacity", and
+# answering it on a single-core CI box requires holding *per-replica*
+# resources constant while N varies. Each replica is therefore pinned
+# to its own cgroup CPU slice (CPU_QUOTA_US per CPU_PERIOD_US, default
+# 0.2 CPU per replica) — the model of a fleet of identical small nodes.
+# The period is kept short (20ms) so a replica that exhausts its slice
+# stalls at most 16ms instead of the cgroup-default 80ms, keeping
+# throttle pauses inside the latency SLO's resolution.
+#
+# The load generator runs under SCHED_FIFO (chrt) when available: it
+# competes with the replicas for the same core, and if its open-loop
+# pacing is descheduled the backlog is charged to the server's measured
+# latency (coordination-omission-aware accounting), which reads as a
+# false early knee exactly in the multi-replica runs where the
+# generator works hardest. RT priority keeps the generator's schedule
+# crisp; the replicas' CPU time is bounded by their quotas either way.
+#
+# The 4-replica rung is reported but CPU-bound by the host when
+# 4 × quota + generator exceeds the machine: on a 1-core box the
+# 4-replica knee under-reports true 4-node scaling. The 1→2 ratio is
+# the headline number.
+#
+# Knobs (env):
+#   COUNTS        replica counts to measure   (default "1 2 4")
+#   CPU_QUOTA_US  per-replica CPU quota       (default 4000)
+#   CPU_PERIOD_US CFS period                  (default 20000)
+#   SWEEP_START   first rung's target qps     (default 2000)
+#   SWEEP_FACTOR  geometric ramp factor       (default 1.5)
+#   SWEEP_MAX     stop past this target qps   (default 200000)
+#   REFINE        knee bisection steps        (default 2)
+#   RETRIES       re-runs of a failing rung   (default 2)
+#   STEP          measured seconds per rung   (default 3s)
+#   WARMUP        unrecorded warm-up per rung (default 1s)
+#   SLO_P99       tail-latency budget         (default 25ms)
+#   INFLIGHT      workers = connections       (default 8)
+#   BATCH         queries per request         (default 16)
+#   LEASE_TTL     replica job-lease TTL       (default 2s)
+#   OUT           report path                 (default benchmarks/BENCH_cluster.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+COUNTS="${COUNTS:-1 2 4}"
+CPU_QUOTA_US="${CPU_QUOTA_US:-4000}"
+CPU_PERIOD_US="${CPU_PERIOD_US:-20000}"
+SWEEP_START="${SWEEP_START:-2000}"
+SWEEP_FACTOR="${SWEEP_FACTOR:-1.5}"
+SWEEP_MAX="${SWEEP_MAX:-200000}"
+REFINE="${REFINE:-2}"
+RETRIES="${RETRIES:-2}"
+STEP="${STEP:-3s}"
+WARMUP="${WARMUP:-1s}"
+SLO_P99="${SLO_P99:-25ms}"
+INFLIGHT="${INFLIGHT:-8}"
+BATCH="${BATCH:-16}"
+LEASE_TTL="${LEASE_TTL:-2s}"
+OUT="${OUT:-benchmarks/BENCH_cluster.json}"
+
+work="$(mktemp -d)"
+state="$work/cluster"
+cleanup() {
+    STATE_DIR="$state" scripts/cluster.sh down >/dev/null 2>&1 || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+mkdir -p "$(dirname "$OUT")"
+go build -o "$work/aydload" ./cmd/aydload
+
+# The generator under SCHED_FIFO when the host allows it (see header).
+RT=(chrt -f 50)
+"${RT[@]}" true 2>/dev/null || RT=()
+[ ${#RT[@]} -eq 0 ] && echo "cluster-bench: chrt unavailable; generator runs at normal priority" >&2
+
+# The same 64-point synthetic front the single-node capacity sweeps
+# use, installed through the API of every replica (idempotent: the
+# payload is content-addressed).
+python3 - > "$work/model.json" <<'EOF'
+import json
+xs = [i / 63 for i in range(64)]
+pts = [{"perf": [45 + 10 * x, 85 - 12 * x],
+        "delta_pct": [1.0 + 0.2 * x, 0.5 + 0.1 * x],
+        "params": [10 + 50 * x, 10, 10]} for x in xs]
+print(json.dumps({"name": "loadtest",
+                  "objectives": ["gain_db", "pm_deg"],
+                  "params": ["P1", "P2", "P3"],
+                  "units": ["um", "um", "um"],
+                  "points": pts}))
+EOF
+
+for n in $COUNTS; do
+    echo "== cluster-bench: $n replica(s), ${CPU_QUOTA_US}/${CPU_PERIOD_US}µs CPU each"
+    rm -rf "$state"
+    CPU_QUOTA_US="$CPU_QUOTA_US" CPU_PERIOD_US="$CPU_PERIOD_US" \
+        STATE_DIR="$state" STORE_DIR="$state/store" LEASE_TTL="$LEASE_TTL" \
+        scripts/cluster.sh up "$n"
+    urls="$(cat "$state/urls")"
+    for u in ${urls//,/ }; do
+        curl -fsS -X POST -H 'Content-Type: application/json' \
+            -d @"$work/model.json" "$u/v1/models" >/dev/null
+    done
+    "${RT[@]}" "$work/aydload" -sweep -url "$urls" \
+        -sweep-start "$SWEEP_START" -sweep-factor "$SWEEP_FACTOR" -sweep-max "$SWEEP_MAX" \
+        -sweep-refine "$REFINE" -sweep-retries "$RETRIES" \
+        -duration "$STEP" -warmup "$WARMUP" -slo-p99 "$SLO_P99" \
+        -inflight "$INFLIGHT" -batch "$BATCH" \
+        -o "$work/cap_$n.json"
+    STATE_DIR="$state" scripts/cluster.sh down
+done
+
+created="$(date -u +%Y-%m-%dT%H:%M:%SZ)" nproc="$(nproc)" \
+COUNTS="$COUNTS" CPU_QUOTA_US="$CPU_QUOTA_US" CPU_PERIOD_US="$CPU_PERIOD_US" \
+WORK="$work" OUT="$OUT" SLO_P99="$SLO_P99" \
+python3 - <<'EOF'
+import json, os
+
+counts = [int(n) for n in os.environ["COUNTS"].split()]
+work, out = os.environ["WORK"], os.environ["OUT"]
+sweeps = {n: json.load(open(f"{work}/cap_{n}.json")) for n in counts}
+base = sweeps[counts[0]]["knee_qps"]
+
+report = {
+    "created_utc": os.environ["created"],
+    "host": {"cpus": int(os.environ["nproc"])},
+    "config": {
+        "cpu_quota_us": int(os.environ["CPU_QUOTA_US"]),
+        "cpu_period_us": int(os.environ["CPU_PERIOD_US"]),
+        "slo_p99": os.environ["SLO_P99"],
+        "methodology": (
+            "Each replica pinned to its own cgroup CPU slice (quota/period CPUs) so "
+            "per-replica resources stay constant while the replica count varies; the "
+            "load generator stripes open-loop workers round-robin across the replicas "
+            "and runs at real-time priority so its pacing is not charged to server "
+            "latency. The knee is the highest aggregate rate inside the p99 SLO and "
+            "error budget. Rungs where total quota plus the generator exceed the host's "
+            "cores under-report true scaling (see the 4-replica point on 1-CPU hosts)."
+        ),
+    },
+    "replicas": [
+        {
+            "n": n,
+            "knee_qps": sweeps[n]["knee_qps"],
+            "knee_target_qps": sweeps[n]["knee_target_qps"],
+            "knee_p99_ms": (sweeps[n].get("knee") or {}).get("latency", {}).get("p99_ms"),
+            "scaling_vs_1": round(sweeps[n]["knee_qps"] / base, 3) if base else None,
+            "sweep": sweeps[n],
+        }
+        for n in counts
+    ],
+}
+with open(out, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+for r in report["replicas"]:
+    print(f"cluster-bench: {r['n']} replica(s) -> knee {r['knee_qps']:.0f} qps "
+          f"({r['scaling_vs_1']:.2f}x vs 1)")
+EOF
+echo "== wrote $OUT"
